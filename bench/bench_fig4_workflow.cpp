@@ -1,0 +1,53 @@
+// Figure 4: "sage workflow in processing RFC 792" — the counts at each
+// stage of the feedback loop: instances, parsed, ambiguous (rewrite
+// needed), zero-LF (rewrite needed), non-actionable, and the state after
+// the human rewrites are applied.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/sage.hpp"
+#include "corpus/rfc792.hpp"
+
+namespace {
+
+void report_run(const char* label, const sage::core::ProtocolRun& run) {
+  using namespace sage;
+  std::printf("%s\n", label);
+  std::printf("  sentence instances:        %zu\n", run.reports.size());
+  std::printf("  parsed to exactly one LF:  %zu\n",
+              run.count(core::SentenceStatus::kParsed));
+  std::printf("  >1 LF after winnowing:     %zu\n",
+              run.count(core::SentenceStatus::kAmbiguous));
+  std::printf("  0 LF (rewrite required):   %zu\n",
+              run.count(core::SentenceStatus::kZeroForms));
+  std::printf("  non-actionable:            %zu (+%zu discovered this run)\n",
+              run.count(core::SentenceStatus::kNonActionable),
+              run.discovered_non_actionable.size());
+  std::printf("  generated functions:       %zu\n", run.functions.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace sage;
+  benchutil::title("Figure 4", "SAGE workflow on RFC 792 (feedback loop)");
+
+  {
+    core::Sage sage;
+    sage.annotate_non_actionable(corpus::icmp_non_actionable_annotations());
+    const auto original = sage.process(corpus::rfc792_original(), "ICMP");
+    report_run("Pass 1 — original RFC 792 text:", original);
+    std::printf("  (paper: 87 instances; 4 sentences with >1 LF and 1 with\n"
+                "   0 LFs are flagged for the author; 6 imprecise sentences\n"
+                "   are found later by unit testing)\n\n");
+  }
+  {
+    core::Sage sage;
+    sage.annotate_non_actionable(corpus::icmp_non_actionable_annotations());
+    const auto revised = sage.process(corpus::rfc792_revised(), "ICMP");
+    report_run("Pass 2 — after the 11 rewrites of Table 6:", revised);
+    std::printf("  (paper: the revised spec compiles to code that passes the\n"
+                "   end-to-end interop tests — see bench_e2e_interop)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 6: "Effect of individual disambiguation checks on RFC 792" —
+// each check family applied ALONE to the base logical-form set of every
+// ambiguous sentence. Left plot: average LFs filtered per sentence with
+// standard error; right plot: number of sentences affected.
+#include <cmath>
+#include <set>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/sage.hpp"
+#include "corpus/rfc792.hpp"
+
+int main() {
+  using namespace sage;
+  benchutil::title("Figure 6", "per-check winnowing effect on RFC 792");
+
+  core::Sage sage;
+  sage.annotate_non_actionable(corpus::icmp_non_actionable_annotations());
+  const auto run = sage.process(corpus::rfc792_original(), "ICMP");
+  core::Sage sage2;
+  sage2.annotate_non_actionable(corpus::icmp_non_actionable_annotations());
+  const auto revised = sage2.process(corpus::rfc792_revised(), "ICMP");
+
+  // Base LF sets of every sentence that parses to more than one logical
+  // form: the original text, with the author's rewrites substituted for
+  // the truly ambiguous sentences (same policy as Figure 5a).
+  std::vector<std::vector<lf::LogicalForm>> base_sets;
+  for (const auto& report : run.reports) {
+    if (report.base_forms >= 2 &&
+        report.status != core::SentenceStatus::kAmbiguous) {
+      base_sets.push_back(report.base_candidates);
+    }
+  }
+  std::set<std::string> replacements;
+  for (const auto& rewrite : corpus::rfc792_rewrites()) {
+    replacements.insert(rewrite.replacement);
+  }
+  for (const auto& report : revised.reports) {
+    if (replacements.count(report.sentence.text) != 0 &&
+        report.base_forms >= 2) {
+      base_sets.push_back(report.base_candidates);
+    }
+  }
+  std::printf("%zu ambiguous sentences (paper: 42)\n\n", base_sets.size());
+
+  static const disambig::CheckFamily kFamilies[] = {
+      disambig::CheckFamily::kType,
+      disambig::CheckFamily::kArgumentOrdering,
+      disambig::CheckFamily::kPredicateOrdering,
+      disambig::CheckFamily::kDistributivity,
+      disambig::CheckFamily::kAssociativity,
+  };
+
+  std::printf("%-12s %-16s %-10s %s\n", "CHECK", "avg filtered",
+              "stderr", "#sentences affected");
+  benchutil::rule();
+  for (const auto family : kFamilies) {
+    std::vector<double> removed;
+    std::size_t affected = 0;
+    for (const auto& base : base_sets) {
+      const std::size_t r =
+          sage.winnower().removed_by_family_alone(family, base);
+      removed.push_back(static_cast<double>(r));
+      if (r > 0) ++affected;
+    }
+    double mean = 0;
+    for (const double r : removed) mean += r;
+    mean /= static_cast<double>(removed.size());
+    double var = 0;
+    for (const double r : removed) var += (r - mean) * (r - mean);
+    const double stderr_ =
+        removed.size() > 1
+            ? std::sqrt(var / static_cast<double>(removed.size() - 1)) /
+                  std::sqrt(static_cast<double>(removed.size()))
+            : 0.0;
+    std::printf("%-12s %-16.2f %-10.2f %zu\n",
+                disambig::check_family_name(family).c_str(), mean, stderr_,
+                affected);
+  }
+  benchutil::rule();
+  std::printf("Shape to hold (paper): type and predicate ordering affect the\n"
+              "most sentences; argument ordering removes the most LFs.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// header_extract: the §3 "structural and non-textual elements" feature in
+// isolation — parse the ASCII-art header diagrams of all four bundled
+// RFCs and emit the C structs SAGE generates from them.
+//
+//   $ ./header_extract
+//   $ ./header_extract path/to/spec.txt
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "corpus/rfc1059.hpp"
+#include "corpus/rfc1112.hpp"
+#include "corpus/rfc5880.hpp"
+#include "corpus/rfc792.hpp"
+#include "rfc/preprocessor.hpp"
+#include "rfc/struct_gen.hpp"
+
+namespace {
+
+void extract(const std::string& title, const std::string& text) {
+  using namespace sage;
+  const auto doc = rfc::preprocess(text, title);
+  std::printf("== %s ==\n", title.c_str());
+  for (const auto& section : doc.sections) {
+    if (!section.diagram) continue;
+    std::printf("/* %s: %zu fields, %d fixed bits */\n",
+                section.title.c_str(), section.diagram->fields.size(),
+                section.diagram->fixed_bits());
+    std::printf("%s\n",
+                rfc::generate_c_struct(*section.diagram, section.title).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sage;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    extract(argv[1], buffer.str());
+    return 0;
+  }
+  extract("RFC 792 (ICMP)", corpus::rfc792_original());
+  extract("RFC 1112 (IGMP)", corpus::rfc1112_appendix_i());
+  extract("RFC 1059 (NTP)", corpus::rfc1059_appendices());
+  extract("RFC 5880 (BFD)", corpus::rfc5880_header_section());
+  return 0;
+}

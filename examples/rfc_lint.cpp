@@ -1,0 +1,86 @@
+// rfc_lint: use SAGE as a specification linter — the "spec author" side
+// of the paper's feedback loop (Figure 4).
+//
+//   $ ./rfc_lint path/to/spec.txt [PROTOCOL]
+//   $ ./rfc_lint --demo            # lint the bundled original RFC 792
+//
+// Reports, per sentence: ambiguous (rewrite needed, with the competing
+// logical forms so the author can see where the ambiguity lies — §6.5),
+// unparseable (0 LFs, with unknown words), and non-actionable.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/sage.hpp"
+#include "corpus/rfc792.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sage;
+
+  std::string text;
+  std::string protocol = "ICMP";
+  if (argc > 1 && std::strcmp(argv[1], "--demo") != 0) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+    if (argc > 2) protocol = argv[2];
+  } else {
+    text = corpus::rfc792_original();
+    std::printf("(linting the bundled original RFC 792; pass a file path to "
+                "lint your own spec)\n\n");
+  }
+
+  core::Sage sage;
+  sage.annotate_non_actionable(corpus::icmp_non_actionable_annotations());
+  const auto run = sage.process(text, protocol);
+
+  int findings = 0;
+  for (const auto& report : run.reports) {
+    switch (report.status) {
+      case core::SentenceStatus::kAmbiguous: {
+        ++findings;
+        std::printf("AMBIGUOUS (%zu readings survive winnowing):\n  \"%s\"\n",
+                    report.winnow.survivors.size(),
+                    report.sentence.text.c_str());
+        // §6.5: "comparing these LFs can guide the users where the
+        // ambiguity lies, thus guiding their revisions".
+        for (const auto& form : report.winnow.survivors) {
+          std::printf("    %s\n", form.to_string().c_str());
+        }
+        break;
+      }
+      case core::SentenceStatus::kZeroForms: {
+        ++findings;
+        std::printf("UNPARSEABLE (no logical form):\n  \"%s\"\n",
+                    report.sentence.text.c_str());
+        if (!report.unknown_tokens.empty()) {
+          std::printf("    unknown words:");
+          for (const auto& u : report.unknown_tokens) {
+            std::printf(" %s", u.c_str());
+          }
+          std::printf("\n");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (const auto& discovered : run.discovered_non_actionable) {
+    std::printf("NON-ACTIONABLE (discovered; will be tagged @AdvComment):\n"
+                "  \"%s\"\n",
+                discovered.c_str());
+  }
+
+  std::printf("\n%d finding%s across %zu sentence instances; "
+              "%zu functions generated.\n",
+              findings, findings == 1 ? "" : "s", run.reports.size(),
+              run.functions.size());
+  return findings == 0 ? 0 : 2;
+}

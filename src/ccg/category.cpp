@@ -1,0 +1,129 @@
+#include "ccg/category.hpp"
+
+#include "util/strings.hpp"
+
+namespace sage::ccg {
+
+CategoryPtr Category::primitive(std::string name) {
+  auto c = std::shared_ptr<Category>(new Category());
+  c->name_ = std::move(name);
+  return c;
+}
+
+CategoryPtr Category::complex(CategoryPtr result, Slash slash, CategoryPtr arg) {
+  auto c = std::shared_ptr<Category>(new Category());
+  c->slash_ = slash;
+  c->result_ = std::move(result);
+  c->arg_ = std::move(arg);
+  return c;
+}
+
+bool Category::equals(const Category& other) const {
+  if (slash_ != other.slash_) return false;
+  if (is_primitive()) return name_ == other.name_;
+  return result_->equals(*other.result_) && arg_->equals(*other.arg_);
+}
+
+std::string Category::to_string() const {
+  if (is_primitive()) return name_;
+  const auto wrap = [](const Category& c) {
+    return c.is_primitive() ? c.to_string() : "(" + c.to_string() + ")";
+  };
+  const char slash_char = slash_ == Slash::kForward ? '/' : '\\';
+  // The result side keeps left-associative rendering unparenthesized.
+  const std::string lhs = result_->is_primitive() ? result_->to_string()
+                                                  : "(" + result_->to_string() + ")";
+  return lhs + slash_char + wrap(*arg_);
+}
+
+namespace {
+
+/// Recursive-descent category parser (left-associative slashes).
+class CatParser {
+ public:
+  explicit CatParser(std::string_view text) : text_(text) {}
+
+  CategoryPtr parse() {
+    auto cat = parse_expr();
+    skip_ws();
+    if (pos_ != text_.size()) return nullptr;
+    return cat;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+  }
+
+  CategoryPtr parse_expr() {
+    auto left = parse_atom();
+    if (!left) return nullptr;
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size()) break;
+      const char c = text_[pos_];
+      if (c != '/' && c != '\\') break;
+      ++pos_;
+      auto right = parse_atom();
+      if (!right) return nullptr;
+      left = Category::complex(left,
+                               c == '/' ? Category::Slash::kForward
+                                        : Category::Slash::kBackward,
+                               right);
+    }
+    return left;
+  }
+
+  CategoryPtr parse_atom() {
+    skip_ws();
+    if (pos_ >= text_.size()) return nullptr;
+    if (text_[pos_] == '(') {
+      ++pos_;
+      auto inner = parse_expr();
+      skip_ws();
+      if (!inner || pos_ >= text_.size() || text_[pos_] != ')') return nullptr;
+      ++pos_;
+      return inner;
+    }
+    std::string name;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '_')) {
+      name += text_[pos_++];
+    }
+    if (name.empty()) return nullptr;
+    return Category::primitive(std::move(name));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+CategoryPtr Category::parse(std::string_view text) {
+  return CatParser(text).parse();
+}
+
+const CategoryPtr& cat_S() {
+  static const CategoryPtr c = Category::primitive("S");
+  return c;
+}
+const CategoryPtr& cat_NP() {
+  static const CategoryPtr c = Category::primitive("NP");
+  return c;
+}
+const CategoryPtr& cat_N() {
+  static const CategoryPtr c = Category::primitive("N");
+  return c;
+}
+const CategoryPtr& cat_PP() {
+  static const CategoryPtr c = Category::primitive("PP");
+  return c;
+}
+const CategoryPtr& cat_CONJ() {
+  static const CategoryPtr c = Category::primitive("CONJ");
+  return c;
+}
+
+}  // namespace sage::ccg

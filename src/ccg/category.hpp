@@ -1,0 +1,65 @@
+// CCG syntactic categories (§3 "CCG background").
+//
+// Primitive categories (S, NP, N, PP, COND, CONJ) combine into complex
+// categories with directional slashes: X/Y consumes a Y to its right and
+// produces an X; X\Y consumes a Y to its left. Example from the paper:
+// "is" has category (S\NP)/NP — combine with an NP on the right, then an
+// NP on the left, to form a sentence.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sage::ccg {
+
+class Category;
+using CategoryPtr = std::shared_ptr<const Category>;
+
+/// Immutable category tree. Cheap to copy (shared structure).
+class Category {
+ public:
+  enum class Slash { kNone, kForward, kBackward };
+
+  /// Primitive category, e.g. "S".
+  static CategoryPtr primitive(std::string name);
+
+  /// Complex category `result slash arg`.
+  static CategoryPtr complex(CategoryPtr result, Slash slash, CategoryPtr arg);
+
+  bool is_primitive() const { return slash_ == Slash::kNone; }
+  const std::string& name() const { return name_; }
+  Slash slash() const { return slash_; }
+  const CategoryPtr& result() const { return result_; }
+  const CategoryPtr& arg() const { return arg_; }
+
+  bool equals(const Category& other) const;
+
+  /// Render with minimal parentheses: "(S\NP)/NP".
+  std::string to_string() const;
+
+  /// Parse "(S\NP)/NP" style text. Slashes are left-associative:
+  /// "S\NP/NP" means "(S\NP)/NP". Returns nullptr on syntax error.
+  static CategoryPtr parse(std::string_view text);
+
+ private:
+  Category() = default;
+  std::string name_;          // primitive only
+  Slash slash_ = Slash::kNone;
+  CategoryPtr result_;        // complex only
+  CategoryPtr arg_;           // complex only
+};
+
+inline bool operator==(const Category& a, const Category& b) {
+  return a.equals(b);
+}
+
+/// Shared singletons for the common primitives.
+const CategoryPtr& cat_S();
+const CategoryPtr& cat_NP();
+const CategoryPtr& cat_N();
+const CategoryPtr& cat_PP();
+const CategoryPtr& cat_CONJ();
+
+}  // namespace sage::ccg

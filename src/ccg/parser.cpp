@@ -1,0 +1,379 @@
+#include "ccg/parser.hpp"
+
+#include <functional>
+#include <unordered_set>
+
+#include "lf/logical_form.hpp"
+
+namespace sage::ccg {
+
+namespace {
+
+/// One chart edge: a category with its (beta-normal) semantics, plus an
+/// index into the derivation arena when derivations are recorded.
+struct Edge {
+  CategoryPtr cat;
+  TermPtr sem;
+  int id = -1;
+};
+
+using Cell = std::vector<Edge>;
+
+/// Deduplication key: category + semantics rendering. Two derivations
+/// with the same category and semantics are interchangeable.
+std::string edge_key(const Edge& e) {
+  return e.cat->to_string() + " :: " + term_to_string(e.sem);
+}
+
+class Chart {
+ public:
+  Chart(std::size_t n, std::size_t cap, std::vector<DerivationNode>* arena)
+      : n_(n), cap_(cap), cells_(n * n), arena_(arena) {}
+
+  Cell& cell(std::size_t start, std::size_t span) {
+    return cells_[(span - 1) * n_ + start];
+  }
+  const Cell& cell(std::size_t start, std::size_t span) const {
+    return cells_[(span - 1) * n_ + start];
+  }
+
+  /// Insert if the cell has room and the edge is new; returns true if
+  /// added. `rule` and the child ids record provenance for derivations
+  /// (the first derivation of a deduplicated edge wins).
+  bool add(std::size_t start, std::size_t span, Edge edge,
+           std::unordered_set<std::string>& seen, std::size_t* edge_count,
+           const std::string& rule, int left = -1, int right = -1) {
+    Cell& c = cell(start, span);
+    if (c.size() >= cap_) return false;
+    std::string key =
+        std::to_string(start) + "," + std::to_string(span) + "|" + edge_key(edge);
+    if (!seen.insert(std::move(key)).second) return false;
+    if (arena_ != nullptr) {
+      arena_->push_back(DerivationNode{edge.cat->to_string(),
+                                       term_to_string(edge.sem), rule, left,
+                                       right});
+      edge.id = static_cast<int>(arena_->size()) - 1;
+    }
+    c.push_back(std::move(edge));
+    ++*edge_count;
+    return true;
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t cap_;
+  std::vector<Cell> cells_;
+  std::vector<DerivationNode>* arena_;
+};
+
+bool is_conj(const Category& c) {
+  return c.is_primitive() && c.name() == "CONJ";
+}
+
+/// Generalized coordination semantics (the Φ-rule of CCG [Steedman]).
+/// Coordinating two edges of category X yields, for primitive X,
+///   \y. @Conj(y, r)
+/// and for function categories X = (..(P|A1)|..)|An, the pointwise
+///   \y. \x1...\xn. @Conj(y(x1..xn), r(x1..xn))
+/// This is what makes the distributive reading of "A and B is C" emerge:
+/// type-raised NPs coordinate pointwise over the verb phrase, producing
+/// @And(@Is(A,C), @Is(B,C)) alongside the plain @Is(@And(A,B), C).
+TermPtr coordination_sem(const TermPtr& conj_pred, const TermPtr& right_sem,
+                         const Category& cat) {
+  std::vector<int> vars;
+  const Category* c = &cat;
+  while (!c->is_primitive()) {
+    vars.push_back(fresh_var());
+    c = c->result().get();
+  }
+  const int y = fresh_var();
+  const auto apply_chain = [&vars](TermPtr f) {
+    for (int v : vars) f = mk_app(std::move(f), mk_var(v));
+    return f;
+  };
+  TermPtr body = mk_app(mk_app(conj_pred, apply_chain(mk_var(y))),
+                        apply_chain(right_sem));
+  for (std::size_t i = vars.size(); i-- > 0;) {
+    body = mk_lam(vars[i], std::move(body));
+  }
+  return mk_lam(y, std::move(body));
+}
+
+/// S\NP — cached for the type-raising target.
+const CategoryPtr& cat_S_back_NP() {
+  static const CategoryPtr c =
+      Category::complex(cat_S(), Category::Slash::kBackward, cat_NP());
+  return c;
+}
+
+/// Copy the subtree rooted at `root` out of the shared arena into a
+/// compact, self-contained Derivation.
+Derivation extract_derivation(const std::vector<DerivationNode>& arena,
+                              int root) {
+  Derivation out;
+  const std::function<int(int)> copy = [&](int index) -> int {
+    if (index < 0 || index >= static_cast<int>(arena.size())) return -1;
+    DerivationNode node = arena[static_cast<std::size_t>(index)];
+    node.left = copy(node.left);
+    node.right = copy(node.right);
+    out.nodes.push_back(std::move(node));
+    return static_cast<int>(out.nodes.size()) - 1;
+  };
+  out.root = copy(root);
+  return out;
+}
+
+}  // namespace
+
+std::string Derivation::to_string() const {
+  std::string out;
+  const std::function<void(int, const std::string&, bool)> render =
+      [&](int index, const std::string& prefix, bool last) {
+        if (index < 0) return;
+        const DerivationNode& node = nodes[static_cast<std::size_t>(index)];
+        if (prefix.empty()) {
+          out += node.category + ": " + node.semantics + "   [" + node.rule +
+                 "]\n";
+        } else {
+          out += prefix + (last ? "`-- " : "|-- ") + node.category + ": " +
+                 node.semantics + "   [" + node.rule + "]\n";
+        }
+        const std::string child_prefix =
+            prefix.empty() ? std::string("  ")
+                           : prefix + (last ? "    " : "|   ");
+        if (node.left >= 0 && node.right >= 0) {
+          render(node.left, child_prefix, false);
+          render(node.right, child_prefix, true);
+        } else if (node.left >= 0) {
+          render(node.left, child_prefix, true);
+        }
+      };
+  render(root, "", true);
+  return out;
+}
+
+ParseResult CcgParser::parse(const std::vector<nlp::Token>& tokens) const {
+  ParseResult result;
+  const std::size_t n = tokens.size();
+  if (n == 0 || n > options_.max_tokens) return result;
+
+  std::vector<DerivationNode> arena;
+  Chart chart(n, options_.max_edges_per_cell,
+              options_.record_derivations ? &arena : nullptr);
+  std::unordered_set<std::string> seen;
+
+  // --- lexical edges -----------------------------------------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    const nlp::Token& tok = tokens[i];
+    std::vector<std::pair<Edge, std::string>> lexical;
+
+    switch (tok.kind) {
+      case nlp::TokenKind::kNounPhrase:
+        // Labeled noun phrases enter the chart as N with their surface
+        // text as semantics; the unary N->NP rule lifts them.
+        lexical.push_back({{cat_N(), mk_str(tok.lower)},
+                           "noun phrase '" + tok.text + "'"});
+        break;
+      case nlp::TokenKind::kNumber:
+        lexical.push_back({{cat_NP(), mk_num(tok.number)},
+                           "number " + tok.text});
+        break;
+      default:
+        break;
+    }
+    for (const LexEntry& entry : lexicon_->lookup(tok.lower)) {
+      lexical.push_back({{entry.category, entry.semantics},
+                         "lexicon '" + tok.text + "'"});
+    }
+    if (lexical.empty() && tok.kind != nlp::TokenKind::kPunct) {
+      result.unknown_tokens.push_back(tok.text);
+    }
+
+    for (auto& [edge, rule] : lexical) {
+      chart.add(i, 1, std::move(edge), seen, &result.chart_edges, rule);
+    }
+
+    // Unary rules on the fresh cell.
+    Cell& c = chart.cell(i, 1);
+    const std::size_t base = c.size();
+    for (std::size_t k = 0; k < base; ++k) {
+      const Edge e = c[k];  // copy: add() may reallocate the cell
+      if (e.cat->equals(*cat_N())) {
+        chart.add(i, 1, {cat_NP(), e.sem}, seen, &result.chart_edges,
+                  "N -> NP", e.id);
+      }
+    }
+    if (options_.enable_type_raising) {
+      const std::size_t base2 = chart.cell(i, 1).size();
+      for (std::size_t k = 0; k < base2; ++k) {
+        const Edge e = chart.cell(i, 1)[k];
+        if (e.cat->equals(*cat_NP())) {
+          // NP -> S/(S\NP) : \f. f(x)
+          const int f = fresh_var();
+          Edge raised{Category::complex(cat_S(), Category::Slash::kForward,
+                                        cat_S_back_NP()),
+                      mk_lam(f, mk_app(mk_var(f), e.sem))};
+          chart.add(i, 1, std::move(raised), seen, &result.chart_edges,
+                    "type raising", e.id);
+        }
+      }
+    }
+  }
+
+  // --- binary combination ------------------------------------------------
+  const auto reduce_or_drop = [](TermPtr t) { return beta_reduce(t); };
+
+  for (std::size_t span = 2; span <= n; ++span) {
+    for (std::size_t start = 0; start + span <= n; ++start) {
+      for (std::size_t left_span = 1; left_span < span; ++left_span) {
+        const Cell& left = chart.cell(start, left_span);
+        const Cell& right = chart.cell(start + left_span, span - left_span);
+        for (const Edge& l : left) {
+          for (const Edge& r : right) {
+            // Forward application: X/Y  Y  =>  X
+            if (!l.cat->is_primitive() &&
+                l.cat->slash() == Category::Slash::kForward &&
+                l.cat->arg()->equals(*r.cat)) {
+              if (TermPtr sem = reduce_or_drop(mk_app(l.sem, r.sem))) {
+                chart.add(start, span, {l.cat->result(), std::move(sem)}, seen,
+                          &result.chart_edges, "forward application", l.id,
+                          r.id);
+              }
+            }
+            // Backward application: Y  X\Y  =>  X
+            if (!r.cat->is_primitive() &&
+                r.cat->slash() == Category::Slash::kBackward &&
+                r.cat->arg()->equals(*l.cat)) {
+              if (TermPtr sem = reduce_or_drop(mk_app(r.sem, l.sem))) {
+                chart.add(start, span, {r.cat->result(), std::move(sem)}, seen,
+                          &result.chart_edges, "backward application", l.id,
+                          r.id);
+              }
+            }
+            if (options_.enable_composition) {
+              // Forward composition: X/Y  Y/Z  =>  X/Z
+              if (!l.cat->is_primitive() && !r.cat->is_primitive() &&
+                  l.cat->slash() == Category::Slash::kForward &&
+                  r.cat->slash() == Category::Slash::kForward &&
+                  l.cat->arg()->equals(*r.cat->result())) {
+                const int z = fresh_var();
+                if (TermPtr sem = reduce_or_drop(mk_lam(
+                        z, mk_app(l.sem, mk_app(r.sem, mk_var(z)))))) {
+                  chart.add(start, span,
+                            {Category::complex(l.cat->result(),
+                                               Category::Slash::kForward,
+                                               r.cat->arg()),
+                             std::move(sem)},
+                            seen, &result.chart_edges, "forward composition",
+                            l.id, r.id);
+                }
+              }
+              // Backward composition: Y\Z  X\Y  =>  X\Z
+              if (!l.cat->is_primitive() && !r.cat->is_primitive() &&
+                  l.cat->slash() == Category::Slash::kBackward &&
+                  r.cat->slash() == Category::Slash::kBackward &&
+                  r.cat->arg()->equals(*l.cat->result())) {
+                const int z = fresh_var();
+                if (TermPtr sem = reduce_or_drop(mk_lam(
+                        z, mk_app(r.sem, mk_app(l.sem, mk_var(z)))))) {
+                  chart.add(start, span,
+                            {Category::complex(r.cat->result(),
+                                               Category::Slash::kBackward,
+                                               l.cat->arg()),
+                             std::move(sem)},
+                            seen, &result.chart_edges, "backward composition",
+                            l.id, r.id);
+                }
+              }
+            }
+            // Noun compounding: N N => N ("echo reply" + "message" =>
+            // "echo reply message"). Two adjacent bare nouns concatenate;
+            // this is what lets poorly-labeled noun phrases still parse —
+            // at the cost of extra attachment ambiguity (Table 7).
+            if (l.cat->equals(*cat_N()) && r.cat->equals(*cat_N()) &&
+                l.sem->kind == Term::Kind::kStr &&
+                r.sem->kind == Term::Kind::kStr) {
+              // Both analyses the parser cannot choose between: the
+              // compound as one name, and the head-modifier relation.
+              chart.add(start, span,
+                        {cat_N(), mk_str(l.sem->name + " " + r.sem->name)},
+                        seen, &result.chart_edges, "noun compound", l.id,
+                        r.id);
+              chart.add(start, span,
+                        {cat_N(), mk_pred_app(std::string(lf::pred::kOf),
+                                              {mk_str(r.sem->name),
+                                               mk_str(l.sem->name)})},
+                        seen, &result.chart_edges, "noun compound (head)",
+                        l.id, r.id);
+            }
+            // Coordination (binarized): CONJ X => X\X with the
+            // generalized Φ semantics. The CONJ edge's semantics is the
+            // bare conjunction predicate (@And / @Or).
+            if (options_.enable_coordination && is_conj(*l.cat) &&
+                l.sem->kind == Term::Kind::kPred) {
+              if (TermPtr sem = reduce_or_drop(
+                      coordination_sem(l.sem, r.sem, *r.cat))) {
+                chart.add(start, span,
+                          {Category::complex(r.cat, Category::Slash::kBackward,
+                                             r.cat),
+                           std::move(sem)},
+                          seen, &result.chart_edges, "coordination", l.id,
+                          r.id);
+              }
+            }
+          }
+        }
+      }
+
+      // Unary rules on the completed cell (N -> NP; type-raise NP).
+      Cell& c = chart.cell(start, span);
+      const std::size_t base = c.size();
+      for (std::size_t k = 0; k < base; ++k) {
+        const Edge e = c[k];
+        if (e.cat->equals(*cat_N())) {
+          chart.add(start, span, {cat_NP(), e.sem}, seen, &result.chart_edges,
+                    "N -> NP", e.id);
+        }
+      }
+      if (options_.enable_type_raising && span < n) {
+        const std::size_t base2 = chart.cell(start, span).size();
+        for (std::size_t k = 0; k < base2; ++k) {
+          const Edge e = chart.cell(start, span)[k];
+          if (e.cat->equals(*cat_NP())) {
+            const int f = fresh_var();
+            Edge raised{Category::complex(cat_S(), Category::Slash::kForward,
+                                          cat_S_back_NP()),
+                        mk_lam(f, mk_app(mk_var(f), e.sem))};
+            chart.add(start, span, std::move(raised), seen,
+                      &result.chart_edges, "type raising", e.id);
+          }
+        }
+      }
+    }
+  }
+
+  // --- harvest full-span parses -------------------------------------------
+  std::unordered_set<std::string> seen_forms;
+  std::unordered_set<std::string> seen_fragments;
+  for (const Edge& e : chart.cell(0, n)) {
+    if (e.cat->equals(*cat_S())) {
+      if (auto form = term_to_logical_form(e.sem)) {
+        if (seen_forms.insert(form->to_string()).second) {
+          result.forms.push_back(std::move(*form));
+          if (options_.record_derivations && e.id >= 0) {
+            result.derivations.push_back(extract_derivation(arena, e.id));
+          }
+        }
+      }
+    } else if (e.cat->equals(*cat_NP()) || e.cat->equals(*cat_N())) {
+      if (auto frag = term_to_logical_form(e.sem)) {
+        if (seen_fragments.insert(frag->to_string()).second) {
+          result.fragments.push_back(std::move(*frag));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sage::ccg

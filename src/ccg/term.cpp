@@ -1,0 +1,328 @@
+#include "ccg/term.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <map>
+
+namespace sage::ccg {
+
+namespace {
+std::atomic<int> g_var_counter{1000000};
+}
+
+int fresh_var() { return g_var_counter.fetch_add(1); }
+
+TermPtr mk_var(int id) {
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kVar;
+  t->var = id;
+  return t;
+}
+
+TermPtr mk_lam(int var, TermPtr body) {
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kLam;
+  t->var = var;
+  t->a = std::move(body);
+  return t;
+}
+
+TermPtr mk_app(TermPtr fun, TermPtr arg) {
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kApp;
+  t->a = std::move(fun);
+  t->b = std::move(arg);
+  return t;
+}
+
+TermPtr mk_pred(std::string name) {
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kPred;
+  t->name = std::move(name);
+  return t;
+}
+
+TermPtr mk_str(std::string value) {
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kStr;
+  t->name = std::move(value);
+  return t;
+}
+
+TermPtr mk_num(long value) {
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kNum;
+  t->number = value;
+  return t;
+}
+
+TermPtr mk_pred_app(std::string name, std::vector<TermPtr> args) {
+  TermPtr t = mk_pred(std::move(name));
+  for (auto& a : args) t = mk_app(std::move(t), std::move(a));
+  return t;
+}
+
+namespace {
+
+/// Substitute `value` for free occurrences of `var` in `term`.
+/// Lexicon terms are closed, and combinators only ever substitute terms
+/// whose free variables are freshly generated, so variable capture cannot
+/// occur (every binder uses a globally unique id).
+TermPtr substitute(const TermPtr& term, int var, const TermPtr& value) {
+  switch (term->kind) {
+    case Term::Kind::kVar:
+      return term->var == var ? value : term;
+    case Term::Kind::kLam: {
+      if (term->var == var) return term;  // shadowed (cannot happen w/ fresh ids)
+      TermPtr body = substitute(term->a, var, value);
+      return body == term->a ? term : mk_lam(term->var, std::move(body));
+    }
+    case Term::Kind::kApp: {
+      TermPtr f = substitute(term->a, var, value);
+      TermPtr x = substitute(term->b, var, value);
+      return (f == term->a && x == term->b) ? term
+                                            : mk_app(std::move(f), std::move(x));
+    }
+    default:
+      return term;
+  }
+}
+
+/// One normal-order reduction step; nullptr when already in normal form.
+TermPtr step(const TermPtr& term) {
+  switch (term->kind) {
+    case Term::Kind::kApp: {
+      if (term->a->kind == Term::Kind::kLam) {
+        return substitute(term->a->a, term->a->var, term->b);
+      }
+      if (TermPtr f = step(term->a)) return mk_app(std::move(f), term->b);
+      if (TermPtr x = step(term->b)) return mk_app(term->a, std::move(x));
+      return nullptr;
+    }
+    case Term::Kind::kLam: {
+      if (TermPtr body = step(term->a)) return mk_lam(term->var, std::move(body));
+      return nullptr;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+TermPtr beta_reduce(const TermPtr& term, int max_steps) {
+  TermPtr current = term;
+  for (int i = 0; i < max_steps; ++i) {
+    TermPtr next = step(current);
+    if (!next) return current;
+    current = std::move(next);
+  }
+  return nullptr;  // did not normalize within the cap
+}
+
+std::string term_to_string(const TermPtr& term) {
+  if (!term) return "<null>";
+  switch (term->kind) {
+    case Term::Kind::kVar:
+      return "x" + std::to_string(term->var);
+    case Term::Kind::kLam:
+      return "\\x" + std::to_string(term->var) + "." + term_to_string(term->a);
+    case Term::Kind::kApp: {
+      // Collect the application spine for @Pred(a, b) style printing.
+      std::vector<const Term*> args;
+      const Term* head = term.get();
+      while (head->kind == Term::Kind::kApp) {
+        args.push_back(head->b.get());
+        head = head->a.get();
+      }
+      std::string out;
+      if (head->kind == Term::Kind::kPred) {
+        out = head->name;
+      } else {
+        out = term_to_string(std::make_shared<Term>(*head));
+      }
+      out += "(";
+      for (std::size_t i = args.size(); i-- > 0;) {
+        out += term_to_string(std::make_shared<Term>(*args[i]));
+        if (i != 0) out += ", ";
+      }
+      out += ")";
+      return out;
+    }
+    case Term::Kind::kPred:
+      return term->name;
+    case Term::Kind::kStr:
+      return "\"" + term->name + "\"";
+    case Term::Kind::kNum:
+      return std::to_string(term->number);
+  }
+  return "?";
+}
+
+std::optional<lf::LogicalForm> term_to_logical_form(const TermPtr& term) {
+  if (!term) return std::nullopt;
+  switch (term->kind) {
+    case Term::Kind::kStr:
+      return lf::LfNode::str(term->name);
+    case Term::Kind::kNum:
+      return lf::LfNode::num(term->number);
+    case Term::Kind::kPred:
+      return lf::LfNode::predicate(term->name);
+    case Term::Kind::kApp: {
+      std::vector<const Term*> spine;
+      const Term* head = term.get();
+      while (head->kind == Term::Kind::kApp) {
+        spine.push_back(head->b.get());
+        head = head->a.get();
+      }
+      if (head->kind != Term::Kind::kPred) return std::nullopt;
+      std::vector<lf::LfNode> args;
+      args.reserve(spine.size());
+      for (std::size_t i = spine.size(); i-- > 0;) {
+        auto arg = term_to_logical_form(std::make_shared<Term>(*spine[i]));
+        if (!arg) return std::nullopt;
+        args.push_back(std::move(*arg));
+      }
+      return lf::LfNode::predicate(head->name, std::move(args));
+    }
+    case Term::Kind::kVar:
+    case Term::Kind::kLam:
+      return std::nullopt;  // not a ground logical form
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Parser for the lexicon's term syntax.
+class TermParser {
+ public:
+  explicit TermParser(std::string_view text) : text_(text) {}
+
+  TermPtr parse() {
+    TermPtr t = parse_term();
+    skip_ws();
+    if (t && pos_ != text_.size()) return nullptr;
+    return t;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  TermPtr parse_term() {
+    skip_ws();
+    if (pos_ >= text_.size()) return nullptr;
+    const char c = text_[pos_];
+    if (c == '\\') return parse_lambda();
+    return parse_applied();
+  }
+
+  TermPtr parse_lambda() {
+    ++pos_;  // backslash
+    std::string name = parse_ident();
+    if (name.empty() || !eat('.')) return nullptr;
+    const int id = fresh_var();
+    vars_[name] = id;
+    TermPtr body = parse_term();
+    vars_.erase(name);
+    if (!body) return nullptr;
+    return mk_lam(id, std::move(body));
+  }
+
+  /// atom optionally followed by (arg, arg, ...) application lists.
+  TermPtr parse_applied() {
+    TermPtr head = parse_atom();
+    if (!head) return nullptr;
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '(') break;
+      ++pos_;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ')') {
+        ++pos_;
+        continue;  // nullary application: just the head
+      }
+      while (true) {
+        TermPtr arg = parse_term();
+        if (!arg) return nullptr;
+        head = mk_app(std::move(head), std::move(arg));
+        if (eat(')')) break;
+        if (!eat(',')) return nullptr;
+      }
+    }
+    return head;
+  }
+
+  TermPtr parse_atom() {
+    skip_ws();
+    if (pos_ >= text_.size()) return nullptr;
+    const char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string value;
+      while (pos_ < text_.size() && text_[pos_] != '"') value += text_[pos_++];
+      if (pos_ >= text_.size()) return nullptr;
+      ++pos_;
+      return mk_str(std::move(value));
+    }
+    if (c == '@') {
+      ++pos_;
+      std::string name = parse_ident();
+      if (name.empty()) return nullptr;
+      return mk_pred("@" + name);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-') {
+      std::string digits;
+      if (c == '-') {
+        digits += c;
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        digits += text_[pos_++];
+      }
+      if (digits.empty() || digits == "-") return nullptr;
+      return mk_num(std::stol(digits));
+    }
+    const std::string name = parse_ident();
+    if (name.empty()) return nullptr;
+    const auto it = vars_.find(name);
+    if (it == vars_.end()) return nullptr;  // unbound variable
+    return mk_var(it->second);
+  }
+
+  std::string parse_ident() {
+    skip_ws();
+    std::string out;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '_')) {
+      out += text_[pos_++];
+    }
+    return out;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::map<std::string, int> vars_;
+};
+
+}  // namespace
+
+TermPtr parse_term(std::string_view text) { return TermParser(text).parse(); }
+
+}  // namespace sage::ccg

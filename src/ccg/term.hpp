@@ -1,0 +1,74 @@
+// Lambda-calculus semantic terms (§3).
+//
+// CCG couples every syntactic category with a semantics written as a
+// lambda expression, e.g.  is => (S\NP)/NP : \x.\y.@Is(y,x).
+// Combinators apply/compose these terms; after a full parse the sentence
+// term β-reduces to a ground tree of predicates — the logical form.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lf/logical_form.hpp"
+
+namespace sage::ccg {
+
+struct Term;
+using TermPtr = std::shared_ptr<const Term>;
+
+/// Immutable lambda term. Shared substructure; never mutated after build.
+struct Term {
+  enum class Kind : std::uint8_t {
+    kVar,   // bound variable (id)
+    kLam,   // \v. body
+    kApp,   // fun arg
+    kPred,  // predicate constant, e.g. "@Is"
+    kStr,   // string literal
+    kNum,   // numeric literal
+  };
+
+  Kind kind = Kind::kVar;
+  int var = 0;        // kVar, kLam
+  std::string name;   // kPred, kStr
+  long number = 0;    // kNum
+  TermPtr a;          // kLam: body; kApp: function
+  TermPtr b;          // kApp: argument
+};
+
+TermPtr mk_var(int id);
+TermPtr mk_lam(int var, TermPtr body);
+TermPtr mk_app(TermPtr fun, TermPtr arg);
+TermPtr mk_pred(std::string name);
+TermPtr mk_str(std::string value);
+TermPtr mk_num(long value);
+
+/// Fresh variable id (process-wide counter).
+int fresh_var();
+
+/// Build @Pred(arg1, ..., argN) as an application spine.
+TermPtr mk_pred_app(std::string name, std::vector<TermPtr> args);
+
+/// Full normal-order β-reduction with a step cap (malformed combinations
+/// could otherwise loop). Returns nullptr if the cap is exceeded.
+TermPtr beta_reduce(const TermPtr& term, int max_steps = 4096);
+
+/// Render for diagnostics: "\x1.@Is(x1, @Num(0))".
+std::string term_to_string(const TermPtr& term);
+
+/// Convert a fully reduced, closed term into a logical form. Fails
+/// (nullopt) if lambdas/variables remain or an application head is not a
+/// predicate — such parses are discarded (they are CCG artifacts).
+std::optional<lf::LogicalForm> term_to_logical_form(const TermPtr& term);
+
+/// Parse the lexicon surface syntax:
+///   \x.\y.@Is(y, x)        lambdas and predicate application
+///   @Action("compute", x)  string literals
+///   f(x)                   applying a bound variable
+///   16                     numeric literal
+/// Returns nullptr on syntax errors.
+TermPtr parse_term(std::string_view text);
+
+}  // namespace sage::ccg

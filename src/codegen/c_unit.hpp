@@ -1,0 +1,28 @@
+// Self-contained C compilation units (§5.1's static framework, C side).
+//
+// The paper's generated code is C that links against a static framework.
+// Besides the executable IR (which the simulator runs), this module
+// renders a complete, compilable C translation unit: the framework's
+// struct/function declarations, the scenario constants the generated
+// guards reference, and every generated function. The test suite feeds
+// the result to the system C compiler — the generated code is real C,
+// not pseudo-code.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "codegen/ir.hpp"
+
+namespace sage::codegen {
+
+/// The static-framework C header: `struct packet` (with ip/icmp/igmp/
+/// udp/ntp/bfd layers), framework function declarations, and the
+/// `scenario` variable.
+std::string c_framework_header();
+
+/// A full translation unit: framework header + scenario constants used
+/// by `functions` + the functions themselves.
+std::string emit_compilation_unit(std::span<const GeneratedFunction> functions);
+
+}  // namespace sage::codegen

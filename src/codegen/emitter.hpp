@@ -1,0 +1,23 @@
+// C source emitter: renders the IR as the C code SAGE would hand to a
+// developer (Table 4's CODE row: `hdr->type = 3;`).
+#pragma once
+
+#include <string>
+
+#include "codegen/ir.hpp"
+
+namespace sage::codegen {
+
+/// Render an expression ("in->icmp.identifier", "ones_complement_sum(...)").
+std::string emit_expr(const Expr& expr);
+
+/// Render a condition ("in->icmp.code == 0").
+std::string emit_cond(const Cond& cond);
+
+/// Render a statement (tree) with `indent` leading spaces per level.
+std::string emit_stmt(const Stmt& stmt, int indent = 0);
+
+/// Render a full generated function: signature + body.
+std::string emit_function(const GeneratedFunction& fn);
+
+}  // namespace sage::codegen

@@ -1,0 +1,824 @@
+#include "codegen/handlers.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace sage::codegen {
+
+namespace {
+
+using lf::LfNode;
+
+/// Pseudo-labels for leaves.
+std::string node_key(const LfNode& node) {
+  switch (node.kind) {
+    case LfNode::Kind::kPredicate:
+      return node.label;
+    case LfNode::Kind::kString:
+      return "$str";
+    case LfNode::Kind::kNumber:
+      return "$num";
+  }
+  return "?";
+}
+
+/// The surface phrase of a nominal node ("source address", or the joined
+/// phrase of an @Of chain like "address of the source" -> handled by the
+/// of-expr handler instead).
+std::optional<std::string> leaf_phrase(const LfNode& n) {
+  if (n.is_string()) return n.label;
+  return std::nullopt;
+}
+
+/// BFD/NTP symbolic values ("Up", "Down", "Init", "AdminDown", "symmetric
+/// mode", ...) that are values rather than fields.
+bool is_symbolic_value(const std::string& phrase) {
+  static const std::vector<std::string> kValues = {
+      "up",        "down",  "init",          "admindown",
+      "adminDown", "zero",  "symmetric mode", "client mode",
+      "active",    "passive"};
+  const std::string lower = util::to_lower(phrase);
+  return std::find(kValues.begin(), kValues.end(), lower) != kValues.end();
+}
+
+Handler make(std::string name, std::string predicate, OutKind produces,
+             std::string source,
+             std::function<std::optional<HandlerOutput>(LfConverter&,
+                                                        const LfNode&)>
+                 fn) {
+  Handler h;
+  h.name = std::move(name);
+  h.predicate = std::move(predicate);
+  h.produces = produces;
+  h.source = std::move(source);
+  h.fn = std::move(fn);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Statement handlers
+// ---------------------------------------------------------------------------
+
+/// @Is(field, value) -> target = value. Table 4's example:
+/// @Is('type', '3') + {field: Type, message: Destination Unreachable}
+/// -> hdr->type = 3;
+std::string flatten_strings(const LfNode& n) {
+  std::string flat;
+  const std::function<void(const LfNode&)> render = [&](const LfNode& m) {
+    if (m.is_string()) {
+      if (!flat.empty()) flat += ' ';
+      flat += util::to_lower(m.label);
+    }
+    for (const auto& a : m.args) render(a);
+  };
+  render(n);
+  return flat;
+}
+
+std::optional<HandlerOutput> is_assign(LfConverter& conv, const LfNode& n) {
+  if (n.args.size() != 2) return std::nullopt;
+
+  // The address idiom of RFC 792's echo section (Table 7's sentence):
+  // "The address of the source in an echo message will be the
+  // destination of the echo reply message" — the reply's destination is
+  // the request's source.
+  {
+    const std::string lhs = flatten_strings(n.args[0]);
+    const std::string rhs = flatten_strings(n.args[1]);
+    const std::string both = lhs + " | " + rhs;
+    const bool mentions_source = both.find("source") != std::string::npos;
+    const bool mentions_destination =
+        both.find("destination") != std::string::npos;
+    const bool mentions_address = both.find("address") != std::string::npos;
+    const bool mentions_reply = both.find("reply") != std::string::npos;
+    if (mentions_source && mentions_destination && mentions_address &&
+        mentions_reply) {
+      return HandlerOutput::of(Stmt::assign(
+          FieldRef{"ip", "dst"},
+          Expr::field_read(FieldRef{"ip", "src"}, PacketSel::kIncoming)));
+    }
+  }
+
+  const auto phrase = leaf_phrase(n.args[0]);
+  if (!phrase) return std::nullopt;
+  const auto target = conv.context().resolve_field(*phrase);
+  if (!target) {
+    conv.report("cannot resolve field '" + *phrase + "'");
+    return std::nullopt;
+  }
+  const auto value = conv.to_expr(n.args[1]);
+  if (!value) return std::nullopt;
+  // "The checksum is the 16-bit one's complement of the one's complement
+  // sum of the ICMP message ..." compiles to the framework's deferred
+  // checksum routine: it must run over the finished message, after the
+  // variable-length data is in place.
+  if (target->field == "checksum" && value->kind == Expr::Kind::kCall &&
+      util::starts_with(value->name, "ones_complement")) {
+    return HandlerOutput::of(Stmt::call("compute_checksum"));
+  }
+  return HandlerOutput::of(Stmt::assign(*target, *value));
+}
+
+/// @Is(@And(f1, f2), value) -> both fields assigned ("the identifier and
+/// the sequence number are the values from the echo message").
+std::optional<HandlerOutput> is_assign_compound(LfConverter& conv,
+                                                const LfNode& n) {
+  if (n.args.size() != 2 || !n.args[0].is_predicate(lf::pred::kAnd)) {
+    return std::nullopt;
+  }
+  std::vector<Stmt> assigns;
+  for (const auto& part : n.args[0].args) {
+    const auto phrase = leaf_phrase(part);
+    if (!phrase) return std::nullopt;
+    const auto target = conv.context().resolve_field(*phrase);
+    if (!target) {
+      conv.report("cannot resolve field '" + *phrase + "'");
+      return std::nullopt;
+    }
+    // Distribute the right-hand side over the conjoined targets; a
+    // value described as "from the <message>" copies the same-named
+    // field of the incoming packet.
+    auto value = conv.to_expr(n.args[1]);
+    if (!value) return std::nullopt;
+    if (value->kind == Expr::Kind::kCall && value->name == "copy_field") {
+      value->args = {Expr::field_read(*target, PacketSel::kIncoming)};
+    }
+    assigns.push_back(Stmt::assign(*target, std::move(*value)));
+  }
+  return HandlerOutput::of(Stmt::seq(std::move(assigns)));
+}
+
+/// A bare numeric logical form under a field description assigns the
+/// value to the described field (the "Type / 3" idiom of RFC 792).
+std::optional<HandlerOutput> num_field_default(LfConverter& conv,
+                                               const LfNode& n) {
+  if (!n.is_number()) return std::nullopt;
+  const auto target = conv.context().resolve_field("");
+  if (!target) return std::nullopt;
+  return HandlerOutput::of(Stmt::assign(*target, Expr::constant(n.number)));
+}
+
+/// @If(cond, body) -> if statement.
+std::optional<HandlerOutput> if_stmt(LfConverter& conv, const LfNode& n) {
+  if (n.args.size() != 2) return std::nullopt;
+  const auto cond = conv.to_cond(n.args[0]);
+  if (!cond) return std::nullopt;
+  const auto body = conv.to_stmt(n.args[1]);
+  if (!body) return std::nullopt;
+  return HandlerOutput::of(Stmt::if_then(*cond, {*body}));
+}
+
+/// @And(s1, s2) at statement level -> sequence.
+std::optional<HandlerOutput> and_seq(LfConverter& conv, const LfNode& n) {
+  std::vector<Stmt> body;
+  for (const auto& part : n.args) {
+    const auto s = conv.to_stmt(part);
+    if (!s) return std::nullopt;
+    body.push_back(*s);
+  }
+  return HandlerOutput::of(Stmt::seq(std::move(body)));
+}
+
+/// @Action("copy", target[, source]) -> read from the incoming packet,
+/// write the outgoing one.
+std::optional<HandlerOutput> action_copy(LfConverter& conv, const LfNode& n) {
+  if (n.args.empty() || !n.args[0].is_string() || n.args[0].label != "copy") {
+    return std::nullopt;
+  }
+  if (n.args.size() < 2) return std::nullopt;
+  const auto phrase = leaf_phrase(n.args[1]);
+  if (!phrase) return std::nullopt;
+  // "copy" may target a conjunction of fields.
+  std::vector<std::string> phrases = {*phrase};
+  if (n.args[1].is_predicate(lf::pred::kAnd)) {
+    phrases.clear();
+    for (const auto& part : n.args[1].args) {
+      const auto p = leaf_phrase(part);
+      if (!p) return std::nullopt;
+      phrases.push_back(*p);
+    }
+  }
+  std::vector<Stmt> body;
+  for (const auto& p : phrases) {
+    const auto target = conv.context().resolve_field(p);
+    if (!target) {
+      conv.report("cannot resolve field '" + p + "'");
+      return std::nullopt;
+    }
+    body.push_back(Stmt::assign(
+        *target, Expr::field_read(*target, PacketSel::kIncoming)));
+  }
+  return HandlerOutput::of(body.size() == 1 ? body[0]
+                                            : Stmt::seq(std::move(body)));
+}
+
+/// @Action("reverse", addresses) -> framework reverse_addresses().
+std::optional<HandlerOutput> action_reverse(LfConverter& conv,
+                                            const LfNode& n) {
+  if (n.args.empty() || !n.args[0].is_string() ||
+      n.args[0].label != "reverse") {
+    return std::nullopt;
+  }
+  (void)conv;
+  return HandlerOutput::of(Stmt::call("reverse_addresses"));
+}
+
+/// @Action("recompute", checksum) -> framework recompute_checksum().
+std::optional<HandlerOutput> action_recompute(LfConverter& conv,
+                                              const LfNode& n) {
+  if (n.args.empty() || !n.args[0].is_string() ||
+      n.args[0].label != "recompute") {
+    return std::nullopt;
+  }
+  (void)conv;
+  return HandlerOutput::of(Stmt::call("recompute_checksum"));
+}
+
+/// Generic @Action(fn, args...) -> framework call.
+std::optional<HandlerOutput> action_call(LfConverter& conv, const LfNode& n) {
+  if (n.args.empty() || !n.args[0].is_string()) return std::nullopt;
+  const auto fn = conv.context().resolve_function(n.args[0].label);
+  if (!fn) {
+    conv.report("unknown framework function '" + n.args[0].label + "'");
+    return std::nullopt;
+  }
+  std::vector<Expr> args;
+  for (std::size_t i = 1; i < n.args.size(); ++i) {
+    const auto e = conv.to_expr(n.args[i]);
+    if (!e) return std::nullopt;
+    args.push_back(*e);
+  }
+  return HandlerOutput::of(Stmt::call(*fn, std::move(args)));
+}
+
+/// @Compute(x) -> checksum computation over the message.
+std::optional<HandlerOutput> compute_stmt(LfConverter& conv, const LfNode& n) {
+  (void)conv;
+  (void)n;
+  return HandlerOutput::of(Stmt::call("compute_checksum"));
+}
+
+/// @May(body): permitted behavior. It binds the *sender* — the §6.5
+/// under-specification: "a sender may generate a non-zero identifier,
+/// and the receiver should set the identifier to be zero in the reply"
+/// was the buggy reading; the corrected spec scopes @May to the sender.
+std::optional<HandlerOutput> may_stmt(LfConverter& conv, const LfNode& n) {
+  if (n.args.size() != 1) return std::nullopt;
+  if (conv.context().dynamic().role == "receiver") {
+    return HandlerOutput::of(
+        Stmt::comment("permitted for sender only: not generated here"));
+  }
+  const auto body = conv.to_stmt(n.args[0]);
+  if (!body) return std::nullopt;
+  return HandlerOutput::of(*body);
+}
+
+/// @Must(body): mandatory behavior; generated unconditionally.
+std::optional<HandlerOutput> must_stmt(LfConverter& conv, const LfNode& n) {
+  if (n.args.size() != 1) return std::nullopt;
+  const auto body = conv.to_stmt(n.args[0]);
+  if (!body) return std::nullopt;
+  return HandlerOutput::of(*body);
+}
+
+/// @AdvBefore(advice, main): the advice statement must execute before
+/// the main computation (Figure 2's "For computing the checksum, the
+/// checksum should be zero"). The converter emits advice first; the
+/// generator additionally hoists it before the checksum call.
+std::optional<HandlerOutput> advbefore_stmt(LfConverter& conv,
+                                            const LfNode& n) {
+  if (n.args.size() != 2) return std::nullopt;
+  const auto main_clause = conv.to_stmt(n.args[1]);
+  if (!main_clause) return std::nullopt;
+  return HandlerOutput::of(*main_clause);
+}
+
+/// @AdvComment(...): non-actionable text — kept as a comment.
+std::optional<HandlerOutput> advcomment_stmt(LfConverter& conv,
+                                             const LfNode& n) {
+  (void)conv;
+  std::string text = "non-actionable";
+  if (!n.args.empty() && n.args[0].is_string()) text = n.args[0].label;
+  return HandlerOutput::of(Stmt::comment(std::move(text)));
+}
+
+/// @Case(value, name): the "0 = net unreachable" idiom (§3). The field
+/// being described takes the value when the named scenario applies; the
+/// static framework supplies the current scenario at run time (the event
+/// that triggered the message — net unreachable vs port unreachable,
+/// echo vs echo reply).
+std::optional<HandlerOutput> case_stmt(LfConverter& conv, const LfNode& n) {
+  if (n.args.size() != 2 || !n.args[0].is_number()) return std::nullopt;
+  const std::string name =
+      n.args[1].is_string() ? n.args[1].label : n.args[1].to_string();
+  const auto target = conv.context().resolve_field("");
+  if (!target) {
+    return HandlerOutput::of(Stmt::comment(
+        "case " + std::to_string(n.args[0].number) + " = " + name));
+  }
+  Cond cond = Cond::compare(Expr::symbol("scenario"), CmpOp::kEq,
+                            Expr::symbol(util::to_lower(name)));
+  Stmt assign = Stmt::assign(*target, Expr::constant(n.args[0].number));
+  return HandlerOutput::of(Stmt::if_then(std::move(cond), {std::move(assign)}));
+}
+
+/// @When(scenario, body): "In a host membership query message, the group
+/// address field is zero" — the body applies when the named message
+/// variant is being formed. The static framework supplies the current
+/// scenario, exactly as for @Case.
+std::optional<HandlerOutput> when_stmt(LfConverter& conv, const LfNode& n) {
+  if (n.args.size() != 2 || !n.args[0].is_string()) return std::nullopt;
+  const auto body = conv.to_stmt(n.args[1]);
+  if (!body) return std::nullopt;
+  Cond cond = Cond::compare(Expr::symbol("scenario"), CmpOp::kEq,
+                            Expr::symbol(util::to_lower(n.args[0].label)));
+  return HandlerOutput::of(Stmt::if_then(std::move(cond), {*body}));
+}
+
+/// @Send(message[, destination]) -> framework send.
+std::optional<HandlerOutput> send_stmt(LfConverter& conv, const LfNode& n) {
+  std::vector<Expr> args;
+  for (const auto& a : n.args) {
+    if (a.is_string()) {
+      args.push_back(Expr::symbol(a.label));
+    } else {
+      const auto e = conv.to_expr(a);
+      if (!e) return std::nullopt;
+      args.push_back(*e);
+    }
+  }
+  return HandlerOutput::of(Stmt::call("send_message", std::move(args)));
+}
+
+/// @Discard(packet) -> framework discard.
+std::optional<HandlerOutput> discard_stmt(LfConverter& conv, const LfNode& n) {
+  (void)conv;
+  (void)n;
+  return HandlerOutput::of(Stmt::call("discard_packet"));
+}
+
+// ---------------------------------------------------------------------------
+// Expression handlers
+// ---------------------------------------------------------------------------
+
+std::optional<HandlerOutput> num_expr(LfConverter& conv, const LfNode& n) {
+  (void)conv;
+  if (!n.is_number()) return std::nullopt;
+  return HandlerOutput::of(Expr::constant(n.number));
+}
+
+/// String leaf as a value: a field read (incoming packet), a symbolic
+/// state value (BFD "Up"), or a framework value function.
+std::optional<HandlerOutput> str_value_expr(LfConverter& conv,
+                                            const LfNode& n) {
+  if (!n.is_string()) return std::nullopt;
+  if (is_symbolic_value(n.label)) {
+    return HandlerOutput::of(Expr::symbol(util::to_lower(n.label)));
+  }
+  if (const auto field = conv.context().resolve_field(n.label)) {
+    return HandlerOutput::of(
+        Expr::field_read(*field, PacketSel::kIncoming));
+  }
+  if (const auto fn = conv.context().resolve_function(n.label)) {
+    return HandlerOutput::of(Expr::call(*fn));
+  }
+  // "the values from the echo message" style references: a copy marker
+  // that the assignment handler retargets to the assigned field.
+  const std::string lower = util::to_lower(n.label);
+  if (lower.find("message") != std::string::npos ||
+      lower.find("request") != std::string::npos) {
+    return HandlerOutput::of(Expr::call("copy_field"));
+  }
+  conv.report("cannot resolve value '" + n.label + "'");
+  return std::nullopt;
+}
+
+/// @Of(a, b) as a value. Three idioms, tried in order:
+///   * function-of: "one's complement sum of the ICMP message"
+///     -> ones_complement_sum(icmp_message)
+///   * excerpt idiom: "internet header ... 64 bits ... original
+///     datagram" -> original_datagram_excerpt()
+///   * field path: "address of the gateway" -> gateway field read.
+std::optional<HandlerOutput> of_expr(LfConverter& conv, const LfNode& n) {
+  if (n.args.size() != 2) return std::nullopt;
+
+  // Render the whole chain as a phrase for idiom detection.
+  std::string flat;
+  const std::function<void(const LfNode&)> render = [&](const LfNode& m) {
+    if (m.is_string()) {
+      if (!flat.empty()) flat += ' ';
+      flat += util::to_lower(m.label);
+    }
+    for (const auto& a : m.args) render(a);
+  };
+  render(n);
+
+  if (flat.find("internet header") != std::string::npos &&
+      (flat.find("64 bits") != std::string::npos ||
+       flat.find("original") != std::string::npos)) {
+    return HandlerOutput::of(Expr::call("original_datagram_excerpt"));
+  }
+  // "The source network and address from the original datagram's data":
+  // error messages are addressed back to the original sender.
+  if (flat.find("source") != std::string::npos &&
+      flat.find("original datagram") != std::string::npos) {
+    return HandlerOutput::of(
+        Expr::field_read(FieldRef{"ip", "src"}, PacketSel::kIncoming));
+  }
+
+  const auto head = leaf_phrase(n.args[0]);
+  if (head) {
+    if (const auto fn = conv.context().resolve_function(*head)) {
+      // Framework value function; the possessor becomes its argument
+      // when it itself resolves ("one's complement sum of the ICMP
+      // message"), and is absorbed otherwise ("the octet of the error").
+      if (const auto arg = conv.to_expr(n.args[1])) {
+        return HandlerOutput::of(Expr::call(*fn, {*arg}));
+      }
+      return HandlerOutput::of(Expr::call(*fn));
+    }
+    // "address of the source" -> the source address field.
+    if (n.args[1].is_string()) {
+      const std::string path = n.args[1].label + " " + *head;
+      if (const auto field = conv.context().resolve_field(path)) {
+        return HandlerOutput::of(
+            Expr::field_read(*field, PacketSel::kIncoming));
+      }
+    }
+    if (const auto field = conv.context().resolve_field(*head)) {
+      return HandlerOutput::of(Expr::field_read(*field, PacketSel::kIncoming));
+    }
+  }
+  conv.report("cannot resolve @Of value '" + n.to_string() + "'");
+  return std::nullopt;
+}
+
+/// @And as a value — the excerpt idiom: "the internet header plus the
+/// first 64 bits of the original datagram's data" parses as a nominal
+/// conjunction; the static framework provides the excerpt as one unit.
+std::optional<HandlerOutput> and_excerpt_expr(LfConverter& conv,
+                                              const LfNode& n) {
+  std::string flat;
+  const std::function<void(const LfNode&)> render = [&](const LfNode& m) {
+    if (m.is_string()) {
+      if (!flat.empty()) flat += ' ';
+      flat += util::to_lower(m.label);
+    }
+    for (const auto& a : m.args) render(a);
+  };
+  render(n);
+  if (flat.find("internet header") != std::string::npos &&
+      (flat.find("64 bits") != std::string::npos ||
+       flat.find("original") != std::string::npos)) {
+    return HandlerOutput::of(Expr::call("original_datagram_excerpt"));
+  }
+  (void)conv;
+  return std::nullopt;
+}
+
+/// @Action / @Compute as a value: "the 16-bit one's complement of X".
+std::optional<HandlerOutput> action_expr(LfConverter& conv, const LfNode& n) {
+  if (n.args.empty() || !n.args[0].is_string()) return std::nullopt;
+  const auto fn = conv.context().resolve_function(n.args[0].label);
+  if (!fn) return std::nullopt;
+  std::vector<Expr> args;
+  for (std::size_t i = 1; i < n.args.size(); ++i) {
+    const auto e = conv.to_expr(n.args[i]);
+    if (!e) return std::nullopt;
+    args.push_back(*e);
+  }
+  return HandlerOutput::of(Expr::call(*fn, std::move(args)));
+}
+
+// ---------------------------------------------------------------------------
+// Condition handlers
+// ---------------------------------------------------------------------------
+
+/// @Is(a, b) in condition position -> equality test.
+std::optional<HandlerOutput> is_cond(LfConverter& conv, const LfNode& n) {
+  if (n.args.size() != 2) return std::nullopt;
+  std::optional<Expr> lhs;
+  if (const auto phrase = leaf_phrase(n.args[0])) {
+    if (const auto field = conv.context().resolve_field(*phrase)) {
+      lhs = Expr::field_read(*field, PacketSel::kIncoming);
+    } else if (is_symbolic_value(*phrase)) {
+      lhs = Expr::symbol(util::to_lower(*phrase));
+    }
+  }
+  if (!lhs) lhs = conv.to_expr(n.args[0]);
+  if (!lhs) return std::nullopt;
+  const auto rhs = conv.to_expr(n.args[1]);
+  if (!rhs) return std::nullopt;
+  return HandlerOutput::of(Cond::compare(*lhs, CmpOp::kEq, *rhs));
+}
+
+/// @Nonzero(field) -> field != 0.
+std::optional<HandlerOutput> nonzero_cond(LfConverter& conv, const LfNode& n) {
+  if (n.args.size() != 1) return std::nullopt;
+  const auto e = conv.to_expr(n.args[0]);
+  if (!e) return std::nullopt;
+  return HandlerOutput::of(Cond::compare(*e, CmpOp::kNe, Expr::constant(0)));
+}
+
+std::optional<HandlerOutput> and_cond(LfConverter& conv, const LfNode& n) {
+  std::vector<Cond> children;
+  for (const auto& part : n.args) {
+    const auto c = conv.to_cond(part);
+    if (!c) return std::nullopt;
+    children.push_back(*c);
+  }
+  return HandlerOutput::of(Cond::conj(std::move(children)));
+}
+
+std::optional<HandlerOutput> or_cond(LfConverter& conv, const LfNode& n) {
+  std::vector<Cond> children;
+  for (const auto& part : n.args) {
+    const auto c = conv.to_cond(part);
+    if (!c) return std::nullopt;
+    children.push_back(*c);
+  }
+  return HandlerOutput::of(Cond::disj(std::move(children)));
+}
+
+// ---------------------------------------------------------------------------
+// IGMP additions (§6.3: 4 extra handlers)
+// ---------------------------------------------------------------------------
+
+std::optional<HandlerOutput> in_expr(LfConverter& conv, const LfNode& n) {
+  if (n.args.size() != 2) return std::nullopt;
+  // "@In(a, b)": a located in b — resolve the head like @Of.
+  if (const auto phrase = leaf_phrase(n.args[0])) {
+    if (const auto field = conv.context().resolve_field(*phrase)) {
+      return HandlerOutput::of(Expr::field_read(*field, PacketSel::kIncoming));
+    }
+  }
+  conv.report("cannot resolve @In value '" + n.to_string() + "'");
+  return std::nullopt;
+}
+
+std::optional<HandlerOutput> not_cond(LfConverter& conv, const LfNode& n) {
+  if (n.args.size() != 1) return std::nullopt;
+  const auto inner = conv.to_cond(n.args[0]);
+  if (!inner) return std::nullopt;
+  return HandlerOutput::of(Cond::negate(*inner));
+}
+
+std::optional<HandlerOutput> greater_cond(LfConverter& conv, const LfNode& n) {
+  if (n.args.size() != 2) return std::nullopt;
+  const auto lhs = conv.to_expr(n.args[0]);
+  const auto rhs = conv.to_expr(n.args[1]);
+  if (!lhs || !rhs) return std::nullopt;
+  return HandlerOutput::of(Cond::compare(*lhs, CmpOp::kGt, *rhs));
+}
+
+std::optional<HandlerOutput> less_cond(LfConverter& conv, const LfNode& n) {
+  if (n.args.size() != 2) return std::nullopt;
+  const auto lhs = conv.to_expr(n.args[0]);
+  const auto rhs = conv.to_expr(n.args[1]);
+  if (!lhs || !rhs) return std::nullopt;
+  return HandlerOutput::of(Cond::compare(*lhs, CmpOp::kLt, *rhs));
+}
+
+// ---------------------------------------------------------------------------
+// BFD additions (§6.4: 8 extra handlers for state management)
+// ---------------------------------------------------------------------------
+
+/// @Select(session[, key]) -> framework select_session.
+std::optional<HandlerOutput> select_stmt(LfConverter& conv, const LfNode& n) {
+  std::vector<Expr> args;
+  if (!n.args.empty()) {
+    if (n.args.size() > 1) {
+      const auto key = conv.to_expr(n.args[1]);
+      if (key) args.push_back(*key);
+    }
+  }
+  return HandlerOutput::of(Stmt::call("select_session", std::move(args)));
+}
+
+/// @Cease(activity) -> framework cease_transmission.
+std::optional<HandlerOutput> cease_stmt(LfConverter& conv, const LfNode& n) {
+  (void)conv;
+  (void)n;
+  return HandlerOutput::of(Stmt::call("cease_transmission"));
+}
+
+/// bfd.* variable assignment with a symbolic state value:
+/// "bfd.SessionState is Up" -> state variable write.
+std::optional<HandlerOutput> bfd_var_assign(LfConverter& conv,
+                                            const LfNode& n) {
+  if (n.args.size() != 2 || !n.args[0].is_string()) return std::nullopt;
+  if (util::to_lower(n.args[0].label).find("bfd.") != 0) return std::nullopt;
+  const auto target = conv.context().resolve_field(n.args[0].label);
+  if (!target) {
+    conv.report("unknown BFD state variable '" + n.args[0].label + "'");
+    return std::nullopt;
+  }
+  const auto value = conv.to_expr(n.args[1]);
+  if (!value) return std::nullopt;
+  return HandlerOutput::of(Stmt::assign(*target, *value));
+}
+
+/// Symbolic BFD state values as expressions.
+std::optional<HandlerOutput> state_value_expr(LfConverter& conv,
+                                              const LfNode& n) {
+  (void)conv;
+  if (!n.is_string() || !is_symbolic_value(n.label)) return std::nullopt;
+  return HandlerOutput::of(Expr::symbol(util::to_lower(n.label)));
+}
+
+/// @Action("timeout" / "transmit" ...) in state-management text.
+std::optional<HandlerOutput> timer_stmt(LfConverter& conv, const LfNode& n) {
+  if (n.args.empty() || !n.args[0].is_string()) return std::nullopt;
+  const std::string name = util::to_lower(n.args[0].label);
+  if (name != "timeout" && name != "transmit") return std::nullopt;
+  (void)conv;
+  return HandlerOutput::of(Stmt::call(name == "timeout" ? "call_timeout"
+                                                        : "transmit_packet"));
+}
+
+/// bfd.* variable reads in conditions.
+std::optional<HandlerOutput> bfd_var_cond(LfConverter& conv, const LfNode& n) {
+  if (!n.is_predicate(lf::pred::kIs) || n.args.size() != 2 ||
+      !n.args[0].is_string()) {
+    return std::nullopt;
+  }
+  if (util::to_lower(n.args[0].label).find("bfd.") != 0) return std::nullopt;
+  const auto field = conv.context().resolve_field(n.args[0].label);
+  if (!field) return std::nullopt;
+  const auto rhs = conv.to_expr(n.args[1]);
+  if (!rhs) return std::nullopt;
+  return HandlerOutput::of(Cond::compare(
+      Expr::field_read(*field, PacketSel::kIncoming), CmpOp::kEq, *rhs));
+}
+
+/// @Select in condition position: "the session is not found" — the
+/// framework's session lookup as a boolean.
+std::optional<HandlerOutput> select_cond(LfConverter& conv, const LfNode& n) {
+  (void)conv;
+  (void)n;
+  return HandlerOutput::of(Cond::compare(Expr::call("session_lookup"),
+                                         CmpOp::kNe, Expr::constant(0)));
+}
+
+/// @Nonzero over a BFD packet field ("the Your Discriminator field is
+/// nonzero").
+std::optional<HandlerOutput> bfd_nonzero_cond(LfConverter& conv,
+                                              const LfNode& n) {
+  if (!n.is_predicate(lf::pred::kNonzero) || n.args.size() != 1 ||
+      !n.args[0].is_string()) {
+    return std::nullopt;
+  }
+  const auto field = conv.context().resolve_field(n.args[0].label);
+  if (!field || field->layer != "bfd") return std::nullopt;
+  return HandlerOutput::of(
+      Cond::compare(Expr::field_read(*field, PacketSel::kIncoming), CmpOp::kNe,
+                    Expr::constant(0)));
+}
+
+}  // namespace
+
+void HandlerRegistry::add(Handler handler) {
+  handlers_.push_back(std::move(handler));
+}
+
+std::vector<const Handler*> HandlerRegistry::lookup(std::string_view predicate,
+                                                    OutKind kind) const {
+  std::vector<const Handler*> out;
+  for (const auto& h : handlers_) {
+    if (h.predicate == predicate && h.produces == kind) out.push_back(&h);
+  }
+  return out;
+}
+
+std::size_t HandlerRegistry::count_by_source(std::string_view source) const {
+  return static_cast<std::size_t>(
+      std::count_if(handlers_.begin(), handlers_.end(),
+                    [&source](const Handler& h) { return h.source == source; }));
+}
+
+HandlerRegistry HandlerRegistry::standard() {
+  HandlerRegistry reg;
+  // ---- ICMP: 25 handlers (§6.1) ------------------------------------------
+  reg.add(make("is-assign-compound", "@Is", OutKind::kStmt, "icmp",
+               is_assign_compound));
+  reg.add(make("is-assign", "@Is", OutKind::kStmt, "icmp", is_assign));
+  reg.add(make("num-field-default", "$num", OutKind::kStmt, "icmp",
+               num_field_default));
+  reg.add(make("if-stmt", "@If", OutKind::kStmt, "icmp", if_stmt));
+  reg.add(make("and-seq", "@And", OutKind::kStmt, "icmp", and_seq));
+  reg.add(make("action-copy", "@Action", OutKind::kStmt, "icmp", action_copy));
+  reg.add(make("action-reverse", "@Action", OutKind::kStmt, "icmp",
+               action_reverse));
+  reg.add(make("action-recompute", "@Action", OutKind::kStmt, "icmp",
+               action_recompute));
+  reg.add(make("action-call", "@Action", OutKind::kStmt, "icmp", action_call));
+  reg.add(make("compute-stmt", "@Compute", OutKind::kStmt, "icmp",
+               compute_stmt));
+  reg.add(make("may-stmt", "@May", OutKind::kStmt, "icmp", may_stmt));
+  reg.add(make("must-stmt", "@Must", OutKind::kStmt, "icmp", must_stmt));
+  reg.add(make("advbefore-stmt", "@AdvBefore", OutKind::kStmt, "icmp",
+               advbefore_stmt));
+  reg.add(make("advcomment-stmt", "@AdvComment", OutKind::kStmt, "icmp",
+               advcomment_stmt));
+  reg.add(make("case-stmt", "@Case", OutKind::kStmt, "icmp", case_stmt));
+  reg.add(make("when-stmt", "@When", OutKind::kStmt, "icmp", when_stmt));
+  reg.add(make("discard-stmt", "@Discard", OutKind::kStmt, "icmp",
+               discard_stmt));
+  reg.add(make("num-expr", "$num", OutKind::kExpr, "icmp", num_expr));
+  reg.add(make("str-value-expr", "$str", OutKind::kExpr, "icmp",
+               str_value_expr));
+  reg.add(make("of-expr", "@Of", OutKind::kExpr, "icmp", of_expr));
+  reg.add(make("action-expr", "@Action", OutKind::kExpr, "icmp", action_expr));
+  reg.add(make("and-excerpt-expr", "@And", OutKind::kExpr, "icmp",
+               and_excerpt_expr));
+  reg.add(make("is-cond", "@Is", OutKind::kCond, "icmp", is_cond));
+  reg.add(make("and-cond", "@And", OutKind::kCond, "icmp", and_cond));
+  reg.add(make("or-cond", "@Or", OutKind::kCond, "icmp", or_cond));
+
+  // ---- IGMP: +4 (§6.3) -----------------------------------------------------
+  reg.add(make("send-stmt", "@Send", OutKind::kStmt, "igmp", send_stmt));
+  reg.add(make("in-expr", "@In", OutKind::kExpr, "igmp", in_expr));
+  reg.add(make("not-cond", "@Not", OutKind::kCond, "igmp", not_cond));
+  reg.add(make("greater-cond", "@Greater", OutKind::kCond, "igmp",
+               greater_cond));
+
+  // ---- NTP: peer-variable sentences (Table 11) --------------------------------
+  reg.add(make("timer-stmt", "@Action", OutKind::kStmt, "ntp", timer_stmt));
+  reg.add(make("less-cond", "@Less", OutKind::kCond, "ntp", less_cond));
+
+  // ---- BFD: +8 (§6.4) --------------------------------------------------------
+  reg.add(make("bfd-var-assign", "@Is", OutKind::kStmt, "bfd", bfd_var_assign));
+  reg.add(make("bfd-var-cond", "@Is", OutKind::kCond, "bfd", bfd_var_cond));
+  reg.add(make("bfd-nonzero-cond", "@Nonzero", OutKind::kCond, "bfd",
+               bfd_nonzero_cond));
+  reg.add(make("nonzero-cond", "@Nonzero", OutKind::kCond, "bfd",
+               nonzero_cond));
+  reg.add(make("select-cond", "@Select", OutKind::kCond, "bfd", select_cond));
+  reg.add(make("select-stmt", "@Select", OutKind::kStmt, "bfd", select_stmt));
+  reg.add(make("cease-stmt", "@Cease", OutKind::kStmt, "bfd", cease_stmt));
+  reg.add(make("state-value-expr", "$str", OutKind::kExpr, "bfd",
+               state_value_expr));
+
+  return reg;
+}
+
+std::optional<HandlerOutput> LfConverter::dispatch(const lf::LfNode& node,
+                                                   OutKind kind) {
+  const std::string key = node_key(node);
+  for (const Handler* h : registry_->lookup(key, kind)) {
+    // BFD-specific handlers take precedence for bfd.* targets; they are
+    // registered later, so try specialized handlers (which self-select
+    // via nullopt) in order and fall through.
+    if (auto out = h->fn(*this, node)) return out;
+  }
+  return std::nullopt;
+}
+
+std::optional<Stmt> LfConverter::to_stmt(const lf::LfNode& node) {
+  // Specialized handlers registered later must still win over the generic
+  // ICMP ones when they apply (bfd-var-assign vs is-assign): try handlers
+  // in reverse-registration order for statements whose first argument is
+  // a bfd.* variable, else in registration order.
+  const std::string key = node_key(node);
+  const auto handlers = registry_->lookup(key, OutKind::kStmt);
+  const bool bfd_target = node.kind == lf::LfNode::Kind::kPredicate &&
+                          !node.args.empty() && node.args[0].is_string() &&
+                          util::to_lower(node.args[0].label).find("bfd.") == 0;
+  if (bfd_target) {
+    for (auto it = handlers.rbegin(); it != handlers.rend(); ++it) {
+      if (auto out = (*it)->fn(*this, node)) return out->stmt;
+    }
+    return std::nullopt;
+  }
+  for (const Handler* h : handlers) {
+    if (auto out = h->fn(*this, node)) return out->stmt;
+  }
+  return std::nullopt;
+}
+
+std::optional<Expr> LfConverter::to_expr(const lf::LfNode& node) {
+  if (auto out = dispatch(node, OutKind::kExpr)) return out->expr;
+  return std::nullopt;
+}
+
+std::optional<Cond> LfConverter::to_cond(const lf::LfNode& node) {
+  const std::string key = node_key(node);
+  const auto handlers = registry_->lookup(key, OutKind::kCond);
+  // bfd-specific condition handlers are registered after the generic
+  // ones; for bfd.* subjects try them first.
+  const bool bfd_target = node.kind == lf::LfNode::Kind::kPredicate &&
+                          !node.args.empty() && node.args[0].is_string() &&
+                          util::to_lower(node.args[0].label).find("bfd.") == 0;
+  if (bfd_target) {
+    for (auto it = handlers.rbegin(); it != handlers.rend(); ++it) {
+      if (auto out = (*it)->fn(*this, node)) return out->cond;
+    }
+  }
+  for (const Handler* h : handlers) {
+    if (auto out = h->fn(*this, node)) return out->cond;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sage::codegen

@@ -1,0 +1,114 @@
+// Predicate handler functions (§5.2 "Code generation", §6.1: "we defined
+// 25 predicate handler functions to convert LFs to code snippets").
+//
+// Code generation is a post-order traversal of the (single, winnowed)
+// logical form; at each node the registry supplies a handler that turns
+// the predicate into an IR fragment, using the resolution context to map
+// surface phrases onto fields and framework functions. Handlers are
+// tagged with the protocol that required them, reproducing the paper's
+// incremental-cost numbers (25 for ICMP, +4 for IGMP, +8 for BFD).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codegen/context.hpp"
+#include "codegen/ir.hpp"
+#include "lf/logical_form.hpp"
+
+namespace sage::codegen {
+
+class LfConverter;
+
+/// What a handler produces.
+enum class OutKind { kStmt, kExpr, kCond };
+
+struct HandlerOutput {
+  OutKind kind = OutKind::kStmt;
+  Stmt stmt;
+  Expr expr;
+  Cond cond;
+
+  static HandlerOutput of(Stmt s) {
+    HandlerOutput o;
+    o.kind = OutKind::kStmt;
+    o.stmt = std::move(s);
+    return o;
+  }
+  static HandlerOutput of(Expr e) {
+    HandlerOutput o;
+    o.kind = OutKind::kExpr;
+    o.expr = std::move(e);
+    return o;
+  }
+  static HandlerOutput of(Cond c) {
+    HandlerOutput o;
+    o.kind = OutKind::kCond;
+    o.cond = std::move(c);
+    return o;
+  }
+};
+
+/// One predicate handler. `predicate` is the LF label it applies to
+/// ("@Is", ...), or the pseudo-labels "$str" / "$num" for leaves.
+/// Returning nullopt means "this handler does not apply"; the next
+/// registered handler for the same predicate is tried.
+struct Handler {
+  std::string name;       // e.g. "is-assign"
+  std::string predicate;  // e.g. "@Is"
+  OutKind produces = OutKind::kStmt;
+  std::string source;     // "icmp", "igmp", "bfd"
+  std::function<std::optional<HandlerOutput>(LfConverter&, const lf::LfNode&)>
+      fn;
+};
+
+class HandlerRegistry {
+ public:
+  /// The full SAGE handler set (ICMP 25, IGMP +4, BFD +8).
+  static HandlerRegistry standard();
+
+  void add(Handler handler);
+
+  /// Handlers applicable to `predicate` producing `kind`, in
+  /// registration order.
+  std::vector<const Handler*> lookup(std::string_view predicate,
+                                     OutKind kind) const;
+
+  std::size_t size() const { return handlers_.size(); }
+  std::size_t count_by_source(std::string_view source) const;
+
+  const std::vector<Handler>& all() const { return handlers_; }
+
+ private:
+  std::vector<Handler> handlers_;
+};
+
+/// Drives the post-order conversion; handlers call back into it for
+/// sub-trees.
+class LfConverter {
+ public:
+  LfConverter(const ResolutionContext* context, const HandlerRegistry* registry)
+      : context_(context), registry_(registry) {}
+
+  std::optional<Stmt> to_stmt(const lf::LfNode& node);
+  std::optional<Expr> to_expr(const lf::LfNode& node);
+  std::optional<Cond> to_cond(const lf::LfNode& node);
+
+  const ResolutionContext& context() const { return *context_; }
+
+  /// Diagnostics accumulated during conversion (why a sentence failed to
+  /// generate code — input to the iterative non-actionable discovery).
+  const std::vector<std::string>& errors() const { return errors_; }
+  void report(std::string error) { errors_.push_back(std::move(error)); }
+
+ private:
+  std::optional<HandlerOutput> dispatch(const lf::LfNode& node, OutKind kind);
+
+  const ResolutionContext* context_;
+  const HandlerRegistry* registry_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace sage::codegen

@@ -1,0 +1,22 @@
+#include "codegen/ir.hpp"
+
+namespace sage::codegen {
+
+std::size_t Stmt::executable_count() const {
+  switch (kind) {
+    case Kind::kAssign:
+    case Kind::kCall:
+      return 1;
+    case Kind::kComment:
+      return 0;
+    case Kind::kIf:
+    case Kind::kSeq: {
+      std::size_t n = kind == Kind::kIf ? 1 : 0;
+      for (const auto& s : body) n += s.executable_count();
+      return n;
+    }
+  }
+  return 0;
+}
+
+}  // namespace sage::codegen

@@ -1,0 +1,22 @@
+// The SAGE CCG lexicon (§3, §6.1).
+//
+// §6.1: "SAGE adds 71 lexical entries to an nltk-based CCG parser";
+// §6.3: IGMP required 8 additional entries, NTP 5 more; §6.4: BFD's
+// state-management sentences added 15. Entries are tagged with the
+// protocol that required them so the implementation-stats bench can
+// report the same incremental-cost table.
+//
+// Grammar conventions (primitive categories):
+//   S    sentence          NP  noun phrase       N   noun
+//   PP   prepositional     Sg  gerund/action clause
+//   CONJ coordination marker (binarized coordination rule)
+#pragma once
+
+#include "ccg/lexicon.hpp"
+
+namespace sage::corpus {
+
+/// Build the full lexicon (ICMP + IGMP + NTP + BFD entries).
+ccg::Lexicon make_lexicon();
+
+}  // namespace sage::corpus

@@ -1,0 +1,111 @@
+#include "corpus/rfc1059.hpp"
+
+namespace sage::corpus {
+
+const std::string& rfc1059_appendices() {
+  static const std::string kText = R"(NTP Data Format
+
+    0                   1                   2                   3
+    0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |  Source Port                  |  Destination Port             |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |  Length                       |  Checksum                     |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+
+   UDP Fields:
+
+   Source Port
+
+      123
+
+   Destination Port
+
+      123
+
+   Checksum
+
+      The checksum is the 16-bit one's complement of the one's
+      complement sum of the message.  For computing the checksum, the
+      checksum field should be zero.
+
+   Description
+
+      The NTP packet is encapsulated in a UDP datagram.  The UDP
+      checksum covers a pseudo header containing the source address
+      and the destination address.
+
+NTP Header Format
+
+    0                   1                   2                   3
+    0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |LI | VN  |Mode |    Stratum    |     Poll      |   Precision   |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |                      Synchronizing Distance                   |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |                       Reference Timestamp (64)                |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |                       Originate Timestamp (64)               |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |                       Receive Timestamp (64)                  |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |                       Transmit Timestamp (64)                 |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+
+   NTP Fields:
+
+   Leap Indicator
+
+      0
+
+   Version Number
+
+      1
+
+   Stratum
+
+      2
+
+   Poll
+
+      6
+
+   Precision
+
+      0
+
+   Transmit Timestamp
+
+      The transmit timestamp is the current time.
+
+   Description
+
+      The leap indicator warns of an impending leap second to be
+      inserted in the standard time broadcast.  The poll field is the
+      maximum interval between successive messages.
+)";
+  return kText;
+}
+
+const std::string& ntp_timeout_sentence() {
+  // Table 11: the peer-variable sentence SAGE parses into a timeout call.
+  static const std::string kSentence =
+      "When the peer timer expires, the timeout procedure is called.";
+  return kSentence;
+}
+
+const std::vector<std::string>& ntp_non_actionable_annotations() {
+  static const std::vector<std::string> kAnnotations = {
+      "The NTP packet is encapsulated in a UDP datagram.",
+      "The UDP checksum covers a pseudo header containing the source "
+      "address and the destination address.",
+      "The leap indicator warns of an impending leap second to be "
+      "inserted in the standard time broadcast.",
+      "The poll field is the maximum interval between successive "
+      "messages.",
+  };
+  return kAnnotations;
+}
+
+}  // namespace sage::corpus

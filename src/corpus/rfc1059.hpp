@@ -1,0 +1,21 @@
+// RFC 1059 (NTPv1) corpus — Appendices A and B (§6.3), which describe
+// the UDP encapsulation and the NTP packet header, plus the peer-timer
+// sentence of Table 11.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sage::corpus {
+
+/// Appendix A (UDP header fields for NTP) + Appendix B (NTP header).
+const std::string& rfc1059_appendices();
+
+/// The Table 11 peer-variable sentence ("when the peer timer expires,
+/// the timeout procedure is called").
+const std::string& ntp_timeout_sentence();
+
+/// Sentences annotated non-actionable for NTP.
+const std::vector<std::string>& ntp_non_actionable_annotations();
+
+}  // namespace sage::corpus

@@ -1,0 +1,63 @@
+#include "corpus/rfc1112.hpp"
+
+namespace sage::corpus {
+
+const std::string& rfc1112_appendix_i() {
+  static const std::string kText = R"(Internet Group Management Protocol
+
+    0                   1                   2                   3
+    0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |Version| Type  |    Unused     |           Checksum            |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |                         Group Address                         |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+
+   IGMP Fields:
+
+   Version
+
+      1
+
+   Type
+
+      1 = host membership query;  2 = host membership report.
+
+   Unused
+
+      The unused field is zero.  The unused field should be ignored
+      when received.
+
+   Checksum
+
+      The checksum is the 16-bit one's complement of the one's
+      complement sum of the IGMP message.  For computing the checksum,
+      the checksum field should be zero.
+
+   Group Address
+
+      In a host membership query message, the group address field is
+      zero.  In a host membership report message, the group address
+      field is the host group address of the group.
+
+   Description
+
+      The all-hosts group is used to address all the multicast hosts on
+      the local network.  Every host joins the all-hosts group on each
+      network interface at initialization time.
+)";
+  return kText;
+}
+
+const std::vector<std::string>& igmp_non_actionable_annotations() {
+  static const std::vector<std::string> kAnnotations = {
+      "The unused field should be ignored when received.",
+      "The all-hosts group is used to address all the multicast hosts on "
+      "the local network.",
+      "Every host joins the all-hosts group on each network interface at "
+      "initialization time.",
+  };
+  return kAnnotations;
+}
+
+}  // namespace sage::corpus

@@ -1,0 +1,15 @@
+// RFC 1112 Appendix I (IGMPv1) corpus — the §6.3 generality experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sage::corpus {
+
+/// The Appendix I packet-header description SAGE parses.
+const std::string& rfc1112_appendix_i();
+
+/// Sentences annotated non-actionable for IGMP.
+const std::vector<std::string>& igmp_non_actionable_annotations();
+
+}  // namespace sage::corpus

@@ -1,0 +1,67 @@
+#include "corpus/rfc793.hpp"
+
+namespace sage::corpus {
+
+const std::vector<TcpProbeSentence>& tcp_probe_sentences() {
+  static const std::vector<TcpProbeSentence> kSentences = {
+      // --- state management in the BFD §6.8.6 idiom: expected to parse
+      // with only lexicon/static-context additions (the §7 claim).
+      {"If the SYN bit is nonzero and the connection state is Listen, the "
+       "connection state is Syn-Received.",
+       "state management", true},
+      {"If the ACK bit is zero, the segment MUST be discarded.",
+       "state management", true},
+      {"If the RST bit is nonzero, the connection state is Closed.",
+       "state management", true},
+      {"If the FIN bit is nonzero and the connection state is Established, "
+       "the connection state is Close-Wait.",
+       "state management", true},
+      {"If the connection state is Closed, the segment MUST be discarded.",
+       "state management", true},
+      {"The checksum is the 16-bit one's complement of the one's "
+       "complement sum of the segment.",
+       "packet format", true},
+      // --- future-work components: NOT expected to parse today.
+      {"The state diagram in figure 6 illustrates only state changes.",
+       "state machine diagram", false},
+      {"If the connection was initiated with a passive OPEN, then return "
+       "this connection to the LISTEN state.",
+       "cross-reference", false},
+      {"The procedure of establishing a connection utilizes the "
+       "synchronize flag and involves an exchange of three messages.",
+       "communication pattern", false},
+      {"The activity of the TCP can be characterized as responding to "
+       "events from two directions.",
+       "architecture", false},
+  };
+  return kSentences;
+}
+
+const std::vector<TcpProbeSentence>& bgp_probe_sentences() {
+  static const std::vector<TcpProbeSentence> kSentences = {
+      // --- BGP FSM sentences in the state-management idiom: in reach.
+      {"If the Hold Timer expires, the connection state is Idle.",
+       "state management", true},
+      {"If the connection state is Established and the Hold Timer expires, "
+       "the connection state is Idle.",
+       "state management", true},
+      {"If the Version field is zero, the packet MUST be discarded.",
+       "state management", true},
+      {"If the Marker field is zero and the connection state is "
+       "Established, the packet MUST be discarded.",
+       "state management", true},
+      // --- out of reach today.
+      {"A BGP speaker advertises to its peers only those routes that it "
+       "uses itself.",
+       "communication pattern", false},
+      {"The information exchanged by BGP supports only the destination "
+       "based forwarding paradigm.",
+       "architecture", false},
+      {"This document uses the term Adj-RIB-In to describe the routes "
+       "learned from inbound UPDATE messages.",
+       "cross-reference", false},
+  };
+  return kSentences;
+}
+
+}  // namespace sage::corpus

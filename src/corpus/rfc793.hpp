@@ -1,0 +1,33 @@
+// RFC 793 (TCP) probe corpus — the §7 extension experiment.
+//
+// The paper closes with: "two significant protocols may be within reach
+// with the addition of complex state management and state machine
+// diagrams: TCP and BGP". This probe quantifies that claim against the
+// present implementation: a sample of TCP state-management sentences
+// (phrased in RFC 793's idiom) is pushed through the unchanged pipeline,
+// and the bench reports which parse with zero additional machinery,
+// which need only lexicon/context additions, and which require the
+// future-work components (state machine diagrams, cross-references).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sage::corpus {
+
+/// One probe sentence with the component it exercises and whether the
+/// current pipeline is expected to handle it.
+struct TcpProbeSentence {
+  std::string text;
+  std::string component;   // "state management", "comm. pattern", ...
+  bool expected_to_parse;  // with the tcp context extensions applied
+};
+
+const std::vector<TcpProbeSentence>& tcp_probe_sentences();
+
+/// The matching BGP (RFC 4271) probe: FSM/state sentences in the same
+/// idiom, plus the communication-pattern and architecture prose that
+/// remains out of reach.
+const std::vector<TcpProbeSentence>& bgp_probe_sentences();
+
+}  // namespace sage::corpus

@@ -1,0 +1,24 @@
+// The domain term dictionary (§3).
+//
+// The paper: "SAGE creates a term dictionary of domain-specific nouns and
+// noun-phrases using the index of a standard networking textbook ... a
+// dictionary of about 400 terms." The textbook index is reproduced here
+// as an embedded list covering the same ground (protocol names, header
+// fields, network elements, operations) plus the corpus-specific noun
+// phrases the evaluated RFC sections use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nlp/term_dictionary.hpp"
+
+namespace sage::corpus {
+
+/// All dictionary terms (~400).
+const std::vector<std::string>& dictionary_terms();
+
+/// A ready-to-use TermDictionary.
+nlp::TermDictionary make_term_dictionary();
+
+}  // namespace sage::corpus

@@ -1,0 +1,239 @@
+#include "disambig/winnower.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace sage::disambig {
+
+using lf::LfNode;
+
+bool is_distributed_version(const LfNode& distributed, const LfNode& grouped) {
+  // distributed: @Conj(P(a1..an), P(b1..bn)) with exactly one differing slot
+  // grouped:     P(c1..cn) with the differing slot ck = @Conj(ak, bk).
+  if (distributed.kind != LfNode::Kind::kPredicate ||
+      grouped.kind != LfNode::Kind::kPredicate) {
+    return false;
+  }
+  const bool conj = distributed.label == lf::pred::kAnd ||
+                    distributed.label == lf::pred::kOr;
+  if (!conj || distributed.args.size() != 2) return false;
+  const LfNode& left = distributed.args[0];
+  const LfNode& right = distributed.args[1];
+  if (left.kind != LfNode::Kind::kPredicate ||
+      right.kind != LfNode::Kind::kPredicate) {
+    return false;
+  }
+  if (left.label != right.label || left.label != grouped.label) return false;
+  if (left.args.size() != right.args.size() ||
+      left.args.size() != grouped.args.size()) {
+    return false;
+  }
+
+  // Find the single differing argument slot.
+  int differing = -1;
+  for (std::size_t i = 0; i < left.args.size(); ++i) {
+    if (!(left.args[i] == right.args[i])) {
+      if (differing != -1) return false;  // more than one slot differs
+      differing = static_cast<int>(i);
+    }
+  }
+  if (differing == -1) return false;  // identical conjuncts
+
+  for (std::size_t i = 0; i < grouped.args.size(); ++i) {
+    if (static_cast<int>(i) == differing) {
+      const LfNode expected = LfNode::predicate(
+          distributed.label,
+          {left.args[i], right.args[i]});
+      if (!(grouped.args[i] == expected)) return false;
+    } else {
+      if (!(grouped.args[i] == left.args[i])) return false;
+    }
+  }
+  return true;
+}
+
+LfNode undistribute(const LfNode& node) {
+  if (node.kind != LfNode::Kind::kPredicate) return node;
+  // Normalize children first.
+  LfNode out = node;
+  for (auto& a : out.args) a = undistribute(a);
+
+  // Fixpoint at this node: repeatedly fold @Conj(P(..a..), P(..b..)).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const bool conj = out.label == lf::pred::kAnd || out.label == lf::pred::kOr;
+    if (!conj || out.args.size() != 2) break;
+    const LfNode& left = out.args[0];
+    const LfNode& right = out.args[1];
+    if (left.kind != LfNode::Kind::kPredicate ||
+        right.kind != LfNode::Kind::kPredicate ||
+        left.label != right.label || left.args.size() != right.args.size()) {
+      break;
+    }
+    int differing = -1;
+    bool foldable = true;
+    for (std::size_t i = 0; i < left.args.size(); ++i) {
+      if (!(left.args[i] == right.args[i])) {
+        if (differing != -1) {
+          foldable = false;
+          break;
+        }
+        differing = static_cast<int>(i);
+      }
+    }
+    if (!foldable || differing == -1) break;
+    LfNode folded = left;
+    folded.args[static_cast<std::size_t>(differing)] =
+        undistribute(LfNode::predicate(
+            out.label, {left.args[static_cast<std::size_t>(differing)],
+                        right.args[static_cast<std::size_t>(differing)]}));
+    out = std::move(folded);
+    changed = true;
+  }
+  return out;
+}
+
+Winnower::Winnower(std::vector<Check> checks, lf::AlgebraicProperties properties)
+    : checks_(std::move(checks)), properties_(std::move(properties)) {}
+
+std::size_t Winnower::count_in_family(CheckFamily family) const {
+  return static_cast<std::size_t>(
+      std::count_if(checks_.begin(), checks_.end(),
+                    [family](const Check& c) { return c.family == family; }));
+}
+
+std::vector<LfNode> Winnower::apply_per_lf_family(
+    CheckFamily family, std::vector<LfNode> forms,
+    std::map<std::string, std::size_t>* removed_by_check) const {
+  std::vector<LfNode> out;
+  out.reserve(forms.size());
+  for (auto& form : forms) {
+    bool removed = false;
+    for (const Check& check : checks_) {
+      if (check.family != family) continue;
+      if (check.violates(form)) {
+        if (removed_by_check != nullptr) ++(*removed_by_check)[check.name];
+        removed = true;
+        break;
+      }
+    }
+    if (!removed) out.push_back(std::move(form));
+  }
+  return out;
+}
+
+std::vector<LfNode> Winnower::apply_distributivity(
+    std::vector<LfNode> forms,
+    std::map<std::string, std::size_t>* removed_by_check) const {
+  // "SAGE always selects the non-distributive logical form version":
+  // among forms sharing an undistributed normal form, keep the least
+  // distributed one (fewest conjunction nodes); drop the others.
+  const auto conj_count = [](const LfNode& root) {
+    std::size_t n = 0;
+    const std::function<void(const LfNode&)> walk = [&](const LfNode& m) {
+      if (m.is_predicate(lf::pred::kAnd) || m.is_predicate(lf::pred::kOr)) ++n;
+      for (const auto& a : m.args) walk(a);
+    };
+    walk(root);
+    return n;
+  };
+
+  std::map<std::string, std::size_t> best;  // normal form -> index of keeper
+  for (std::size_t i = 0; i < forms.size(); ++i) {
+    const LfNode normal = undistribute(forms[i]);
+    const std::string key = normal.to_string();
+    const auto it = best.find(key);
+    if (it == best.end()) {
+      best[key] = i;
+      continue;
+    }
+    // Prefer the form that *is* the grouped normal form; then the one
+    // with fewer conjunction nodes.
+    const bool this_normal = normal == forms[i];
+    const bool kept_normal = undistribute(forms[it->second]) == forms[it->second];
+    if ((this_normal && !kept_normal) ||
+        (this_normal == kept_normal &&
+         conj_count(forms[i]) < conj_count(forms[it->second]))) {
+      best[key] = i;
+    }
+  }
+  std::vector<bool> keep(forms.size(), false);
+  for (const auto& [key, idx] : best) keep[idx] = true;
+
+  std::vector<LfNode> out;
+  for (std::size_t i = 0; i < forms.size(); ++i) {
+    if (keep[i]) {
+      out.push_back(std::move(forms[i]));
+    } else if (removed_by_check != nullptr) {
+      ++(*removed_by_check)["distrib:prefer-grouped"];
+    }
+  }
+  return out;
+}
+
+std::vector<LfNode> Winnower::apply_associativity(
+    std::vector<LfNode> forms,
+    std::map<std::string, std::size_t>* removed_by_check) const {
+  // Keep the first representative of every isomorphism class.
+  std::set<std::string> seen;
+  std::vector<LfNode> out;
+  for (auto& form : forms) {
+    const std::string key = lf::canonical_encoding(form, properties_);
+    if (seen.insert(key).second) {
+      out.push_back(std::move(form));
+    } else if (removed_by_check != nullptr) {
+      ++(*removed_by_check)["assoc:isomorphic"];
+    }
+  }
+  return out;
+}
+
+WinnowResult Winnower::winnow(const std::vector<LfNode>& input) const {
+  WinnowResult result;
+  std::vector<LfNode> forms = input;
+  result.stages.push_back({"Base", forms.size()});
+
+  forms = apply_per_lf_family(CheckFamily::kType, std::move(forms),
+                              &result.removed_by_check);
+  result.stages.push_back({"Type", forms.size()});
+
+  forms = apply_per_lf_family(CheckFamily::kArgumentOrdering, std::move(forms),
+                              &result.removed_by_check);
+  result.stages.push_back({"ArgOrder", forms.size()});
+
+  forms = apply_per_lf_family(CheckFamily::kPredicateOrdering, std::move(forms),
+                              &result.removed_by_check);
+  result.stages.push_back({"PredOrder", forms.size()});
+
+  forms = apply_distributivity(std::move(forms), &result.removed_by_check);
+  result.stages.push_back({"Distrib", forms.size()});
+
+  forms = apply_associativity(std::move(forms), &result.removed_by_check);
+  result.stages.push_back({"Assoc", forms.size()});
+
+  result.survivors = std::move(forms);
+  return result;
+}
+
+std::vector<LfNode> Winnower::apply_family(CheckFamily family,
+                                           std::vector<LfNode> forms) const {
+  switch (family) {
+    case CheckFamily::kType:
+    case CheckFamily::kArgumentOrdering:
+    case CheckFamily::kPredicateOrdering:
+      return apply_per_lf_family(family, std::move(forms), nullptr);
+    case CheckFamily::kDistributivity:
+      return apply_distributivity(std::move(forms), nullptr);
+    case CheckFamily::kAssociativity:
+      return apply_associativity(std::move(forms), nullptr);
+  }
+  return forms;
+}
+
+std::size_t Winnower::removed_by_family_alone(
+    CheckFamily family, const std::vector<LfNode>& input) const {
+  return input.size() - apply_family(family, input).size();
+}
+
+}  // namespace sage::disambig

@@ -1,0 +1,95 @@
+#include "eval/checksum_interp.hpp"
+
+#include <algorithm>
+
+#include "net/checksum.hpp"
+#include "util/bytes.hpp"
+
+namespace sage::eval {
+
+std::string interpretation_description(ChecksumInterpretation interp) {
+  switch (interp) {
+    case ChecksumInterpretation::kSpecificHeaderSize:
+      return "Size of a specific type of ICMP header.";
+    case ChecksumInterpretation::kPartialHeader:
+      return "Size of a partial ICMP header.";
+    case ChecksumInterpretation::kHeaderAndPayload:
+      return "Size of the ICMP header and payload.";
+    case ChecksumInterpretation::kIpHeaderSize:
+      return "Size of the IP header.";
+    case ChecksumInterpretation::kHeaderPayloadOptions:
+      return "Size of the ICMP header and payload, and any IP options.";
+    case ChecksumInterpretation::kIncrementalUpdate:
+      return "Incremental update of the checksum field using whichever "
+             "checksum range the sender packet chose.";
+    case ChecksumInterpretation::kMagicConstant:
+      return "Magic constants (e.g. 2 or 8 or 36).";
+  }
+  return "?";
+}
+
+const std::vector<ChecksumInterpretation>& all_interpretations() {
+  static const std::vector<ChecksumInterpretation> kAll = {
+      ChecksumInterpretation::kSpecificHeaderSize,
+      ChecksumInterpretation::kPartialHeader,
+      ChecksumInterpretation::kHeaderAndPayload,
+      ChecksumInterpretation::kIpHeaderSize,
+      ChecksumInterpretation::kHeaderPayloadOptions,
+      ChecksumInterpretation::kIncrementalUpdate,
+      ChecksumInterpretation::kMagicConstant,
+  };
+  return kAll;
+}
+
+std::uint16_t checksum_with_interpretation(
+    ChecksumInterpretation interp, std::span<const std::uint8_t> icmp_bytes,
+    std::uint16_t request_checksum, std::uint8_t request_type,
+    std::size_t ip_options_len) {
+  const auto prefix = [&icmp_bytes](std::size_t n) {
+    return icmp_bytes.subspan(0, std::min(n, icmp_bytes.size()));
+  };
+  switch (interp) {
+    case ChecksumInterpretation::kSpecificHeaderSize:
+      return net::internet_checksum(prefix(8));
+    case ChecksumInterpretation::kPartialHeader:
+      return net::internet_checksum(prefix(4));
+    case ChecksumInterpretation::kHeaderAndPayload:
+      return net::internet_checksum(icmp_bytes);
+    case ChecksumInterpretation::kIpHeaderSize:
+      return net::internet_checksum(prefix(20));
+    case ChecksumInterpretation::kHeaderPayloadOptions: {
+      // The student summed past the message into (zero-filled copies of)
+      // the IP options area; an odd option length shifts byte parity and
+      // corrupts the sum even though the padding is zero.
+      std::vector<std::uint8_t> extended(icmp_bytes.begin(), icmp_bytes.end());
+      extended.resize(extended.size() + ip_options_len, 0);
+      if (ip_options_len % 2 == 1) {
+        // Odd-length option area: the student's loop also pulled in one
+        // stray length byte, modelled as the option count.
+        extended.push_back(static_cast<std::uint8_t>(ip_options_len));
+      }
+      return net::internet_checksum(extended);
+    }
+    case ChecksumInterpretation::kIncrementalUpdate: {
+      // Only the type byte changed relative to the request; RFC 1624
+      // incremental update of the request's checksum. Arithmetically
+      // correct whenever the *sender's* checksum covered the right range.
+      const std::uint16_t old_word =
+          static_cast<std::uint16_t>((request_type << 8) |
+                                     (icmp_bytes.size() > 1 ? icmp_bytes[1] : 0));
+      const std::uint16_t new_word = util::get_be16(icmp_bytes.subspan(0, 2));
+      return net::incremental_checksum_update(request_checksum, old_word,
+                                              new_word);
+    }
+    case ChecksumInterpretation::kMagicConstant:
+      return net::internet_checksum(prefix(36));
+  }
+  return 0;
+}
+
+bool interpretation_is_interoperable(ChecksumInterpretation interp) {
+  return interp == ChecksumInterpretation::kHeaderAndPayload ||
+         interp == ChecksumInterpretation::kIncrementalUpdate;
+}
+
+}  // namespace sage::eval

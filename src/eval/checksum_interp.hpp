@@ -1,0 +1,50 @@
+// The seven student interpretations of the ICMP checksum range (Table 3).
+//
+// The RFC 792 sentence "The checksum is the 16-bit one's complement of
+// the one's complement sum of the ICMP message starting with the ICMP
+// Type" never says where the sum *ends* (§2.1); the paper's students
+// produced seven distinct readings. Each is implemented here exactly as
+// a student would have coded it, so the Table 3 bench can measure which
+// interpretations interoperate with the Linux ping model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sage::eval {
+
+enum class ChecksumInterpretation {
+  kSpecificHeaderSize = 1,   // sum over one fixed "typed header" size
+  kPartialHeader = 2,        // sum over part of the ICMP header
+  kHeaderAndPayload = 3,     // the RFC-correct reading
+  kIpHeaderSize = 4,         // sum over an IP-header-sized range
+  kHeaderPayloadOptions = 5, // header + payload + (phantom) IP options
+  kIncrementalUpdate = 6,    // update the request's checksum incrementally
+  kMagicConstant = 7,        // sum over a hard-coded byte count
+};
+
+/// Table 3's description for the interpretation.
+std::string interpretation_description(ChecksumInterpretation interp);
+
+/// All seven, in table order.
+const std::vector<ChecksumInterpretation>& all_interpretations();
+
+/// Compute the reply checksum under `interp`.
+///   `icmp_bytes`        the serialized reply with the checksum field zero
+///   `request_checksum`  the checksum of the triggering request (for the
+///                       incremental-update interpretation)
+///   `request_type`      the request's ICMP type (likewise)
+///   `ip_options_len`    phantom option bytes interpretation 5 includes
+std::uint16_t checksum_with_interpretation(
+    ChecksumInterpretation interp, std::span<const std::uint8_t> icmp_bytes,
+    std::uint16_t request_checksum, std::uint8_t request_type,
+    std::size_t ip_options_len = 0);
+
+/// Does this interpretation yield the RFC-correct checksum for a
+/// standard (56-byte payload) echo reply? Only #3 and — by arithmetic
+/// accident of the incremental method — #6 do.
+bool interpretation_is_interoperable(ChecksumInterpretation interp);
+
+}  // namespace sage::eval

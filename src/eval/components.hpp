@@ -1,0 +1,36 @@
+// Protocol-specification component inventory (§7, Tables 9 and 10).
+//
+// The paper manually inspected nine protocol specifications and
+// categorized their conceptual components (what the spec describes) and
+// syntactic components (the forms it uses). The inventory is reproduced
+// here as data, together with SAGE's support level for each component,
+// so the Table 9/10 bench can print the same matrices and the coverage
+// summary ("SAGE supports parsing of 3 of the 6 elements").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sage::eval {
+
+enum class Support { kFull, kPartial, kNone };
+
+std::string support_marker(Support support);  // "*", "+", or " "
+
+/// One component row: name, SAGE support, and which RFCs contain it.
+struct ComponentRow {
+  std::string name;
+  Support sage_support = Support::kNone;
+  std::vector<bool> present;  // aligned with surveyed_rfcs()
+};
+
+/// The nine surveyed protocol specs, in table column order.
+const std::vector<std::string>& surveyed_rfcs();
+
+/// Table 9: conceptual components.
+const std::vector<ComponentRow>& conceptual_components();
+
+/// Table 10: syntactic components.
+const std::vector<ComponentRow>& syntactic_components();
+
+}  // namespace sage::eval

@@ -1,0 +1,195 @@
+#include "eval/students.hpp"
+
+#include "net/checksum.hpp"
+#include "net/icmp.hpp"
+#include "net/ipv4.hpp"
+#include "util/bytes.hpp"
+
+namespace sage::eval {
+
+std::string fault_name(Fault fault) {
+  switch (fault) {
+    case Fault::kIpHeaderChecksumStale: return "stale IP header checksum";
+    case Fault::kIcmpWrongCode: return "wrong ICMP code in reply";
+    case Fault::kByteSwappedIdentifier: return "byte-swapped identifier/sequence";
+    case Fault::kCorruptedPayload: return "corrupted echoed payload";
+    case Fault::kTruncatedReply: return "truncated reply payload";
+    case Fault::kWrongChecksumRange: return "wrong checksum range";
+    case Fault::kReceiverZeroesIdentifier:
+      return "receiver zeroes identifier (under-specified reading)";
+  }
+  return "?";
+}
+
+FaultyIcmpResponder::FaultyIcmpResponder(std::set<Fault> faults,
+                                         ChecksumInterpretation interp)
+    : faults_(std::move(faults)), checksum_interp_(interp) {}
+
+std::optional<std::vector<std::uint8_t>> FaultyIcmpResponder::mutate(
+    std::optional<std::vector<std::uint8_t>> reply,
+    const sim::ResponderContext& ctx) const {
+  if (!reply) return reply;
+  auto ip = net::Ipv4Header::parse(*reply);
+  if (!ip) return reply;
+  auto icmp = net::IcmpMessage::parse(
+      std::span<const std::uint8_t>(*reply).subspan(ip->header_length()));
+  if (!icmp) return reply;
+
+  // Details of the triggering request (for the incremental-checksum and
+  // byte-order faults).
+  std::uint16_t request_checksum = 0;
+  std::uint8_t request_type = 8;
+  if (const auto req_ip = net::Ipv4Header::parse(ctx.triggering_packet)) {
+    if (const auto req_icmp = net::IcmpMessage::parse(
+            ctx.triggering_packet.subspan(req_ip->header_length()))) {
+      request_checksum = req_icmp->checksum;
+      request_type = static_cast<std::uint8_t>(req_icmp->type);
+    }
+  }
+
+  if (faults_.count(Fault::kIcmpWrongCode) != 0) {
+    icmp->code = 1;
+  }
+  if (faults_.count(Fault::kByteSwappedIdentifier) != 0) {
+    const auto swap16 = [](std::uint16_t v) {
+      return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+    };
+    icmp->set_identifier(swap16(icmp->identifier()));
+    icmp->set_sequence_number(swap16(icmp->sequence_number()));
+  }
+  if (faults_.count(Fault::kReceiverZeroesIdentifier) != 0) {
+    icmp->set_identifier(0);
+    icmp->set_sequence_number(0);
+  }
+  if (faults_.count(Fault::kCorruptedPayload) != 0 && !icmp->payload.empty()) {
+    // Corrupt an early byte so the bug stays observable even when the
+    // same implementation also truncates the reply.
+    icmp->payload[icmp->payload.size() > 8 ? 8 : 0] ^= 0xff;
+  }
+  if (faults_.count(Fault::kTruncatedReply) != 0 && icmp->payload.size() >= 4) {
+    icmp->payload.resize(icmp->payload.size() - 4);
+  }
+
+  // Serialize the (possibly mutated) message with a correct checksum,
+  // then optionally overwrite it with the student's interpretation.
+  auto icmp_bytes = icmp->serialize();
+  if (faults_.count(Fault::kWrongChecksumRange) != 0) {
+    std::vector<std::uint8_t> zeroed = icmp_bytes;
+    zeroed[2] = 0;
+    zeroed[3] = 0;
+    const std::uint16_t ck = checksum_with_interpretation(
+        checksum_interp_, zeroed, request_checksum, request_type);
+    util::put_be16({icmp_bytes.data() + 2, 2}, ck);
+  }
+
+  auto packet = net::build_ipv4_packet(*ip, icmp_bytes);
+  if (faults_.count(Fault::kIpHeaderChecksumStale) != 0) {
+    packet[10] = 0;  // the student forgot to fill the IP header checksum
+    packet[11] = 0;
+  }
+  return packet;
+}
+
+std::optional<std::vector<std::uint8_t>> FaultyIcmpResponder::on_echo_request(
+    const sim::ResponderContext& ctx) {
+  return mutate(reference_.on_echo_request(ctx), ctx);
+}
+std::optional<std::vector<std::uint8_t>>
+FaultyIcmpResponder::on_timestamp_request(const sim::ResponderContext& ctx) {
+  return mutate(reference_.on_timestamp_request(ctx), ctx);
+}
+std::optional<std::vector<std::uint8_t>>
+FaultyIcmpResponder::on_information_request(const sim::ResponderContext& ctx) {
+  return mutate(reference_.on_information_request(ctx), ctx);
+}
+std::optional<std::vector<std::uint8_t>>
+FaultyIcmpResponder::on_destination_unreachable(
+    const sim::ResponderContext& ctx, std::uint8_t code) {
+  return mutate(reference_.on_destination_unreachable(ctx, code), ctx);
+}
+std::optional<std::vector<std::uint8_t>> FaultyIcmpResponder::on_time_exceeded(
+    const sim::ResponderContext& ctx) {
+  return mutate(reference_.on_time_exceeded(ctx), ctx);
+}
+std::optional<std::vector<std::uint8_t>>
+FaultyIcmpResponder::on_parameter_problem(const sim::ResponderContext& ctx,
+                                          std::uint8_t pointer) {
+  return mutate(reference_.on_parameter_problem(ctx, pointer), ctx);
+}
+std::optional<std::vector<std::uint8_t>> FaultyIcmpResponder::on_source_quench(
+    const sim::ResponderContext& ctx) {
+  return mutate(reference_.on_source_quench(ctx), ctx);
+}
+std::optional<std::vector<std::uint8_t>> FaultyIcmpResponder::on_redirect(
+    const sim::ResponderContext& ctx, net::IpAddr gateway) {
+  return mutate(reference_.on_redirect(ctx, gateway), ctx);
+}
+
+std::vector<Student> make_student_cohort() {
+  std::vector<Student> cohort;
+
+  // 24 correct implementations (the paper: 24 of 39 passed).
+  for (int i = 1; i <= 24; ++i) {
+    Student s;
+    s.name = "student-ok-" + std::to_string(i);
+    s.responder = std::make_unique<sim::ReferenceIcmpResponder>();
+    cohort.push_back(std::move(s));
+  }
+
+  // One implementation that failed to compile: no responder at all.
+  {
+    Student s;
+    s.name = "student-nocompile";
+    cohort.push_back(std::move(s));
+  }
+
+  // 14 faulty implementations. Fault combinations chosen so the
+  // per-category counts match Table 2: IP header 8, ICMP header 8,
+  // byte order 4, payload 6, reply length 4, checksum 5 (of 14).
+  using F = Fault;
+  const std::vector<std::set<F>> fault_sets = {
+      {F::kIpHeaderChecksumStale, F::kIcmpWrongCode},
+      {F::kIpHeaderChecksumStale, F::kIcmpWrongCode, F::kWrongChecksumRange},
+      {F::kIpHeaderChecksumStale, F::kCorruptedPayload},
+      {F::kIpHeaderChecksumStale, F::kByteSwappedIdentifier},
+      {F::kIpHeaderChecksumStale, F::kIcmpWrongCode, F::kCorruptedPayload},
+      {F::kIpHeaderChecksumStale, F::kTruncatedReply},
+      {F::kIpHeaderChecksumStale, F::kWrongChecksumRange},
+      {F::kIpHeaderChecksumStale, F::kIcmpWrongCode, F::kByteSwappedIdentifier},
+      {F::kIcmpWrongCode, F::kCorruptedPayload},
+      {F::kIcmpWrongCode, F::kTruncatedReply},
+      {F::kIcmpWrongCode, F::kByteSwappedIdentifier, F::kCorruptedPayload},
+      {F::kIcmpWrongCode, F::kWrongChecksumRange, F::kTruncatedReply},
+      {F::kCorruptedPayload, F::kWrongChecksumRange, F::kByteSwappedIdentifier},
+      {F::kCorruptedPayload, F::kTruncatedReply, F::kWrongChecksumRange},
+  };
+  // Spread the Table 3 checksum interpretations over the checksum-faulty
+  // students (the wrong ones).
+  const std::vector<ChecksumInterpretation> interps = {
+      ChecksumInterpretation::kSpecificHeaderSize,
+      ChecksumInterpretation::kPartialHeader,
+      ChecksumInterpretation::kIpHeaderSize,
+      ChecksumInterpretation::kMagicConstant,
+      ChecksumInterpretation::kSpecificHeaderSize,
+  };
+  std::size_t interp_index = 0;
+  for (std::size_t i = 0; i < fault_sets.size(); ++i) {
+    Student s;
+    s.name = "student-bug-" + std::to_string(i + 1);
+    ChecksumInterpretation interp = ChecksumInterpretation::kSpecificHeaderSize;
+    if (fault_sets[i].count(F::kWrongChecksumRange) != 0) {
+      interp = interps[interp_index++ % interps.size()];
+    }
+    s.injected = fault_sets[i];
+    s.responder = std::make_unique<FaultyIcmpResponder>(fault_sets[i], interp);
+    cohort.push_back(std::move(s));
+  }
+  return cohort;
+}
+
+std::unique_ptr<sim::IcmpResponder> make_underspecified_receiver() {
+  return std::make_unique<FaultyIcmpResponder>(
+      std::set<Fault>{Fault::kReceiverZeroesIdentifier});
+}
+
+}  // namespace sage::eval

@@ -1,0 +1,96 @@
+// The simulated student cohort (§2.1, Tables 2 and 3).
+//
+// The paper examined ICMP implementations by 39 students: 24 passed the
+// Linux-ping interop test, one did not compile, and 14 exhibited six
+// (overlapping) categories of bugs. The observational data cannot be
+// re-collected, so the cohort is reconstructed: each faulty
+// implementation is the reference responder with one or more concrete
+// fault injections drawn from the error classes the paper reports, with
+// the per-category frequencies of Table 2 preserved by construction.
+// Re-running the paper's interop test over this cohort re-derives the
+// table — the harness measures, it does not copy, the frequencies.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "eval/checksum_interp.hpp"
+#include "sim/ping.hpp"
+#include "sim/reference_responder.hpp"
+#include "sim/responder.hpp"
+
+namespace sage::eval {
+
+/// Concrete fault injections, one per Table 2 error class.
+enum class Fault {
+  kIpHeaderChecksumStale,    // IP header related
+  kIcmpWrongCode,            // ICMP header related
+  kByteSwappedIdentifier,    // network/host byte order conversion
+  kCorruptedPayload,         // incorrect ICMP payload content
+  kTruncatedReply,           // incorrect echo reply packet length
+  kWrongChecksumRange,       // incorrect checksum (Table 3 interpretation)
+  kReceiverZeroesIdentifier, // the §6.5 under-specified reading of
+                             // "If code = 0, an identifier ... may be zero"
+};
+
+std::string fault_name(Fault fault);
+
+/// A responder that produces the reference reply, then applies fault
+/// mutations to it.
+class FaultyIcmpResponder : public sim::IcmpResponder {
+ public:
+  explicit FaultyIcmpResponder(
+      std::set<Fault> faults,
+      ChecksumInterpretation interp = ChecksumInterpretation::kSpecificHeaderSize);
+
+  std::optional<std::vector<std::uint8_t>> on_echo_request(
+      const sim::ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_timestamp_request(
+      const sim::ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_information_request(
+      const sim::ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_destination_unreachable(
+      const sim::ResponderContext& ctx, std::uint8_t code) override;
+  std::optional<std::vector<std::uint8_t>> on_time_exceeded(
+      const sim::ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_parameter_problem(
+      const sim::ResponderContext& ctx, std::uint8_t pointer) override;
+  std::optional<std::vector<std::uint8_t>> on_source_quench(
+      const sim::ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_redirect(
+      const sim::ResponderContext& ctx, net::IpAddr gateway) override;
+
+  const std::set<Fault>& faults() const { return faults_; }
+
+ private:
+  std::optional<std::vector<std::uint8_t>> mutate(
+      std::optional<std::vector<std::uint8_t>> reply,
+      const sim::ResponderContext& ctx) const;
+
+  sim::ReferenceIcmpResponder reference_;
+  std::set<Fault> faults_;
+  ChecksumInterpretation checksum_interp_;
+};
+
+/// One cohort member. `responder` is null for the implementation that
+/// failed to compile.
+struct Student {
+  std::string name;
+  std::unique_ptr<sim::IcmpResponder> responder;
+  std::set<Fault> injected;  // empty for correct implementations
+};
+
+/// The 39-member cohort: 24 correct, 1 non-compiling, 14 faulty with
+/// fault combinations that reproduce Table 2's per-category counts
+/// (IP header 8, ICMP header 8, byte order 4, payload 6, length 4,
+/// checksum 5 — of 14).
+std::vector<Student> make_student_cohort();
+
+/// The §6.5 "under-specified behavior" responder: a reasonable but wrong
+/// reading of the identifier sentence makes the *receiver* zero the
+/// identifier/sequence fields in the reply, breaking Linux ping.
+std::unique_ptr<sim::IcmpResponder> make_underspecified_receiver();
+
+}  // namespace sage::eval

@@ -1,0 +1,49 @@
+// Tree isomorphism modulo associativity — the substrate of SAGE's
+// associativity check (§4.2).
+//
+// The paper: "If predicates are associative, their logical form trees
+// will be isomorphic. SAGE detects associativity using a standard graph
+// isomorphism algorithm." For sentence H ("A of B of C") the parser emits
+// two groupings, (A of B) of C and A of (B of C); since @Of is
+// associative the two trees denote the same form, and only one is kept.
+//
+// We implement the check as canonicalization (an AHU-style canonical
+// encoding): associative predicates are flattened into n-ary nodes, and
+// predicates declared commutative additionally have their children
+// sorted. Two trees are isomorphic modulo the declared properties iff
+// their canonical encodings are equal — equivalent to running pairwise
+// isomorphism but O(n log n) per tree.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "lf/logical_form.hpp"
+
+namespace sage::lf {
+
+/// Which predicates enjoy which algebraic properties. Defaults match the
+/// corpus: @Of is associative; @And/@Or are associative and commutative.
+struct AlgebraicProperties {
+  std::set<std::string> associative = {std::string(pred::kOf),
+                                       std::string(pred::kAnd),
+                                       std::string(pred::kOr)};
+  std::set<std::string> commutative = {std::string(pred::kAnd),
+                                       std::string(pred::kOr)};
+};
+
+/// Flatten nested occurrences of associative predicates:
+/// @Of(@Of(a,b),c) and @Of(a,@Of(b,c)) both become @Of(a,b,c).
+LfNode flatten_associative(const LfNode& root, const AlgebraicProperties& props);
+
+/// Canonical encoding: flattened, with commutative children sorted by
+/// their own canonical encodings. Equal strings <=> isomorphic trees
+/// (modulo the declared properties).
+std::string canonical_encoding(const LfNode& root,
+                               const AlgebraicProperties& props);
+
+/// True if `a` and `b` are isomorphic modulo associativity/commutativity.
+bool isomorphic(const LfNode& a, const LfNode& b,
+                const AlgebraicProperties& props = {});
+
+}  // namespace sage::lf

@@ -1,0 +1,202 @@
+#include "lf/logical_form.hpp"
+
+#include <functional>
+
+#include "util/strings.hpp"
+
+namespace sage::lf {
+
+bool LfNode::operator==(const LfNode& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::kNumber:
+      return number == other.number;
+    case Kind::kString:
+      return label == other.label;
+    case Kind::kPredicate:
+      return label == other.label && args == other.args;
+  }
+  return false;
+}
+
+std::size_t LfNode::size() const {
+  std::size_t n = 1;
+  for (const auto& a : args) n += a.size();
+  return n;
+}
+
+std::size_t LfNode::depth() const {
+  std::size_t d = 0;
+  for (const auto& a : args) d = std::max(d, a.depth());
+  return d + 1;
+}
+
+std::string LfNode::to_string() const {
+  switch (kind) {
+    case Kind::kNumber:
+      return "@Num(" + std::to_string(number) + ")";
+    case Kind::kString: {
+      return "\"" + label + "\"";
+    }
+    case Kind::kPredicate: {
+      std::string out = label + "(";
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += args[i].to_string();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+/// Tiny recursive-descent parser for the to_string grammar:
+///   node  := '@Num' '(' [-]digits ')'
+///          | '@Name' '(' [node (',' node)*] ')'
+///          | '"' chars '"'
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<LfNode> parse() {
+    auto node = parse_node();
+    skip_ws();
+    if (node && pos_ != text_.size()) return std::nullopt;  // trailing junk
+    return node;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<LfNode> parse_node() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    if (text_[pos_] == '"') return parse_string();
+    if (text_[pos_] == '@') return parse_predicate();
+    return std::nullopt;
+  }
+
+  std::optional<LfNode> parse_string() {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      value += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) return std::nullopt;  // unterminated
+    ++pos_;                                         // closing quote
+    return LfNode::str(std::move(value));
+  }
+
+  std::optional<LfNode> parse_predicate() {
+    std::string name;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '@' || text_[pos_] == '_')) {
+      name += text_[pos_++];
+    }
+    if (name.size() < 2) return std::nullopt;
+    if (!eat('(')) return std::nullopt;
+
+    if (name == "@Num") {
+      skip_ws();
+      std::string digits;
+      if (pos_ < text_.size() && text_[pos_] == '-') digits += text_[pos_++];
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        digits += text_[pos_++];
+      }
+      if (digits.empty() || digits == "-") return std::nullopt;
+      if (!eat(')')) return std::nullopt;
+      return LfNode::num(std::stol(digits));
+    }
+
+    std::vector<LfNode> args;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ')') {
+      ++pos_;
+      return LfNode::predicate(std::move(name), std::move(args));
+    }
+    while (true) {
+      auto arg = parse_node();
+      if (!arg) return std::nullopt;
+      args.push_back(std::move(*arg));
+      if (eat(')')) break;
+      if (!eat(',')) return std::nullopt;
+    }
+    return LfNode::predicate(std::move(name), std::move(args));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void collect_predicates_impl(const LfNode& node, std::vector<std::string>& out) {
+  if (node.kind == LfNode::Kind::kPredicate) {
+    if (std::find(out.begin(), out.end(), node.label) == out.end()) {
+      out.push_back(node.label);
+    }
+    for (const auto& a : node.args) collect_predicates_impl(a, out);
+  }
+}
+
+}  // namespace
+
+std::optional<LogicalForm> parse_logical_form(std::string_view text) {
+  return Parser(text).parse();
+}
+
+std::vector<std::string> collect_predicates(const LfNode& root) {
+  std::vector<std::string> out;
+  collect_predicates_impl(root, out);
+  return out;
+}
+
+std::uint64_t structural_hash(const LfNode& root) {
+  // FNV-1a over a canonical serialization.
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](std::string_view s) {
+    for (char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+  };
+  switch (root.kind) {
+    case LfNode::Kind::kNumber:
+      mix("#");
+      mix(std::to_string(root.number));
+      break;
+    case LfNode::Kind::kString:
+      mix("$");
+      mix(root.label);
+      break;
+    case LfNode::Kind::kPredicate: {
+      mix("(");
+      mix(root.label);
+      for (const auto& a : root.args) {
+        h ^= structural_hash(a) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      mix(")");
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace sage::lf

@@ -1,0 +1,112 @@
+// Logical forms (LFs): SAGE's intermediate representation.
+//
+// §2.2/§4 of the paper: the semantic parser outputs zero or more logical
+// forms per sentence; each LF is a tree of nested predicates whose
+// internal nodes are predicates (@Is, @If, @And, @Of, @Action, ...) and
+// whose leaves are scalar arguments (field names, numbers). Multiple LFs
+// for one sentence represent ambiguity; the disambiguation stage winnows
+// them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sage::lf {
+
+/// Well-known predicate names. Kept as strings in the tree (the lexicon
+/// can introduce new predicates, per §6.4 where BFD adds 10), but the
+/// common ones get named constants so call sites don't typo them.
+namespace pred {
+inline constexpr std::string_view kIs = "@Is";
+inline constexpr std::string_view kIf = "@If";
+inline constexpr std::string_view kAnd = "@And";
+inline constexpr std::string_view kOr = "@Or";
+inline constexpr std::string_view kOf = "@Of";
+inline constexpr std::string_view kIn = "@In";
+inline constexpr std::string_view kAction = "@Action";
+inline constexpr std::string_view kCompute = "@Compute";
+inline constexpr std::string_view kNum = "@Num";
+inline constexpr std::string_view kMay = "@May";
+inline constexpr std::string_view kMust = "@Must";
+inline constexpr std::string_view kNot = "@Not";
+inline constexpr std::string_view kAdvBefore = "@AdvBefore";
+inline constexpr std::string_view kAdvComment = "@AdvComment";
+inline constexpr std::string_view kSelect = "@Select";
+inline constexpr std::string_view kDiscard = "@Discard";
+inline constexpr std::string_view kSend = "@Send";
+inline constexpr std::string_view kCease = "@Cease";
+inline constexpr std::string_view kNonzero = "@Nonzero";
+inline constexpr std::string_view kCase = "@Case";
+inline constexpr std::string_view kWhen = "@When";
+inline constexpr std::string_view kGreater = "@Greater";
+inline constexpr std::string_view kLess = "@Less";
+}  // namespace pred
+
+/// One node of a logical form.
+struct LfNode {
+  enum class Kind : std::uint8_t {
+    kPredicate,  // label = predicate name, args = children
+    kString,     // label = the string value (field name, function name, ...)
+    kNumber,     // number = numeric literal
+  };
+
+  Kind kind = Kind::kString;
+  std::string label;
+  long number = 0;
+  std::vector<LfNode> args;
+
+  static LfNode predicate(std::string name, std::vector<LfNode> args = {}) {
+    LfNode n;
+    n.kind = Kind::kPredicate;
+    n.label = std::move(name);
+    n.args = std::move(args);
+    return n;
+  }
+  static LfNode str(std::string value) {
+    LfNode n;
+    n.kind = Kind::kString;
+    n.label = std::move(value);
+    return n;
+  }
+  static LfNode num(long value) {
+    LfNode n;
+    n.kind = Kind::kNumber;
+    n.number = value;
+    return n;
+  }
+
+  bool is_predicate(std::string_view name) const {
+    return kind == Kind::kPredicate && label == name;
+  }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  bool operator==(const LfNode& other) const;
+
+  /// Number of nodes in the subtree (for statistics/benches).
+  std::size_t size() const;
+
+  /// Maximum nesting depth.
+  std::size_t depth() const;
+
+  /// Render as "@Is("checksum", @Num(0))".
+  std::string to_string() const;
+};
+
+/// A complete logical form for one sentence.
+using LogicalForm = LfNode;
+
+/// Parse the textual form produced by LfNode::to_string. Used by golden
+/// tests and the corpus annotations. Returns nullopt on syntax errors.
+std::optional<LogicalForm> parse_logical_form(std::string_view text);
+
+/// Collect the distinct predicate names used in a tree.
+std::vector<std::string> collect_predicates(const LfNode& root);
+
+/// Deterministic structural hash (identical trees hash equal).
+std::uint64_t structural_hash(const LfNode& root);
+
+}  // namespace sage::lf

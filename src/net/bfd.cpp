@@ -1,0 +1,59 @@
+#include "net/bfd.hpp"
+
+#include "util/bytes.hpp"
+
+namespace sage::net {
+
+std::string bfd_state_name(BfdState s) {
+  switch (s) {
+    case BfdState::kAdminDown: return "AdminDown";
+    case BfdState::kDown: return "Down";
+    case BfdState::kInit: return "Init";
+    case BfdState::kUp: return "Up";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> BfdControlPacket::serialize() const {
+  std::vector<std::uint8_t> out(24, 0);
+  out[0] = static_cast<std::uint8_t>(((version & 0x7) << 5) |
+                                     (static_cast<std::uint8_t>(diag) & 0x1f));
+  out[1] = static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(state) << 6) | (poll ? 0x20 : 0) |
+      (final ? 0x10 : 0) | (control_plane_independent ? 0x08 : 0) |
+      (authentication_present ? 0x04 : 0) | (demand ? 0x02 : 0) |
+      (multipoint ? 0x01 : 0));
+  out[2] = detect_mult;
+  out[3] = 24;
+  util::put_be32({out.data() + 4, 4}, my_discriminator);
+  util::put_be32({out.data() + 8, 4}, your_discriminator);
+  util::put_be32({out.data() + 12, 4}, desired_min_tx_interval);
+  util::put_be32({out.data() + 16, 4}, required_min_rx_interval);
+  util::put_be32({out.data() + 20, 4}, required_min_echo_rx_interval);
+  return out;
+}
+
+std::optional<BfdControlPacket> BfdControlPacket::parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < 24) return std::nullopt;
+  BfdControlPacket p;
+  p.version = data[0] >> 5;
+  p.diag = static_cast<BfdDiag>(data[0] & 0x1f);
+  p.state = static_cast<BfdState>(data[1] >> 6);
+  p.poll = (data[1] & 0x20) != 0;
+  p.final = (data[1] & 0x10) != 0;
+  p.control_plane_independent = (data[1] & 0x08) != 0;
+  p.authentication_present = (data[1] & 0x04) != 0;
+  p.demand = (data[1] & 0x02) != 0;
+  p.multipoint = (data[1] & 0x01) != 0;
+  p.detect_mult = data[2];
+  p.length = data[3];
+  p.my_discriminator = util::get_be32(data.subspan(4, 4));
+  p.your_discriminator = util::get_be32(data.subspan(8, 4));
+  p.desired_min_tx_interval = util::get_be32(data.subspan(12, 4));
+  p.required_min_rx_interval = util::get_be32(data.subspan(16, 4));
+  p.required_min_echo_rx_interval = util::get_be32(data.subspan(20, 4));
+  return p;
+}
+
+}  // namespace sage::net

@@ -1,0 +1,37 @@
+#include "net/checksum.hpp"
+
+namespace sage::net {
+
+std::uint16_t ones_complement_sum(std::span<const std::uint8_t> data,
+                                  std::uint16_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) {  // odd trailing byte: pad with zero on the right
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {  // fold end-around carries
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(sum);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data,
+                                std::uint16_t initial) {
+  return static_cast<std::uint16_t>(~ones_complement_sum(data, initial));
+}
+
+std::uint16_t incremental_checksum_update(std::uint16_t old_checksum,
+                                          std::uint16_t old_value,
+                                          std::uint16_t new_value) {
+  // RFC 1624: HC' = ~(~HC + ~m + m')
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_checksum);
+  sum += static_cast<std::uint16_t>(~old_value);
+  sum += new_value;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace sage::net

@@ -1,0 +1,34 @@
+// RFC 1071 Internet checksum (16-bit one's complement of the one's
+// complement sum).
+//
+// This is the "one's complement sum" function that the ICMP RFC references
+// but never defines — in SAGE terms it lives in the *static framework*
+// (§5.1 of the paper): protocol text says "the checksum is the 16-bit
+// one's complement of the one's complement sum of the ICMP message", and
+// generated code calls into these primitives.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sage::net {
+
+/// One's-complement sum of `data`, with end-around carry folded in, as a
+/// 16-bit partial. An odd trailing byte is padded with zero, per RFC 1071.
+/// `initial` allows chaining over discontiguous regions (pseudo-headers).
+std::uint16_t ones_complement_sum(std::span<const std::uint8_t> data,
+                                  std::uint16_t initial = 0);
+
+/// The Internet checksum: bitwise NOT of the one's-complement sum.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data,
+                                std::uint16_t initial = 0);
+
+/// Incrementally update `old_checksum` for a 16-bit field change from
+/// `old_value` to `new_value` (RFC 1624 method). Used by the Table 3
+/// "incremental update" student interpretation and by router forwarding
+/// when decrementing TTL.
+std::uint16_t incremental_checksum_update(std::uint16_t old_checksum,
+                                          std::uint16_t old_value,
+                                          std::uint16_t new_value);
+
+}  // namespace sage::net

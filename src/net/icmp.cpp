@@ -1,0 +1,92 @@
+#include "net/icmp.hpp"
+
+#include "net/checksum.hpp"
+#include "util/bytes.hpp"
+
+namespace sage::net {
+
+std::string icmp_type_name(IcmpType type) {
+  switch (type) {
+    case IcmpType::kEchoReply: return "echo reply";
+    case IcmpType::kDestinationUnreachable: return "destination unreachable";
+    case IcmpType::kSourceQuench: return "source quench";
+    case IcmpType::kRedirect: return "redirect";
+    case IcmpType::kEcho: return "echo request";
+    case IcmpType::kTimeExceeded: return "time exceeded";
+    case IcmpType::kParameterProblem: return "parameter problem";
+    case IcmpType::kTimestamp: return "timestamp request";
+    case IcmpType::kTimestampReply: return "timestamp reply";
+    case IcmpType::kInformationRequest: return "information request";
+    case IcmpType::kInformationReply: return "information reply";
+  }
+  return "unknown (" + std::to_string(static_cast<int>(type)) + ")";
+}
+
+std::uint32_t IcmpMessage::originate_timestamp() const {
+  return payload.size() >= 4 ? util::get_be32({payload.data(), 4}) : 0;
+}
+std::uint32_t IcmpMessage::receive_timestamp() const {
+  return payload.size() >= 8 ? util::get_be32({payload.data() + 4, 4}) : 0;
+}
+std::uint32_t IcmpMessage::transmit_timestamp() const {
+  return payload.size() >= 12 ? util::get_be32({payload.data() + 8, 4}) : 0;
+}
+
+void IcmpMessage::set_timestamps(std::uint32_t originate, std::uint32_t receive,
+                                 std::uint32_t transmit) {
+  payload.resize(12);
+  util::put_be32({payload.data(), 4}, originate);
+  util::put_be32({payload.data() + 4, 4}, receive);
+  util::put_be32({payload.data() + 8, 4}, transmit);
+}
+
+std::vector<std::uint8_t> IcmpMessage::serialize() const {
+  std::vector<std::uint8_t> out(8 + payload.size());
+  out[0] = static_cast<std::uint8_t>(type);
+  out[1] = code;
+  // out[2..3] zero while checksumming
+  util::put_be32({out.data() + 4, 4}, rest);
+  std::copy(payload.begin(), payload.end(), out.begin() + 8);
+  const std::uint16_t ck = internet_checksum(out);
+  util::put_be16({out.data() + 2, 2}, ck);
+  return out;
+}
+
+std::vector<std::uint8_t> IcmpMessage::serialize_with_checksum(
+    std::uint16_t forced) const {
+  std::vector<std::uint8_t> out = serialize();
+  util::put_be16({out.data() + 2, 2}, forced);
+  return out;
+}
+
+std::optional<IcmpMessage> IcmpMessage::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < 8) return std::nullopt;
+  IcmpMessage m;
+  m.type = static_cast<IcmpType>(data[0]);
+  m.code = data[1];
+  m.checksum = util::get_be16(data.subspan(2, 2));
+  m.rest = util::get_be32(data.subspan(4, 4));
+  m.payload.assign(data.begin() + 8, data.end());
+  return m;
+}
+
+bool IcmpMessage::verify_checksum(std::span<const std::uint8_t> icmp_bytes) {
+  if (icmp_bytes.size() < 8) return false;
+  // Summing the message including the transmitted checksum must yield
+  // 0xffff (i.e., the complement sums to zero).
+  return ones_complement_sum(icmp_bytes) == 0xffff;
+}
+
+std::vector<std::uint8_t> original_datagram_excerpt(
+    std::span<const std::uint8_t> original_ip_packet) {
+  const auto hdr = Ipv4Header::parse(original_ip_packet);
+  if (!hdr) return {};
+  const std::size_t want = hdr->header_length() + 8;  // header + 64 bits
+  const std::size_t n = original_ip_packet.size() < want
+                            ? original_ip_packet.size()
+                            : want;
+  return {original_ip_packet.begin(),
+          original_ip_packet.begin() + static_cast<long>(n)};
+}
+
+}  // namespace sage::net

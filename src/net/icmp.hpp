@@ -1,0 +1,87 @@
+// ICMP (RFC 792) message representation — the paper's primary evaluation
+// protocol. All eight message types from the RFC are modelled:
+// destination unreachable, time exceeded, parameter problem, source quench,
+// redirect, echo/echo reply, timestamp/timestamp reply, information
+// request/reply.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace sage::net {
+
+/// ICMP message type values from RFC 792.
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestinationUnreachable = 3,
+  kSourceQuench = 4,
+  kRedirect = 5,
+  kEcho = 8,
+  kTimeExceeded = 11,
+  kParameterProblem = 12,
+  kTimestamp = 13,
+  kTimestampReply = 14,
+  kInformationRequest = 15,
+  kInformationReply = 16,
+};
+
+/// Human-readable name as tcpdump would print it.
+std::string icmp_type_name(IcmpType type);
+
+/// A decoded ICMP message. The 4 bytes following the checksum are
+/// type-dependent; `rest` holds them raw and the typed accessors interpret
+/// them. `payload` is everything after the 8-byte header (original
+/// datagram excerpt, echo data, or the three 32-bit timestamps).
+struct IcmpMessage {
+  IcmpType type = IcmpType::kEchoReply;
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;  // as parsed; serialize() recomputes
+  std::uint32_t rest = 0;      // bytes 4..7 of the ICMP header
+  std::vector<std::uint8_t> payload;
+
+  // -- typed views of `rest` --------------------------------------------
+  std::uint16_t identifier() const { return static_cast<std::uint16_t>(rest >> 16); }
+  std::uint16_t sequence_number() const { return static_cast<std::uint16_t>(rest & 0xffff); }
+  void set_identifier(std::uint16_t id) { rest = (std::uint32_t{id} << 16) | (rest & 0xffff); }
+  void set_sequence_number(std::uint16_t seq) { rest = (rest & 0xffff0000U) | seq; }
+
+  IpAddr gateway_address() const { return IpAddr(rest); }
+  void set_gateway_address(IpAddr a) { rest = a.value(); }
+
+  std::uint8_t pointer() const { return static_cast<std::uint8_t>(rest >> 24); }
+  void set_pointer(std::uint8_t p) { rest = std::uint32_t{p} << 24; }
+
+  // -- timestamp message payload accessors (3 x 32-bit, ms since midnight UT)
+  std::uint32_t originate_timestamp() const;
+  std::uint32_t receive_timestamp() const;
+  std::uint32_t transmit_timestamp() const;
+  void set_timestamps(std::uint32_t originate, std::uint32_t receive,
+                      std::uint32_t transmit);
+
+  /// Serialize with a freshly computed checksum over the whole ICMP
+  /// message (header + payload), checksum field zeroed during the sum —
+  /// the RFC-correct interpretation #3 of Table 3.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Serialize with the checksum field forced to `checksum` (fault
+  /// injection for the Table 2/3 experiments).
+  std::vector<std::uint8_t> serialize_with_checksum(std::uint16_t forced) const;
+
+  /// Parse; nullopt if shorter than the 8-byte ICMP header.
+  static std::optional<IcmpMessage> parse(std::span<const std::uint8_t> data);
+
+  /// True if the message's checksum verifies over header + payload.
+  static bool verify_checksum(std::span<const std::uint8_t> icmp_bytes);
+};
+
+/// Build the standard "internet header + first 64 bits of original
+/// datagram's data" excerpt that error messages carry (RFC 792).
+std::vector<std::uint8_t> original_datagram_excerpt(
+    std::span<const std::uint8_t> original_ip_packet);
+
+}  // namespace sage::net

@@ -1,0 +1,35 @@
+#include "net/igmp.hpp"
+
+#include "net/checksum.hpp"
+#include "util/bytes.hpp"
+
+namespace sage::net {
+
+std::vector<std::uint8_t> IgmpMessage::serialize() const {
+  std::vector<std::uint8_t> out(8, 0);
+  out[0] = static_cast<std::uint8_t>((version << 4) |
+                                     static_cast<std::uint8_t>(type));
+  out[1] = unused;
+  util::put_be32({out.data() + 4, 4}, group_address.value());
+  const std::uint16_t ck = internet_checksum(out);
+  util::put_be16({out.data() + 2, 2}, ck);
+  return out;
+}
+
+std::optional<IgmpMessage> IgmpMessage::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < 8) return std::nullopt;
+  IgmpMessage m;
+  m.version = data[0] >> 4;
+  m.type = static_cast<IgmpType>(data[0] & 0x0f);
+  m.unused = data[1];
+  m.checksum = util::get_be16(data.subspan(2, 2));
+  m.group_address = IpAddr(util::get_be32(data.subspan(4, 4)));
+  return m;
+}
+
+bool IgmpMessage::verify_checksum(std::span<const std::uint8_t> igmp_bytes) {
+  if (igmp_bytes.size() < 8) return false;
+  return ones_complement_sum(igmp_bytes.subspan(0, 8)) == 0xffff;
+}
+
+}  // namespace sage::net

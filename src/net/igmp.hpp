@@ -1,0 +1,38 @@
+// IGMPv1 (RFC 1112, Appendix I) message format — SAGE's first generality
+// protocol (§6.3). The paper parses the Appendix I packet-header
+// description and generates host-membership-report and query senders.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace sage::net {
+
+/// IGMPv1 message types (RFC 1112 Appendix I).
+enum class IgmpType : std::uint8_t {
+  kHostMembershipQuery = 1,
+  kHostMembershipReport = 2,
+};
+
+/// IGMPv1 message: version(4) | type(4) | unused(8) | checksum(16) |
+/// group address(32).
+struct IgmpMessage {
+  std::uint8_t version = 1;
+  IgmpType type = IgmpType::kHostMembershipQuery;
+  std::uint8_t unused = 0;
+  std::uint16_t checksum = 0;  // recomputed by serialize()
+  IpAddr group_address;
+
+  /// Serialize with a fresh checksum over the 8-byte message.
+  std::vector<std::uint8_t> serialize() const;
+
+  static std::optional<IgmpMessage> parse(std::span<const std::uint8_t> data);
+
+  static bool verify_checksum(std::span<const std::uint8_t> igmp_bytes);
+};
+
+}  // namespace sage::net

@@ -1,0 +1,104 @@
+#include "net/ipv4.hpp"
+
+#include <cstdio>
+
+#include "net/checksum.hpp"
+#include "util/bytes.hpp"
+#include "util/strings.hpp"
+
+namespace sage::net {
+
+std::optional<IpAddr> IpAddr::parse(std::string_view text) {
+  const auto parts = util::split(text, ".");
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const auto& p : parts) {
+    if (!util::is_all_digits(p) || p.size() > 3) return std::nullopt;
+    const int octet = std::stoi(p);
+    if (octet > 255) return std::nullopt;
+    v = (v << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return IpAddr(v);
+}
+
+std::string IpAddr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::size_t Ipv4Header::serialize(std::vector<std::uint8_t>& out,
+                                  std::size_t payload_length) const {
+  const std::size_t off = out.size();
+  const std::size_t opt_len = (options.size() + 3) / 4 * 4;
+  const std::uint8_t eff_ihl = static_cast<std::uint8_t>(5 + opt_len / 4);
+  const std::size_t hdr_len = std::size_t{eff_ihl} * 4;
+  out.resize(off + hdr_len, 0);
+  std::span<std::uint8_t> h(out.data() + off, hdr_len);
+
+  h[0] = static_cast<std::uint8_t>((version << 4) | eff_ihl);
+  h[1] = tos;
+  util::put_be16(h.subspan(2, 2),
+                 static_cast<std::uint16_t>(hdr_len + payload_length));
+  util::put_be16(h.subspan(4, 2), identification);
+  util::put_be16(h.subspan(6, 2),
+                 static_cast<std::uint16_t>((std::uint16_t{flags} << 13) |
+                                            (fragment_offset & 0x1fff)));
+  h[8] = ttl;
+  h[9] = protocol;
+  // checksum (h[10..11]) stays zero while summing
+  util::put_be32(h.subspan(12, 4), src.value());
+  util::put_be32(h.subspan(16, 4), dst.value());
+  std::copy(options.begin(), options.end(), h.begin() + 20);
+
+  const std::uint16_t ck = internet_checksum({h.data(), hdr_len});
+  util::put_be16(h.subspan(10, 2), ck);
+  return off;
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < 20) return std::nullopt;
+  Ipv4Header hdr;
+  hdr.version = data[0] >> 4;
+  hdr.ihl = data[0] & 0x0f;
+  if (hdr.version != 4 || hdr.ihl < 5) return std::nullopt;
+  if (data.size() < hdr.header_length()) return std::nullopt;
+  hdr.tos = data[1];
+  hdr.total_length = util::get_be16(data.subspan(2, 2));
+  hdr.identification = util::get_be16(data.subspan(4, 2));
+  const std::uint16_t ff = util::get_be16(data.subspan(6, 2));
+  hdr.flags = static_cast<std::uint8_t>(ff >> 13);
+  hdr.fragment_offset = ff & 0x1fff;
+  hdr.ttl = data[8];
+  hdr.protocol = data[9];
+  hdr.checksum = util::get_be16(data.subspan(10, 2));
+  hdr.src = IpAddr(util::get_be32(data.subspan(12, 4)));
+  hdr.dst = IpAddr(util::get_be32(data.subspan(16, 4)));
+  if (hdr.header_length() > 20) {
+    hdr.options.assign(data.begin() + 20,
+                       data.begin() + static_cast<long>(hdr.header_length()));
+  }
+  return hdr;
+}
+
+std::uint16_t Ipv4Header::compute_checksum(
+    std::span<const std::uint8_t> header_bytes) {
+  // Sum with the checksum field itself zeroed.
+  std::vector<std::uint8_t> copy(header_bytes.begin(), header_bytes.end());
+  if (copy.size() >= 12) {
+    copy[10] = 0;
+    copy[11] = 0;
+  }
+  return internet_checksum(copy);
+}
+
+std::vector<std::uint8_t> build_ipv4_packet(const Ipv4Header& hdr,
+                                            std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  hdr.serialize(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace sage::net

@@ -1,0 +1,91 @@
+// IPv4 header (RFC 791) — the layer below every protocol SAGE generates.
+//
+// ICMP text like "the source and destination addresses are simply reversed"
+// refers to *these* fields; the static context dictionary (src/runtime) maps
+// those phrases here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sage::net {
+
+/// IPv4 address in host byte order. Wire encoding is handled by
+/// Ipv4Header::serialize/parse.
+class IpAddr {
+ public:
+  constexpr IpAddr() = default;
+  constexpr explicit IpAddr(std::uint32_t v) : value_(v) {}
+  constexpr IpAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Parse dotted-quad text; returns nullopt for malformed input.
+  static std::optional<IpAddr> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  constexpr bool operator==(const IpAddr&) const = default;
+  constexpr auto operator<=>(const IpAddr&) const = default;
+
+  /// True if `other` lies within this address's /prefix_len subnet.
+  constexpr bool same_subnet(IpAddr other, int prefix_len) const {
+    if (prefix_len <= 0) return true;
+    const std::uint32_t mask =
+        prefix_len >= 32 ? 0xffffffffU : ~((1U << (32 - prefix_len)) - 1);
+    return (value_ & mask) == (other.value_ & mask);
+  }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IP protocol numbers used by the corpus protocols.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kIgmp = 2,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// Decoded IPv4 header. `header_length()` is derived from ihl; options are
+/// carried verbatim.
+struct Ipv4Header {
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;  // 32-bit words
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t flags = 0;           // 3 bits
+  std::uint16_t fragment_offset = 0;  // 13 bits
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;
+  IpAddr src;
+  IpAddr dst;
+  std::vector<std::uint8_t> options;  // padded to 32-bit boundary by caller
+
+  std::size_t header_length() const { return std::size_t{ihl} * 4; }
+
+  /// Serialize, computing ihl/checksum. `payload_length` fills total_length.
+  /// Appends to `out` and returns the header's byte offset.
+  std::size_t serialize(std::vector<std::uint8_t>& out,
+                        std::size_t payload_length) const;
+
+  /// Parse from raw bytes. Returns nullopt if truncated or not IPv4. Does
+  /// NOT verify the checksum — the PacketInspector does that so it can warn.
+  static std::optional<Ipv4Header> parse(std::span<const std::uint8_t> data);
+
+  /// Header checksum over the given serialized header bytes.
+  static std::uint16_t compute_checksum(std::span<const std::uint8_t> header_bytes);
+};
+
+/// Build a complete IP datagram: header followed by `payload`.
+std::vector<std::uint8_t> build_ipv4_packet(const Ipv4Header& hdr,
+                                            std::span<const std::uint8_t> payload);
+
+}  // namespace sage::net

@@ -1,0 +1,44 @@
+#include "net/ntp.hpp"
+
+#include "util/bytes.hpp"
+
+namespace sage::net {
+
+std::vector<std::uint8_t> NtpPacket::serialize() const {
+  std::vector<std::uint8_t> out(48, 0);
+  out[0] = static_cast<std::uint8_t>(((leap_indicator & 0x3) << 6) |
+                                     ((version & 0x7) << 3) |
+                                     (static_cast<std::uint8_t>(mode) & 0x7));
+  out[1] = stratum;
+  out[2] = static_cast<std::uint8_t>(poll);
+  out[3] = static_cast<std::uint8_t>(precision);
+  util::put_be32({out.data() + 4, 4}, root_delay);
+  util::put_be32({out.data() + 8, 4}, root_dispersion);
+  util::put_be32({out.data() + 12, 4}, reference_clock_id);
+  util::put_be64({out.data() + 16, 8}, reference_timestamp.raw());
+  util::put_be64({out.data() + 24, 8}, originate_timestamp.raw());
+  util::put_be64({out.data() + 32, 8}, receive_timestamp.raw());
+  util::put_be64({out.data() + 40, 8}, transmit_timestamp.raw());
+  return out;
+}
+
+std::optional<NtpPacket> NtpPacket::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < 48) return std::nullopt;
+  NtpPacket p;
+  p.leap_indicator = data[0] >> 6;
+  p.version = (data[0] >> 3) & 0x7;
+  p.mode = static_cast<NtpMode>(data[0] & 0x7);
+  p.stratum = data[1];
+  p.poll = static_cast<std::int8_t>(data[2]);
+  p.precision = static_cast<std::int8_t>(data[3]);
+  p.root_delay = util::get_be32(data.subspan(4, 4));
+  p.root_dispersion = util::get_be32(data.subspan(8, 4));
+  p.reference_clock_id = util::get_be32(data.subspan(12, 4));
+  p.reference_timestamp = NtpTimestamp::from_raw(util::get_be64(data.subspan(16, 8)));
+  p.originate_timestamp = NtpTimestamp::from_raw(util::get_be64(data.subspan(24, 8)));
+  p.receive_timestamp = NtpTimestamp::from_raw(util::get_be64(data.subspan(32, 8)));
+  p.transmit_timestamp = NtpTimestamp::from_raw(util::get_be64(data.subspan(40, 8)));
+  return p;
+}
+
+}  // namespace sage::net

@@ -1,0 +1,60 @@
+// NTPv1 (RFC 1059, Appendix B) packet header — used for the §6.3
+// generality experiment: SAGE parses Appendices A and B of RFC 1059 and
+// generates the timeout-procedure packet containing both NTP and UDP
+// headers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace sage::net {
+
+/// 64-bit NTP timestamp: seconds since 1900-01-01 in the upper 32 bits,
+/// binary fraction of a second in the lower 32.
+struct NtpTimestamp {
+  std::uint32_t seconds = 0;
+  std::uint32_t fraction = 0;
+
+  std::uint64_t raw() const {
+    return (std::uint64_t{seconds} << 32) | fraction;
+  }
+  static NtpTimestamp from_raw(std::uint64_t v) {
+    return {static_cast<std::uint32_t>(v >> 32),
+            static_cast<std::uint32_t>(v & 0xffffffffULL)};
+  }
+  bool operator==(const NtpTimestamp&) const = default;
+};
+
+/// NTP association modes (RFC 1059).
+enum class NtpMode : std::uint8_t {
+  kUnspecified = 0,
+  kSymmetricActive = 1,
+  kSymmetricPassive = 2,
+  kClient = 3,
+  kServer = 4,
+  kBroadcast = 5,
+};
+
+/// RFC 1059 Appendix B packet format (48 bytes).
+struct NtpPacket {
+  std::uint8_t leap_indicator = 0;  // 2 bits
+  std::uint8_t version = 1;         // 3 bits
+  NtpMode mode = NtpMode::kClient;  // 3 bits (NTPv1 reuses the status byte)
+  std::uint8_t stratum = 0;
+  std::int8_t poll = 6;
+  std::int8_t precision = -6;
+  std::uint32_t root_delay = 0;        // signed fixed-point, raw encoding
+  std::uint32_t root_dispersion = 0;   // fixed-point, raw encoding
+  std::uint32_t reference_clock_id = 0;
+  NtpTimestamp reference_timestamp;
+  NtpTimestamp originate_timestamp;
+  NtpTimestamp receive_timestamp;
+  NtpTimestamp transmit_timestamp;
+
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<NtpPacket> parse(std::span<const std::uint8_t> data);
+};
+
+}  // namespace sage::net

@@ -1,0 +1,49 @@
+// Minimal pcap (libpcap classic format) writer/reader.
+//
+// §6.2 of the paper: "for each message type ... we use the static
+// framework in SAGE-generated code to generate and store the packet in a
+// pcap file and verify it using tcpdump". PcapWriter stores raw-IP
+// (LINKTYPE_RAW) captures; sim::PacketInspector plays the tcpdump role.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sage::net {
+
+/// One captured packet: timestamp + raw bytes starting at the IP header.
+struct PcapRecord {
+  std::uint32_t ts_sec = 0;
+  std::uint32_t ts_usec = 0;
+  std::vector<std::uint8_t> data;
+};
+
+/// Accumulates packets and renders the classic pcap byte stream
+/// (magic 0xa1b2c3d4, version 2.4, LINKTYPE_RAW = 101).
+class PcapWriter {
+ public:
+  void add_packet(std::span<const std::uint8_t> data, std::uint32_t ts_sec = 0,
+                  std::uint32_t ts_usec = 0);
+
+  /// Serialize the whole capture to pcap bytes.
+  std::vector<std::uint8_t> to_bytes() const;
+
+  /// Write the capture to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  std::size_t packet_count() const { return records_.size(); }
+  const std::vector<PcapRecord>& records() const { return records_; }
+
+ private:
+  std::vector<PcapRecord> records_;
+};
+
+/// Parse a pcap byte stream produced by PcapWriter (or any classic pcap
+/// with LINKTYPE_RAW). Returns nullopt on malformed/truncated input.
+std::optional<std::vector<PcapRecord>> parse_pcap(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace sage::net

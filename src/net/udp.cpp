@@ -1,0 +1,58 @@
+#include "net/udp.hpp"
+
+#include "net/checksum.hpp"
+#include "util/bytes.hpp"
+
+namespace sage::net {
+
+namespace {
+
+std::uint16_t pseudo_header_sum(IpAddr src_ip, IpAddr dst_ip,
+                                std::size_t udp_length) {
+  std::uint8_t pseudo[12];
+  util::put_be32({pseudo, 4}, src_ip.value());
+  util::put_be32({pseudo + 4, 4}, dst_ip.value());
+  pseudo[8] = 0;
+  pseudo[9] = static_cast<std::uint8_t>(IpProto::kUdp);
+  util::put_be16({pseudo + 10, 2}, static_cast<std::uint16_t>(udp_length));
+  return ones_complement_sum(pseudo);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> UdpHeader::serialize(
+    IpAddr src_ip, IpAddr dst_ip, std::span<const std::uint8_t> payload) const {
+  const std::size_t total = 8 + payload.size();
+  std::vector<std::uint8_t> out(total, 0);
+  util::put_be16({out.data(), 2}, src_port);
+  util::put_be16({out.data() + 2, 2}, dst_port);
+  util::put_be16({out.data() + 4, 2}, static_cast<std::uint16_t>(total));
+  std::copy(payload.begin(), payload.end(), out.begin() + 8);
+  std::uint16_t ck =
+      internet_checksum(out, pseudo_header_sum(src_ip, dst_ip, total));
+  if (ck == 0) ck = 0xffff;  // RFC 768: transmitted all-zero means "no checksum"
+  util::put_be16({out.data() + 6, 2}, ck);
+  return out;
+}
+
+std::optional<UdpHeader> UdpHeader::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < 8) return std::nullopt;
+  UdpHeader h;
+  h.src_port = util::get_be16(data.subspan(0, 2));
+  h.dst_port = util::get_be16(data.subspan(2, 2));
+  h.length = util::get_be16(data.subspan(4, 2));
+  h.checksum = util::get_be16(data.subspan(6, 2));
+  return h;
+}
+
+bool UdpHeader::verify_checksum(IpAddr src_ip, IpAddr dst_ip,
+                                std::span<const std::uint8_t> udp_bytes) {
+  if (udp_bytes.size() < 8) return false;
+  const std::uint16_t transmitted = util::get_be16(udp_bytes.subspan(6, 2));
+  if (transmitted == 0) return true;  // checksum disabled
+  return ones_complement_sum(
+             udp_bytes, pseudo_header_sum(src_ip, dst_ip, udp_bytes.size())) ==
+         0xffff;
+}
+
+}  // namespace sage::net

@@ -1,0 +1,37 @@
+// UDP (RFC 768) — substrate for the NTP encapsulation experiment (§6.3:
+// "It generated packets for the timeout procedure containing both NTP and
+// UDP headers") and for the traceroute probe model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace sage::net {
+
+/// UDP header; checksum covers the RFC 768 pseudo-header when src/dst IPs
+/// are supplied to serialize().
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;    // filled by serialize()
+  std::uint16_t checksum = 0;  // filled by serialize()
+
+  /// Serialize header + payload with pseudo-header checksum.
+  std::vector<std::uint8_t> serialize(IpAddr src_ip, IpAddr dst_ip,
+                                      std::span<const std::uint8_t> payload) const;
+
+  static std::optional<UdpHeader> parse(std::span<const std::uint8_t> data);
+
+  /// Verify the pseudo-header checksum of a full UDP datagram.
+  static bool verify_checksum(IpAddr src_ip, IpAddr dst_ip,
+                              std::span<const std::uint8_t> udp_bytes);
+};
+
+/// The well-known NTP port (RFC 1059 Appendix A: "port 123").
+inline constexpr std::uint16_t kNtpPort = 123;
+
+}  // namespace sage::net

@@ -1,0 +1,66 @@
+#include "nlp/sentence_splitter.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace sage::nlp {
+
+namespace {
+
+/// Is the '.' at `pos` a sentence terminator (rather than part of an
+/// abbreviation, identifier, or dotted quad)?
+bool is_sentence_end(std::string_view text, std::size_t pos) {
+  // Must be followed by end-of-text, or whitespace + uppercase/new clause.
+  if (pos + 1 < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[pos + 1])) == 0) {
+      return false;  // "bfd.SessionState", "10.0.1.1"
+    }
+    // Look at the next non-space character: sentence boundaries are
+    // followed by an uppercase letter, a digit, or an opening quote.
+    std::size_t j = pos + 1;
+    while (j < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[j])) != 0) {
+      ++j;
+    }
+    if (j < text.size()) {
+      const auto c = static_cast<unsigned char>(text[j]);
+      if (std::isupper(c) == 0 && std::isdigit(c) == 0 && c != '"' &&
+          c != '\'') {
+        return false;
+      }
+    }
+  }
+  // Reject common abbreviations preceding the dot.
+  static const std::vector<std::string> kAbbrev = {"e.g", "i.e", "etc", "vs",
+                                                   "cf"};
+  for (const auto& a : kAbbrev) {
+    if (pos >= a.size() &&
+        util::to_lower(std::string(text.substr(pos - a.size(), a.size()))) ==
+            a) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> split_sentences(std::string_view paragraph) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < paragraph.size(); ++i) {
+    const char c = paragraph[i];
+    if ((c == '.' && is_sentence_end(paragraph, i)) || c == '!' || c == '?') {
+      const std::string_view piece =
+          util::trim(paragraph.substr(start, i + 1 - start));
+      if (!piece.empty()) out.emplace_back(piece);
+      start = i + 1;
+    }
+  }
+  const std::string_view tail = util::trim(paragraph.substr(start));
+  if (!tail.empty()) out.emplace_back(tail);
+  return out;
+}
+
+}  // namespace sage::nlp

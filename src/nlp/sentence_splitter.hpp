@@ -1,0 +1,19 @@
+// Sentence splitting for RFC paragraphs.
+//
+// RFC prose is plain ASCII with hard-wrapped lines; the pre-processor
+// (src/rfc) joins a paragraph's lines, and this splitter cuts the result
+// into sentences, taking care of the idioms that break naive splitting:
+// "e.g.", "i.e.", dotted identifiers (bfd.SessionState), numbered values
+// ("0 = Echo Reply"), and dotted quads (10.0.1.1).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sage::nlp {
+
+/// Split a paragraph (single line of joined text) into sentences.
+std::vector<std::string> split_sentences(std::string_view paragraph);
+
+}  // namespace sage::nlp

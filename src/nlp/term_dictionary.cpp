@@ -1,0 +1,27 @@
+#include "nlp/term_dictionary.hpp"
+
+#include "util/strings.hpp"
+
+namespace sage::nlp {
+
+void TermDictionary::add(std::string_view term) {
+  const std::string key = util::to_lower(util::trim(term));
+  if (key.empty()) return;
+  const std::size_t words = util::split(key, " ").size();
+  max_words_ = std::max(max_words_, words);
+  terms_.insert(key);
+}
+
+void TermDictionary::add_all(const std::vector<std::string>& terms) {
+  for (const auto& t : terms) add(t);
+}
+
+bool TermDictionary::contains(std::string_view term) const {
+  return terms_.count(util::to_lower(util::trim(term))) != 0;
+}
+
+std::vector<std::string> TermDictionary::terms() const {
+  return {terms_.begin(), terms_.end()};
+}
+
+}  // namespace sage::nlp

@@ -1,0 +1,45 @@
+// Domain term dictionary (§3 "Specifying domain-specific syntax").
+//
+// The paper builds a ~400-term dictionary of networking nouns and noun
+// phrases from the index of a standard networking textbook so that a
+// human doesn't have to write syntactic lexical entries by hand. Our
+// dictionary (seeded in src/corpus/terms.cpp) plays the same role: any
+// dictionary phrase found in a sentence is collapsed into a single
+// noun-phrase token before CCG parsing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace sage::nlp {
+
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+
+  /// Add a term (case-insensitive); multi-word terms allowed.
+  void add(std::string_view term);
+
+  /// Add many terms at once.
+  void add_all(const std::vector<std::string>& terms);
+
+  /// Case-insensitive exact lookup.
+  bool contains(std::string_view term) const;
+
+  /// Longest number of words in any stored term (bounds chunker lookahead).
+  std::size_t max_words() const { return max_words_; }
+
+  std::size_t size() const { return terms_.size(); }
+
+  /// All stored terms (lowercased), for introspection benches.
+  std::vector<std::string> terms() const;
+
+ private:
+  std::unordered_set<std::string> terms_;
+  std::size_t max_words_ = 0;
+};
+
+}  // namespace sage::nlp

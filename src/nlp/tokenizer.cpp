@@ -1,0 +1,118 @@
+#include "nlp/tokenizer.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace sage::nlp {
+
+Token make_word(std::string_view text) {
+  Token t;
+  t.kind = TokenKind::kWord;
+  t.text = std::string(text);
+  t.lower = util::to_lower(text);
+  return t;
+}
+
+Token make_number(long value, std::string_view spelling) {
+  Token t;
+  t.kind = TokenKind::kNumber;
+  t.text = std::string(spelling);
+  t.lower = util::to_lower(spelling);
+  t.number = value;
+  return t;
+}
+
+Token make_punct(char c) {
+  Token t;
+  t.kind = TokenKind::kPunct;
+  t.text = std::string(1, c);
+  t.lower = t.text;
+  return t;
+}
+
+Token make_noun_phrase(std::string_view phrase) {
+  Token t;
+  t.kind = TokenKind::kNounPhrase;
+  t.text = std::string(phrase);
+  t.lower = util::to_lower(phrase);
+  return t;
+}
+
+namespace {
+
+bool is_word_char(char c) {
+  const auto uc = static_cast<unsigned char>(c);
+  // Hyphens, apostrophes, slashes and dots inside identifiers keep
+  // "one's", "16-bit", "echo/reply" and "bfd.SessionState" whole.
+  return std::isalnum(uc) != 0 || c == '-' || c == '\'' || c == '/' || c == '.' ||
+         c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view sentence) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = sentence.size();
+  while (i < n) {
+    const char c = sentence[i];
+    const auto uc = static_cast<unsigned char>(c);
+    if (std::isspace(uc) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == ',' || c == ';' || c == ':' || c == '=' || c == '(' || c == ')') {
+      out.push_back(make_punct(c));
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      // Quoted phrase: becomes a pre-labeled noun phrase (this is how the
+      // Table 7 "label" notation reaches the parser).
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && sentence[j] != quote) ++j;
+      if (j < n) {
+        out.push_back(make_noun_phrase(sentence.substr(i + 1, j - i - 1)));
+        i = j + 1;
+        continue;
+      }
+      // Unterminated quote: treat as a word character below.
+    }
+    if (is_word_char(c)) {
+      std::size_t j = i;
+      while (j < n && is_word_char(sentence[j])) ++j;
+      std::string_view piece = sentence.substr(i, j - i);
+      // Strip trailing sentence dots ("data." -> "data"), but keep dots
+      // that are interior (bfd.SessionState, 10.0.1.1).
+      while (piece.size() > 1 && piece.back() == '.') {
+        piece.remove_suffix(1);
+      }
+      if (util::is_all_digits(piece)) {
+        out.push_back(make_number(std::stol(std::string(piece)), piece));
+      } else if (!piece.empty() && piece != ".") {
+        out.push_back(make_word(piece));
+      }
+      i = j;
+      continue;
+    }
+    ++i;  // any other symbol (e.g. stray '.') is skipped
+  }
+  return out;
+}
+
+std::string tokens_to_string(const std::vector<Token>& tokens) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i != 0) out += ' ';
+    if (tokens[i].kind == TokenKind::kNounPhrase) {
+      out += "'" + tokens[i].text + "'";
+    } else {
+      out += tokens[i].text;
+    }
+  }
+  return out;
+}
+
+}  // namespace sage::nlp

@@ -1,0 +1,45 @@
+// Tokenizer for RFC sentences.
+//
+// RFC prose mixes ordinary English with idioms: "code = 0", field names
+// with embedded digits ("64 bits"), quoted values, and list markers. The
+// tokenizer splits a sentence into word/number/punctuation tokens that the
+// noun-phrase chunker then groups before CCG parsing (§3 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sage::nlp {
+
+enum class TokenKind : std::uint8_t {
+  kWord,
+  kNumber,
+  kPunct,       // , ; : = ( )
+  kNounPhrase,  // produced by the chunker, never by the tokenizer
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kWord;
+  std::string text;   // original spelling (chunker: full phrase)
+  std::string lower;  // lowercase key for lexicon lookup
+  long number = 0;    // value when kind == kNumber
+
+  bool operator==(const Token&) const = default;
+};
+
+Token make_word(std::string_view text);
+Token make_number(long value, std::string_view spelling);
+Token make_punct(char c);
+Token make_noun_phrase(std::string_view phrase);
+
+/// Tokenize one sentence. Trailing sentence punctuation (.) is dropped;
+/// internal punctuation (commas, '=', parentheses) become kPunct tokens.
+/// Hyphenated words stay single tokens ("one's", "16-bit", "type/code").
+std::vector<Token> tokenize(std::string_view sentence);
+
+/// Render tokens back to text (for diagnostics and Table 7 output).
+std::string tokens_to_string(const std::vector<Token>& tokens);
+
+}  // namespace sage::nlp

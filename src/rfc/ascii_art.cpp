@@ -1,0 +1,100 @@
+#include "rfc/ascii_art.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace sage::rfc {
+
+int HeaderDiagram::fixed_bits() const {
+  int total = 0;
+  for (const auto& f : fields) {
+    if (!f.variable_length) total += f.bits;
+  }
+  return total;
+}
+
+bool is_diagram_border(std::string_view line) {
+  const auto t = util::trim(line);
+  if (t.size() < 3 || t[0] != '+') return false;
+  return std::all_of(t.begin(), t.end(),
+                     [](char c) { return c == '+' || c == '-'; });
+}
+
+bool is_diagram_row(std::string_view line) {
+  // Closed rows end with '|'; open-ended variable-length rows ("| Data ...")
+  // do not.
+  const auto t = util::trim(line);
+  return t.size() >= 2 && t.front() == '|';
+}
+
+std::optional<HeaderDiagram> parse_header_diagram(
+    const std::vector<std::string>& lines) {
+  HeaderDiagram diagram;
+  int bit_offset = 0;
+
+  for (const auto& raw : lines) {
+    const std::string_view line = util::trim(raw);
+    if (!is_diagram_row(line)) continue;  // borders, rulers, blank lines
+
+    if (line.back() != '|') {
+      // Open-ended row: everything after the pipe is a variable-length
+      // tail field ("Data ...", "Internet Header + 64 bits ...").
+      std::string name(util::trim(line.substr(1)));
+      while (!name.empty() && (name.back() == '.' || name.back() == ' ')) {
+        name.pop_back();
+      }
+      if (!name.empty()) {
+        HeaderField field;
+        field.name = name;
+        field.bits = 0;
+        field.bit_offset = bit_offset;
+        field.variable_length = true;
+        diagram.fields.push_back(std::move(field));
+      }
+      continue;
+    }
+
+    // Split the row at pipe positions. Positions are relative to the
+    // first pipe; each bit is two characters wide.
+    std::vector<std::size_t> pipes;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '|') pipes.push_back(i);
+    }
+    if (pipes.size() < 2) continue;
+
+    const int row_bits_total =
+        static_cast<int>((pipes.back() - pipes.front()) / 2);
+    int row_bits_seen = 0;
+
+    for (std::size_t k = 0; k + 1 < pipes.size(); ++k) {
+      const std::size_t begin = pipes[k] + 1;
+      const std::size_t len = pipes[k + 1] - begin;
+      const std::string name(util::trim(line.substr(begin, len)));
+      int bits = static_cast<int>((len + 1) / 2);
+      // The final segment absorbs any rounding slack so rows add up to
+      // their drawn width (normally 32).
+      if (k + 2 == pipes.size()) bits = row_bits_total - row_bits_seen;
+      row_bits_seen += bits;
+      if (name.empty()) continue;  // spacer cells
+
+      HeaderField field;
+      field.name = name;
+      field.bits = bits;
+      field.bit_offset = bit_offset + (row_bits_seen - bits);
+      // Rows describing payload content are variable length.
+      const std::string lower = util::to_lower(name);
+      field.variable_length =
+          lower.find("data") != std::string::npos ||
+          lower.find("...") != std::string::npos ||
+          lower.find("internet header") != std::string::npos;
+      diagram.fields.push_back(std::move(field));
+    }
+    bit_offset += row_bits_total;
+  }
+
+  if (diagram.fields.empty()) return std::nullopt;
+  return diagram;
+}
+
+}  // namespace sage::rfc

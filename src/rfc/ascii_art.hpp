@@ -1,0 +1,53 @@
+// ASCII-art header diagram parser (§3 "Extracting structural and
+// non-textual elements").
+//
+// RFCs draw packet headers like:
+//
+//     0                   1                   2                   3
+//     0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//    |     Type      |     Code      |          Checksum             |
+//    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//
+// Every bit occupies two characters ("+-"); the parser recovers each
+// field's name and bit width from the pipe positions, which is exactly
+// the information SAGE needs to emit C structs (src/rfc/struct_gen).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sage::rfc {
+
+/// One field recovered from a header diagram.
+struct HeaderField {
+  std::string name;   // as written, e.g. "Type" or "Sequence Number"
+  int bits = 0;       // width in bits
+  int bit_offset = 0; // offset from the start of the header
+  /// True for trailing variable-length rows ("Internet Header + 64 bits
+  /// of Original Data Datagram", "data ...").
+  bool variable_length = false;
+};
+
+/// A parsed diagram: ordered fields.
+struct HeaderDiagram {
+  std::vector<HeaderField> fields;
+
+  /// Total fixed size in bits (variable-length tail excluded).
+  int fixed_bits() const;
+};
+
+/// True if `line` looks like a diagram border ("+-+-+-...").
+bool is_diagram_border(std::string_view line);
+
+/// True if `line` looks like a diagram content row ("|  Type  | ... |").
+bool is_diagram_row(std::string_view line);
+
+/// Parse consecutive diagram lines (borders + rows, rulers allowed) into
+/// fields. Returns nullopt if no parsable row exists.
+std::optional<HeaderDiagram> parse_header_diagram(
+    const std::vector<std::string>& lines);
+
+}  // namespace sage::rfc

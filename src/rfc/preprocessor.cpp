@@ -1,0 +1,186 @@
+#include "rfc/preprocessor.hpp"
+
+#include <algorithm>
+
+#include "nlp/sentence_splitter.hpp"
+#include "util/strings.hpp"
+
+namespace sage::rfc {
+
+namespace {
+
+/// Is this a bit-ruler line ("0                   1 ..." or
+/// "0 1 2 3 4 5 ...") that precedes a diagram?
+bool is_ruler(std::string_view trimmed) {
+  if (trimmed.empty()) return false;
+  return std::all_of(trimmed.begin(), trimmed.end(), [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c)) != 0 || c == ' ';
+  });
+}
+
+/// Split a field description paragraph into sentences. Value-list idioms
+/// ("0 = net unreachable;  1 = host unreachable.") are split on
+/// semicolons first, each piece becoming its own instance — this is the
+/// "0 = Echo Reply" idiom of §3.
+std::vector<std::string> split_description(const std::string& paragraph) {
+  std::vector<std::string> out;
+  for (const auto& piece : util::split(paragraph, ";")) {
+    const auto trimmed = util::trim(piece);
+    if (trimmed.empty()) continue;
+    for (auto& sentence : nlp::split_sentences(trimmed)) {
+      out.push_back(std::move(sentence));
+    }
+  }
+  return out;
+}
+
+class Builder {
+ public:
+  explicit Builder(std::string title) { doc_.title = std::move(title); }
+
+  void line(const std::string& raw) {
+    const std::string_view trimmed = util::trim(raw);
+    const std::size_t indent = util::indent_of(raw);
+
+    if (is_diagram_border(trimmed) || is_diagram_row(trimmed) ||
+        (in_diagram_ && is_ruler(trimmed))) {
+      diagram_lines_.emplace_back(trimmed);
+      in_diagram_ = true;
+      return;
+    }
+    if (trimmed.empty()) {
+      flush_paragraph();
+      return;  // paragraph boundary; diagram stays open across gaps
+    }
+    // A ruler can also *start* a diagram block.
+    if (is_ruler(trimmed) && trimmed.size() > 10) {
+      in_diagram_ = true;
+      return;
+    }
+    if (in_diagram_) flush_diagram();
+
+    if (indent == 0) {
+      // New message section.
+      flush_paragraph();
+      flush_field();
+      doc_.sections.push_back(MessageSection{});
+      doc_.sections.back().title = std::string(trimmed);
+      group_.clear();
+      return;
+    }
+
+    ensure_section();
+
+    if (indent <= 4) {
+      flush_paragraph();
+      flush_field();
+      if (trimmed.back() == ':') {
+        // Group marker: "IP Fields:", "ICMP Fields:".
+        group_ = std::string(trimmed.substr(0, trimmed.size() - 1));
+      } else {
+        // Field name line.
+        field_ = FieldDescription{};
+        field_->group = group_;
+        field_->name = std::string(trimmed);
+      }
+      return;
+    }
+
+    // Deeper indentation: description text for the current field.
+    if (!paragraph_.empty()) paragraph_ += ' ';
+    paragraph_ += std::string(trimmed);
+  }
+
+  RfcDocument finish() {
+    flush_paragraph();
+    flush_field();
+    flush_diagram();
+    return std::move(doc_);
+  }
+
+ private:
+  void ensure_section() {
+    if (doc_.sections.empty()) {
+      doc_.sections.push_back(MessageSection{});
+      doc_.sections.back().title = doc_.title;
+    }
+  }
+
+  void flush_paragraph() {
+    if (paragraph_.empty()) return;
+    ensure_section();
+    if (!field_) {
+      // Prose with no field heading: attach as an unnamed description.
+      field_ = FieldDescription{};
+      field_->group = group_;
+      field_->name = "Description";
+    }
+    for (auto& s : split_description(paragraph_)) {
+      field_->sentences.push_back(std::move(s));
+    }
+    paragraph_.clear();
+  }
+
+  void flush_field() {
+    if (!field_) return;
+    ensure_section();
+    doc_.sections.back().fields.push_back(std::move(*field_));
+    field_.reset();
+  }
+
+  void flush_diagram() {
+    in_diagram_ = false;
+    if (diagram_lines_.empty()) return;
+    ensure_section();
+    if (auto diagram = parse_header_diagram(diagram_lines_)) {
+      doc_.sections.back().diagram = std::move(*diagram);
+    }
+    diagram_lines_.clear();
+  }
+
+  RfcDocument doc_;
+  std::vector<std::string> diagram_lines_;
+  bool in_diagram_ = false;
+  std::string group_;
+  std::optional<FieldDescription> field_;
+  std::string paragraph_;
+};
+
+}  // namespace
+
+const MessageSection* RfcDocument::find_section(const std::string& title) const {
+  for (const auto& s : sections) {
+    if (s.title == title) return &s;
+  }
+  return nullptr;
+}
+
+RfcDocument preprocess(const std::string& text, const std::string& title) {
+  Builder builder(title);
+  for (const auto& line : util::split_keep_empty(text, "\n")) {
+    builder.line(line);
+  }
+  return builder.finish();
+}
+
+std::vector<SpecSentence> extract_sentences(const RfcDocument& doc,
+                                            const std::string& protocol) {
+  std::vector<SpecSentence> out;
+  for (const auto& section : doc.sections) {
+    for (const auto& field : section.fields) {
+      for (const auto& sentence : field.sentences) {
+        SpecSentence s;
+        s.text = sentence;
+        s.context["protocol"] = protocol;
+        s.context["message"] = section.title;
+        s.context["field"] = field.name == "Description" ? "" : field.name;
+        s.context["group"] = field.group;
+        s.context["role"] = "";
+        out.push_back(std::move(s));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sage::rfc

@@ -1,0 +1,64 @@
+// RFC document pre-processor (§3 "Extracting structural and non-textual
+// elements").
+//
+// RFCs use indentation to encode content hierarchy and descriptive lists.
+// The pre-processor walks the raw text and recovers:
+//   * message sections (top-level headings, e.g. "Echo or Echo Reply
+//     Message"),
+//   * the ASCII-art header diagram of each section (-> HeaderDiagram),
+//   * grouped field descriptions ("IP Fields:" / "ICMP Fields:" lists,
+//     field name followed by indented description sentences),
+//   * free prose ("Description" paragraphs),
+// and attaches to every sentence the *dynamic context dictionary* the
+// code generator consumes (Table 4: protocol, message, field, role).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rfc/ascii_art.hpp"
+
+namespace sage::rfc {
+
+/// One described field: its group ("ICMP Fields"), name ("Checksum"),
+/// and description sentences.
+struct FieldDescription {
+  std::string group;
+  std::string name;
+  std::vector<std::string> sentences;
+};
+
+/// One message section of an RFC (RFC 792 has eight).
+struct MessageSection {
+  std::string title;
+  std::optional<HeaderDiagram> diagram;
+  std::vector<FieldDescription> fields;
+};
+
+/// A pre-processed document.
+struct RfcDocument {
+  std::string title;
+  std::vector<MessageSection> sections;
+
+  const MessageSection* find_section(const std::string& title) const;
+};
+
+/// A sentence plus its dynamic context dictionary (§5.2, Table 4).
+struct SpecSentence {
+  std::string text;
+  /// Keys: "protocol", "message", "field", "group", "role".
+  /// "role" is filled by the core pipeline (sender/receiver inference).
+  std::map<std::string, std::string> context;
+};
+
+/// Parse raw RFC-style text into the document model.
+RfcDocument preprocess(const std::string& text, const std::string& title);
+
+/// Flatten a document into per-sentence instances with dynamic context.
+/// This is the unit the paper counts (RFC 792 yields 87 instances).
+std::vector<SpecSentence> extract_sentences(const RfcDocument& doc,
+                                            const std::string& protocol);
+
+}  // namespace sage::rfc

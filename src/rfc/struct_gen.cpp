@@ -1,0 +1,62 @@
+#include "rfc/struct_gen.hpp"
+
+#include "util/strings.hpp"
+
+namespace sage::rfc {
+
+namespace {
+
+std::string member_name(const std::string& field_name) {
+  std::string n = util::to_snake_case(field_name);
+  if (n.empty()) n = "field";
+  // Identifiers cannot start with a digit ("64 bits of data").
+  if (std::isdigit(static_cast<unsigned char>(n[0])) != 0) n = "f_" + n;
+  return n;
+}
+
+}  // namespace
+
+std::string generate_c_struct(const HeaderDiagram& diagram,
+                              const std::string& struct_name) {
+  std::string out = "struct " + util::to_snake_case(struct_name) + " {\n";
+  for (const auto& field : diagram.fields) {
+    const std::string name = member_name(field.name);
+    if (field.variable_length) {
+      out += "    uint8_t " + name + "[];  /* variable length */\n";
+      continue;
+    }
+    switch (field.bits) {
+      case 8:
+        out += "    uint8_t " + name + ";\n";
+        break;
+      case 16:
+        out += "    uint16_t " + name + ";\n";
+        break;
+      case 32:
+        out += "    uint32_t " + name + ";\n";
+        break;
+      case 64:
+        out += "    uint64_t " + name + ";\n";
+        break;
+      default:
+        if (field.bits < 8) {
+          out += "    uint8_t " + name + " : " + std::to_string(field.bits) +
+                 ";\n";
+        } else if (field.bits < 16) {
+          out += "    uint16_t " + name + " : " + std::to_string(field.bits) +
+                 ";\n";
+        } else if (field.bits < 32) {
+          out += "    uint32_t " + name + " : " + std::to_string(field.bits) +
+                 ";\n";
+        } else {
+          out += "    uint8_t " + name + "[" +
+                 std::to_string((field.bits + 7) / 8) + "];\n";
+        }
+        break;
+    }
+  }
+  out += "};\n";
+  return out;
+}
+
+}  // namespace sage::rfc

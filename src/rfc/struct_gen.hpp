@@ -1,0 +1,19 @@
+// C struct generation from parsed header diagrams (§3: "we extract field
+// names and widths and directly generate data structures (specifically,
+// structs in C) to represent headers").
+#pragma once
+
+#include <string>
+
+#include "rfc/ascii_art.hpp"
+
+namespace sage::rfc {
+
+/// Render a C struct for `diagram` named `struct_name` (snake_cased).
+/// Width mapping: 8/16/32/64-bit fields become uintN_t; sub-byte fields
+/// become bitfields on the enclosing byte's type; variable-length tails
+/// become flexible array members. Multi-word names are snake_cased.
+std::string generate_c_struct(const HeaderDiagram& diagram,
+                              const std::string& struct_name);
+
+}  // namespace sage::rfc

@@ -1,0 +1,204 @@
+#include "runtime/bfd_env.hpp"
+
+#include "util/strings.hpp"
+
+namespace sage::runtime {
+
+namespace {
+
+long symbol_value(const std::string& name) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (char c : util::to_lower(name)) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<long>(h & 0x7fffffff);
+}
+
+}  // namespace
+
+std::optional<long> BfdExecEnv::read_field(const codegen::FieldRef& ref,
+                                           codegen::PacketSel sel) {
+  (void)sel;  // state variables are per-session, not per-packet
+  if (ref.layer != "bfd") return std::nullopt;
+  const auto& s = *state_;
+  if (ref.field == "session_state") return static_cast<long>(s.session_state);
+  if (ref.field == "remote_session_state") {
+    return static_cast<long>(s.remote_session_state);
+  }
+  if (ref.field == "local_discr") return static_cast<long>(s.local_discr);
+  if (ref.field == "remote_discr") return static_cast<long>(s.remote_discr);
+  if (ref.field == "local_diag") return static_cast<long>(s.local_diag);
+  if (ref.field == "desired_min_tx_interval") {
+    return static_cast<long>(s.desired_min_tx_interval);
+  }
+  if (ref.field == "required_min_rx_interval") {
+    return static_cast<long>(s.required_min_rx_interval);
+  }
+  if (ref.field == "remote_min_rx_interval") {
+    return static_cast<long>(s.remote_min_rx_interval);
+  }
+  if (ref.field == "demand_mode") return s.demand_mode ? 1 : 0;
+  if (ref.field == "remote_demand_mode") return s.remote_demand_mode ? 1 : 0;
+  if (ref.field == "detect_mult") return s.detect_mult;
+  if (ref.field == "auth_type") return s.auth_type;
+  // Packet-borne fields.
+  if (packet_ != nullptr) {
+    if (ref.field == "your_discriminator") {
+      return static_cast<long>(packet_->your_discriminator);
+    }
+    if (ref.field == "my_discriminator") {
+      return static_cast<long>(packet_->my_discriminator);
+    }
+    if (ref.field == "state") return static_cast<long>(packet_->state);
+    if (ref.field == "detect_mult_field") return packet_->detect_mult;
+    if (ref.field == "demand_bit") return packet_->demand ? 1 : 0;
+    if (ref.field == "poll_bit") return packet_->poll ? 1 : 0;
+    if (ref.field == "multipoint_bit") return packet_->multipoint ? 1 : 0;
+    if (ref.field == "required_min_rx_interval_field") {
+      return static_cast<long>(packet_->required_min_rx_interval);
+    }
+    if (ref.field == "required_min_echo_rx_interval_field") {
+      return static_cast<long>(packet_->required_min_echo_rx_interval);
+    }
+  }
+  return std::nullopt;
+}
+
+bool BfdExecEnv::write_field(const codegen::FieldRef& ref, long value) {
+  if (ref.layer != "bfd") return false;
+  auto& s = *state_;
+  if (ref.field == "session_state") {
+    s.session_state = static_cast<net::BfdState>(value);
+    return true;
+  }
+  if (ref.field == "remote_session_state") {
+    s.remote_session_state = static_cast<net::BfdState>(value);
+    return true;
+  }
+  if (ref.field == "local_discr") {
+    s.local_discr = static_cast<std::uint32_t>(value);
+    return true;
+  }
+  if (ref.field == "remote_discr") {
+    s.remote_discr = static_cast<std::uint32_t>(value);
+    return true;
+  }
+  if (ref.field == "local_diag") {
+    s.local_diag = static_cast<net::BfdDiag>(value);
+    return true;
+  }
+  if (ref.field == "desired_min_tx_interval") {
+    s.desired_min_tx_interval = static_cast<std::uint32_t>(value);
+    return true;
+  }
+  if (ref.field == "required_min_rx_interval") {
+    s.required_min_rx_interval = static_cast<std::uint32_t>(value);
+    return true;
+  }
+  if (ref.field == "remote_min_rx_interval") {
+    s.remote_min_rx_interval = static_cast<std::uint32_t>(value);
+    return true;
+  }
+  if (ref.field == "demand_mode") {
+    s.demand_mode = value != 0;
+    return true;
+  }
+  if (ref.field == "remote_demand_mode") {
+    s.remote_demand_mode = value != 0;
+    return true;
+  }
+  if (ref.field == "detect_mult") {
+    s.detect_mult = static_cast<std::uint8_t>(value);
+    return true;
+  }
+  if (ref.field == "auth_type") {
+    s.auth_type = static_cast<std::uint8_t>(value);
+    return true;
+  }
+  return false;
+}
+
+bool BfdExecEnv::is_bytes_field(const codegen::FieldRef& ref) const {
+  (void)ref;
+  return false;
+}
+
+std::optional<std::vector<std::uint8_t>> BfdExecEnv::read_bytes(
+    const codegen::FieldRef& ref, codegen::PacketSel sel) {
+  (void)ref;
+  (void)sel;
+  return std::nullopt;
+}
+
+bool BfdExecEnv::write_bytes(const codegen::FieldRef& ref,
+                             std::vector<std::uint8_t> value) {
+  (void)ref;
+  (void)value;
+  return false;
+}
+
+bool BfdExecEnv::is_bytes_function(const std::string& fn) const {
+  (void)fn;
+  return false;
+}
+
+std::optional<long> BfdExecEnv::call_scalar(const std::string& fn,
+                                            const std::vector<long>& args) {
+  (void)args;
+  if (fn == "session_lookup") {
+    // 1 when the Your Discriminator lookup found a session.
+    return session_lookup_fails_ ? 0 : 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::uint8_t>> BfdExecEnv::call_bytes(
+    const std::string& fn) {
+  (void)fn;
+  return std::nullopt;
+}
+
+bool BfdExecEnv::call_effect(const std::string& fn,
+                             const std::vector<long>& args) {
+  (void)args;
+  if (fn == "select_session") {
+    session_selected_ = !session_lookup_fails_;
+    return true;
+  }
+  if (fn == "discard_packet") {
+    // "If no session is found, the packet MUST be discarded" — but only
+    // when the lookup actually failed; generated code guards this with
+    // the rewritten condition (Table 5).
+    state_->packet_discarded = true;
+    return true;
+  }
+  if (fn == "cease_transmission") {
+    state_->periodic_transmission_enabled = false;
+    return true;
+  }
+  if (fn == "call_timeout") {
+    timeout_called_ = true;
+    return true;
+  }
+  if (fn == "transmit_packet") {
+    packet_transmitted_ = true;
+    return true;
+  }
+  if (fn == "send_message") {
+    packet_transmitted_ = true;
+    return true;
+  }
+  return false;
+}
+
+long BfdExecEnv::resolve_symbol(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "up") return static_cast<long>(net::BfdState::kUp);
+  if (lower == "down") return static_cast<long>(net::BfdState::kDown);
+  if (lower == "init") return static_cast<long>(net::BfdState::kInit);
+  if (lower == "admindown") return static_cast<long>(net::BfdState::kAdminDown);
+  return symbol_value(name);
+}
+
+}  // namespace sage::runtime

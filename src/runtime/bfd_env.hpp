@@ -1,0 +1,59 @@
+// BFD execution environment (§6.4).
+//
+// Generated state-management code ("If the Your Discriminator field is
+// nonzero, it MUST be used to select the session ...") runs against a
+// BfdSessionState plus the incoming control packet. Field reads address
+// either the RFC 5880 §6.8.1 state variables (bfd.*) or the packet's
+// mandatory-section fields; symbolic state names (Up/Down/Init/AdminDown)
+// resolve to their RFC encodings so conditions like
+// "bfd.SessionState is Up" compare correctly.
+#pragma once
+
+#include <string>
+
+#include "net/bfd.hpp"
+#include "runtime/interpreter.hpp"
+
+namespace sage::runtime {
+
+class BfdExecEnv : public ExecEnv {
+ public:
+  BfdExecEnv(net::BfdSessionState* state, const net::BfdControlPacket* packet)
+      : state_(state), packet_(packet) {}
+
+  bool session_selected() const { return session_selected_; }
+  bool timeout_called() const { return timeout_called_; }
+  bool packet_transmitted() const { return packet_transmitted_; }
+
+  /// Pretend no session matched the Your Discriminator lookup (drives the
+  /// "If no session is found, the packet MUST be discarded" path).
+  void set_session_lookup_fails(bool fails) { session_lookup_fails_ = fails; }
+
+  // -- ExecEnv ---------------------------------------------------------------
+  std::optional<long> read_field(const codegen::FieldRef& ref,
+                                 codegen::PacketSel sel) override;
+  bool write_field(const codegen::FieldRef& ref, long value) override;
+  bool is_bytes_field(const codegen::FieldRef& ref) const override;
+  std::optional<std::vector<std::uint8_t>> read_bytes(
+      const codegen::FieldRef& ref, codegen::PacketSel sel) override;
+  bool write_bytes(const codegen::FieldRef& ref,
+                   std::vector<std::uint8_t> value) override;
+  bool is_bytes_function(const std::string& fn) const override;
+  std::optional<long> call_scalar(const std::string& fn,
+                                  const std::vector<long>& args) override;
+  std::optional<std::vector<std::uint8_t>> call_bytes(
+      const std::string& fn) override;
+  bool call_effect(const std::string& fn,
+                   const std::vector<long>& args) override;
+  long resolve_symbol(const std::string& name) override;
+
+ private:
+  net::BfdSessionState* state_;
+  const net::BfdControlPacket* packet_;
+  bool session_selected_ = false;
+  bool session_lookup_fails_ = false;
+  bool timeout_called_ = false;
+  bool packet_transmitted_ = false;
+};
+
+}  // namespace sage::runtime

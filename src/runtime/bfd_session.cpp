@@ -1,0 +1,49 @@
+#include "runtime/bfd_session.hpp"
+
+namespace sage::runtime {
+
+std::vector<std::uint8_t> BfdSession::make_control_packet(
+    net::IpAddr peer) const {
+  net::BfdControlPacket packet;
+  packet.state = state_.session_state;
+  packet.my_discriminator = state_.local_discr;
+  packet.your_discriminator = state_.remote_discr;
+  packet.desired_min_tx_interval = state_.desired_min_tx_interval;
+  packet.required_min_rx_interval = state_.required_min_rx_interval;
+  packet.demand = state_.demand_mode;
+  packet.detect_mult = state_.detect_mult;
+
+  net::UdpHeader udp;
+  udp.src_port = 49152;  // RFC 5881: source port from the ephemeral range
+  udp.dst_port = net::kBfdControlPort;
+  const auto udp_bytes = udp.serialize(address_, peer, packet.serialize());
+
+  net::Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::kUdp);
+  ip.ttl = 255;  // RFC 5881 GTSM
+  ip.src = address_;
+  ip.dst = peer;
+  return net::build_ipv4_packet(ip, udp_bytes);
+}
+
+bool BfdSession::receive(std::span<const std::uint8_t> raw_packet) {
+  const auto ip = net::Ipv4Header::parse(raw_packet);
+  if (!ip || ip->dst != address_ ||
+      ip->protocol != static_cast<std::uint8_t>(net::IpProto::kUdp)) {
+    return false;
+  }
+  const auto udp_bytes = raw_packet.subspan(ip->header_length());
+  const auto udp = net::UdpHeader::parse(udp_bytes);
+  if (!udp || udp->dst_port != net::kBfdControlPort) return false;
+  if (!net::UdpHeader::verify_checksum(ip->src, ip->dst, udp_bytes)) {
+    return false;
+  }
+  const auto packet = net::BfdControlPacket::parse(udp_bytes.subspan(8));
+  if (!packet) return false;
+
+  BfdExecEnv env(&state_, &*packet);
+  const auto result = interpreter_.run(reception_->body, env);
+  return result.ok;
+}
+
+}  // namespace sage::runtime

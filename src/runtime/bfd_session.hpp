@@ -1,0 +1,50 @@
+// BfdSession: a network-attached BFD endpoint driven entirely by
+// generated code (§6.4 end to end).
+//
+// Wraps a BfdSessionState plus the generated reception function. The
+// endpoint serializes its own control packets (UDP port 3784 inside IP)
+// and processes received ones through the static-framework interpreter —
+// the session state machine that emerges is the one SAGE generated from
+// RFC 5880 §6.8.6 text.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "codegen/ir.hpp"
+#include "net/bfd.hpp"
+#include "net/ipv4.hpp"
+#include "net/udp.hpp"
+#include "runtime/bfd_env.hpp"
+#include "runtime/interpreter.hpp"
+
+namespace sage::runtime {
+
+class BfdSession {
+ public:
+  /// `reception` is the generated §6.8.6 function; it must outlive the
+  /// session.
+  BfdSession(net::IpAddr address, std::uint32_t discriminator,
+             const codegen::GeneratedFunction* reception)
+      : address_(address), reception_(reception) {
+    state_.local_discr = discriminator;
+  }
+
+  net::IpAddr address() const { return address_; }
+  const net::BfdSessionState& state() const { return state_; }
+
+  /// Build this endpoint's next control packet (UDP/IP, port 3784).
+  std::vector<std::uint8_t> make_control_packet(net::IpAddr peer) const;
+
+  /// Process a raw IP packet: if it is a BFD control packet addressed to
+  /// us, run the generated reception code. Returns true if consumed.
+  bool receive(std::span<const std::uint8_t> raw_packet);
+
+ private:
+  net::IpAddr address_;
+  net::BfdSessionState state_;
+  const codegen::GeneratedFunction* reception_;
+  Interpreter interpreter_;
+};
+
+}  // namespace sage::runtime

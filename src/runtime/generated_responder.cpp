@@ -1,0 +1,109 @@
+#include "runtime/generated_responder.hpp"
+
+#include "codegen/generator.hpp"
+
+namespace sage::runtime {
+
+namespace {
+
+/// Function names for the eight RFC 792 messages, derived the same way
+/// the generator derives them.
+std::string fn_name(const std::string& message, const std::string& role) {
+  return codegen::CodeGenerator::function_name("ICMP", message, role);
+}
+
+}  // namespace
+
+void GeneratedIcmpResponder::add_function(codegen::GeneratedFunction fn) {
+  functions_[fn.name] = std::move(fn);
+}
+
+std::optional<std::vector<std::uint8_t>> GeneratedIcmpResponder::run(
+    const std::string& function_name, const sim::ResponderContext& ctx,
+    bool start_from_incoming, const std::string& scenario,
+    const std::function<void(IcmpExecEnv&)>& setup) {
+  last_errors_.clear();
+  const auto it = functions_.find(function_name);
+  if (it == functions_.end()) {
+    last_errors_.push_back("no generated function named " + function_name);
+    return std::nullopt;
+  }
+  IcmpExecEnv env(ctx.triggering_packet, ctx.own_address, start_from_incoming);
+  if (!env.valid()) {
+    last_errors_.push_back("triggering packet is not decodable IPv4");
+    return std::nullopt;
+  }
+  env.set_scenario(scenario);
+  if (setup) setup(env);
+
+  const auto result = interpreter_.run(it->second.body, env);
+  if (!result.ok) {
+    last_errors_ = result.errors;
+    return std::nullopt;
+  }
+  return env.finish_reply();
+}
+
+std::optional<std::vector<std::uint8_t>> GeneratedIcmpResponder::on_echo_request(
+    const sim::ResponderContext& ctx) {
+  return run(fn_name("Echo or Echo Reply Message", "receiver"), ctx,
+             /*start_from_incoming=*/true, "echo reply message");
+}
+
+std::optional<std::vector<std::uint8_t>>
+GeneratedIcmpResponder::on_timestamp_request(const sim::ResponderContext& ctx) {
+  return run(fn_name("Timestamp or Timestamp Reply Message", "receiver"), ctx,
+             /*start_from_incoming=*/true, "timestamp reply message");
+}
+
+std::optional<std::vector<std::uint8_t>>
+GeneratedIcmpResponder::on_information_request(
+    const sim::ResponderContext& ctx) {
+  return run(fn_name("Information Request or Information Reply Message",
+                     "receiver"),
+             ctx, /*start_from_incoming=*/true, "information reply message");
+}
+
+std::optional<std::vector<std::uint8_t>>
+GeneratedIcmpResponder::on_destination_unreachable(
+    const sim::ResponderContext& ctx, std::uint8_t code) {
+  static const std::map<std::uint8_t, std::string> kScenario = {
+      {0, "net unreachable"},      {1, "host unreachable"},
+      {2, "protocol unreachable"}, {3, "port unreachable"},
+      {4, "fragmentation needed and df set"},
+      {5, "source route failed"},
+  };
+  const auto it = kScenario.find(code);
+  return run(fn_name("Destination Unreachable Message", "sender"), ctx,
+             /*start_from_incoming=*/false,
+             it == kScenario.end() ? "net unreachable" : it->second);
+}
+
+std::optional<std::vector<std::uint8_t>>
+GeneratedIcmpResponder::on_time_exceeded(const sim::ResponderContext& ctx) {
+  return run(fn_name("Time Exceeded Message", "sender"), ctx,
+             /*start_from_incoming=*/false, "time to live exceeded in transit");
+}
+
+std::optional<std::vector<std::uint8_t>>
+GeneratedIcmpResponder::on_parameter_problem(const sim::ResponderContext& ctx,
+                                             std::uint8_t pointer) {
+  return run(fn_name("Parameter Problem Message", "sender"), ctx,
+             /*start_from_incoming=*/false, "pointer indicates the error",
+             [pointer](IcmpExecEnv& env) { env.set_error_pointer(pointer); });
+}
+
+std::optional<std::vector<std::uint8_t>>
+GeneratedIcmpResponder::on_source_quench(const sim::ResponderContext& ctx) {
+  return run(fn_name("Source Quench Message", "sender"), ctx,
+             /*start_from_incoming=*/false, "source quench");
+}
+
+std::optional<std::vector<std::uint8_t>> GeneratedIcmpResponder::on_redirect(
+    const sim::ResponderContext& ctx, net::IpAddr gateway) {
+  return run(fn_name("Redirect Message", "sender"), ctx,
+             /*start_from_incoming=*/false, "redirect datagrams for the host",
+             [gateway](IcmpExecEnv& env) { env.set_better_gateway(gateway); });
+}
+
+}  // namespace sage::runtime

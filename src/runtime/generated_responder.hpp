@@ -1,0 +1,70 @@
+// GeneratedIcmpResponder: runs SAGE-generated ICMP code inside the
+// simulator (§6.2's end-to-end evaluation).
+//
+// The Mininet-equivalent router/host calls the sim::IcmpResponder
+// interface; this implementation dispatches each event to the generated
+// packet-handling function for the corresponding RFC 792 message and
+// role, executes it through the static-framework interpreter, and
+// returns the reply packet the generated code constructed. Nothing here
+// hard-codes protocol behaviour — if the generated code is wrong or a
+// function is missing, the interop tests fail.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codegen/ir.hpp"
+#include "runtime/icmp_env.hpp"
+#include "runtime/interpreter.hpp"
+#include "sim/responder.hpp"
+
+namespace sage::runtime {
+
+class GeneratedIcmpResponder : public sim::IcmpResponder {
+ public:
+  /// Register a generated function (keyed by its context-derived name).
+  void add_function(codegen::GeneratedFunction fn);
+
+  bool has_function(const std::string& name) const {
+    return functions_.count(name) != 0;
+  }
+  std::size_t function_count() const { return functions_.size(); }
+
+  /// Execution diagnostics from the most recent event (for tests).
+  const std::vector<std::string>& last_errors() const { return last_errors_; }
+
+  // -- sim::IcmpResponder ----------------------------------------------------
+  std::optional<std::vector<std::uint8_t>> on_echo_request(
+      const sim::ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_timestamp_request(
+      const sim::ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_information_request(
+      const sim::ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_destination_unreachable(
+      const sim::ResponderContext& ctx, std::uint8_t code) override;
+  std::optional<std::vector<std::uint8_t>> on_time_exceeded(
+      const sim::ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_parameter_problem(
+      const sim::ResponderContext& ctx, std::uint8_t pointer) override;
+  std::optional<std::vector<std::uint8_t>> on_source_quench(
+      const sim::ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_redirect(
+      const sim::ResponderContext& ctx, net::IpAddr gateway) override;
+
+ private:
+  /// Run `function_name` in an env configured by `setup`; nullopt if the
+  /// function is missing or execution failed.
+  std::optional<std::vector<std::uint8_t>> run(
+      const std::string& function_name, const sim::ResponderContext& ctx,
+      bool start_from_incoming, const std::string& scenario,
+      const std::function<void(IcmpExecEnv&)>& setup = nullptr);
+
+  std::map<std::string, codegen::GeneratedFunction> functions_;
+  Interpreter interpreter_;
+  std::vector<std::string> last_errors_;
+};
+
+}  // namespace sage::runtime

@@ -1,0 +1,262 @@
+#include "runtime/icmp_env.hpp"
+
+#include <functional>
+
+#include "net/checksum.hpp"
+#include "util/bytes.hpp"
+#include "util/strings.hpp"
+
+namespace sage::runtime {
+
+namespace {
+
+/// Stable symbol value: FNV-1a over the lowercased name.
+long symbol_value(const std::string& name) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (char c : util::to_lower(name)) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<long>(h & 0x7fffffff);
+}
+
+/// Payload-backed fields ("data", the quoted original datagram rows).
+bool is_payload_field(const std::string& field) {
+  return field == "data" || field.find("internet_header") != std::string::npos ||
+         field.find("datagram") != std::string::npos;
+}
+
+}  // namespace
+
+IcmpExecEnv::IcmpExecEnv(std::span<const std::uint8_t> raw_incoming,
+                         net::IpAddr own_address, bool start_from_incoming)
+    : raw_incoming_(raw_incoming), own_address_(own_address) {
+  const auto ip = net::Ipv4Header::parse(raw_incoming);
+  if (!ip) return;
+  in_ip_ = *ip;
+  valid_ = true;
+  if (ip->protocol == static_cast<std::uint8_t>(net::IpProto::kIcmp) &&
+      raw_incoming.size() >= ip->header_length() + 8) {
+    const auto icmp =
+        net::IcmpMessage::parse(raw_incoming.subspan(ip->header_length()));
+    if (icmp) {
+      in_icmp_ = *icmp;
+      in_has_icmp_ = true;
+    }
+  }
+  out_ip_.protocol = static_cast<std::uint8_t>(net::IpProto::kIcmp);
+  out_ip_.ttl = 64;
+  out_ip_.src = own_address_;
+  if (start_from_incoming && in_has_icmp_) {
+    out_icmp_ = in_icmp_;  // keeps the request's checksum: stale on purpose
+  } else {
+    out_icmp_.checksum = 0;
+  }
+}
+
+std::optional<long> IcmpExecEnv::read_field(const codegen::FieldRef& ref,
+                                            codegen::PacketSel sel) {
+  const bool in = sel == codegen::PacketSel::kIncoming;
+  const net::Ipv4Header& ip = in ? in_ip_ : out_ip_;
+  const net::IcmpMessage& icmp = in ? in_icmp_ : out_icmp_;
+
+  if (ref.layer == "ip") {
+    if (ref.field == "src") return static_cast<long>(ip.src.value());
+    if (ref.field == "dst") return static_cast<long>(ip.dst.value());
+    if (ref.field == "ttl") return ip.ttl;
+    if (ref.field == "tos") return ip.tos;
+    if (ref.field == "total_length") return ip.total_length;
+    return std::nullopt;
+  }
+  if (ref.layer == "icmp") {
+    if (ref.field == "type") return static_cast<long>(icmp.type);
+    if (ref.field == "code") return icmp.code;
+    if (ref.field == "checksum") return icmp.checksum;
+    if (ref.field == "identifier") return icmp.identifier();
+    if (ref.field == "sequence_number") return icmp.sequence_number();
+    if (ref.field == "gateway_internet_address") {
+      return static_cast<long>(icmp.gateway_address().value());
+    }
+    if (ref.field == "pointer") return icmp.pointer();
+    if (ref.field == "originate_timestamp") {
+      return static_cast<long>(icmp.originate_timestamp());
+    }
+    if (ref.field == "receive_timestamp") {
+      return static_cast<long>(icmp.receive_timestamp());
+    }
+    if (ref.field == "transmit_timestamp") {
+      return static_cast<long>(icmp.transmit_timestamp());
+    }
+    if (ref.field == "message") return 0;  // token for "the ICMP message"
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool IcmpExecEnv::write_field(const codegen::FieldRef& ref, long value) {
+  if (ref.layer == "ip") {
+    if (ref.field == "src") {
+      out_ip_.src = net::IpAddr(static_cast<std::uint32_t>(value));
+      return true;
+    }
+    if (ref.field == "dst") {
+      out_ip_.dst = net::IpAddr(static_cast<std::uint32_t>(value));
+      return true;
+    }
+    if (ref.field == "ttl") {
+      out_ip_.ttl = static_cast<std::uint8_t>(value);
+      return true;
+    }
+    if (ref.field == "tos") {
+      out_ip_.tos = static_cast<std::uint8_t>(value);
+      return true;
+    }
+    return false;
+  }
+  if (ref.layer == "icmp") {
+    if (ref.field == "type") {
+      out_icmp_.type = static_cast<net::IcmpType>(value);
+      return true;
+    }
+    if (ref.field == "code") {
+      out_icmp_.code = static_cast<std::uint8_t>(value);
+      return true;
+    }
+    if (ref.field == "checksum") {
+      out_icmp_.checksum = static_cast<std::uint16_t>(value);
+      return true;
+    }
+    if (ref.field == "identifier") {
+      out_icmp_.set_identifier(static_cast<std::uint16_t>(value));
+      return true;
+    }
+    if (ref.field == "sequence_number") {
+      out_icmp_.set_sequence_number(static_cast<std::uint16_t>(value));
+      return true;
+    }
+    if (ref.field == "gateway_internet_address") {
+      out_icmp_.set_gateway_address(net::IpAddr(static_cast<std::uint32_t>(value)));
+      return true;
+    }
+    if (ref.field == "pointer") {
+      out_icmp_.set_pointer(static_cast<std::uint8_t>(value));
+      return true;
+    }
+    if (ref.field == "originate_timestamp" ||
+        ref.field == "receive_timestamp" ||
+        ref.field == "transmit_timestamp") {
+      if (out_icmp_.payload.size() < 12) out_icmp_.payload.resize(12, 0);
+      const std::size_t off = ref.field == "originate_timestamp" ? 0
+                              : ref.field == "receive_timestamp" ? 4
+                                                                  : 8;
+      util::put_be32({out_icmp_.payload.data() + off, 4},
+                     static_cast<std::uint32_t>(value));
+      return true;
+    }
+    if (ref.field == "unused") return true;  // explicitly writable no-op
+    return false;
+  }
+  return false;
+}
+
+bool IcmpExecEnv::is_bytes_field(const codegen::FieldRef& ref) const {
+  return ref.layer == "icmp" && is_payload_field(ref.field);
+}
+
+std::optional<std::vector<std::uint8_t>> IcmpExecEnv::read_bytes(
+    const codegen::FieldRef& ref, codegen::PacketSel sel) {
+  if (!is_bytes_field(ref)) return std::nullopt;
+  return sel == codegen::PacketSel::kIncoming ? in_icmp_.payload
+                                              : out_icmp_.payload;
+}
+
+bool IcmpExecEnv::write_bytes(const codegen::FieldRef& ref,
+                              std::vector<std::uint8_t> value) {
+  if (!is_bytes_field(ref)) return false;
+  out_icmp_.payload = std::move(value);
+  return true;
+}
+
+bool IcmpExecEnv::is_bytes_function(const std::string& fn) const {
+  return fn == "original_datagram_excerpt" || fn == "copy_field";
+}
+
+std::optional<long> IcmpExecEnv::call_scalar(const std::string& fn,
+                                             const std::vector<long>& args) {
+  if (fn == "ones_complement_sum") {
+    // Sum over the outgoing ICMP message as currently constructed,
+    // including whatever sits in the checksum field (stale-value
+    // semantics; see finish_reply).
+    const auto bytes = out_icmp_.serialize_with_checksum(out_icmp_.checksum);
+    return net::ones_complement_sum(bytes);
+  }
+  if (fn == "ones_complement") {
+    if (args.size() == 1) return (~args[0]) & 0xffff;
+    const auto bytes = out_icmp_.serialize_with_checksum(out_icmp_.checksum);
+    return net::internet_checksum(bytes);
+  }
+  if (fn == "current_time") return static_cast<long>(clock_ms_);
+  if (fn == "receive_time") return static_cast<long>(clock_ms_);
+  if (fn == "transmit_time") return static_cast<long>(clock_ms_) + 1;
+  if (fn == "error_octet") return error_pointer_;
+  if (fn == "better_gateway") {
+    return static_cast<long>(better_gateway_.value());
+  }
+  if (fn == "own_address") return static_cast<long>(own_address_.value());
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::uint8_t>> IcmpExecEnv::call_bytes(
+    const std::string& fn) {
+  if (fn == "original_datagram_excerpt") {
+    return net::original_datagram_excerpt(raw_incoming_);
+  }
+  if (fn == "copy_field") {
+    return in_icmp_.payload;  // bare copy: the echoed data
+  }
+  return std::nullopt;
+}
+
+bool IcmpExecEnv::call_effect(const std::string& fn,
+                              const std::vector<long>& args) {
+  (void)args;
+  if (fn == "reverse_addresses") {
+    out_ip_.src = in_ip_.dst;
+    out_ip_.dst = in_ip_.src;
+    return true;
+  }
+  if (fn == "recompute_checksum" || fn == "compute_checksum") {
+    // Deferred: the framework computes the checksum when the message is
+    // finalized (after every field, including the variable-length data,
+    // is in place). See finish_reply for the stale-value semantics.
+    checksum_explicitly_computed_ = true;
+    return true;
+  }
+  if (fn == "send_message" || fn == "discard_packet") {
+    return true;  // transmission is the simulator's job
+  }
+  return false;
+}
+
+long IcmpExecEnv::resolve_symbol(const std::string& name) {
+  if (util::to_lower(name) == "scenario") return symbol_value(scenario_);
+  return symbol_value(name);
+}
+
+std::vector<std::uint8_t> IcmpExecEnv::finish_reply() {
+  // Serialize the ICMP message with the checksum field exactly as the
+  // generated code left it...
+  auto icmp_bytes = out_icmp_.serialize_with_checksum(out_icmp_.checksum);
+  if (checksum_explicitly_computed_) {
+    // ...then run the framework checksum over the message *including*
+    // that field value. Generated code that followed the @AdvBefore
+    // advice zeroed the field first, yielding the RFC-correct checksum;
+    // code that skipped the advice bakes a stale value into the sum.
+    const std::uint16_t ck = net::internet_checksum(icmp_bytes);
+    util::put_be16({icmp_bytes.data() + 2, 2}, ck);
+  }
+  if (out_ip_.src == net::IpAddr()) out_ip_.src = own_address_;
+  return net::build_ipv4_packet(out_ip_, icmp_bytes);
+}
+
+}  // namespace sage::runtime

@@ -1,0 +1,95 @@
+// ICMP execution environment: the static framework instance generated
+// ICMP code runs against.
+//
+// Holds the incoming packet (decoded) and the outgoing reply under
+// construction, and provides the framework services RFC 792 text assumes
+// but never defines (§5.1): one's complement arithmetic, address
+// reversal, the original-datagram excerpt, the OS clock and interface
+// address, and the event parameters (which unreachable code, which
+// header octet was bad, which gateway is better).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "net/icmp.hpp"
+#include "net/ipv4.hpp"
+#include "runtime/interpreter.hpp"
+
+namespace sage::runtime {
+
+class IcmpExecEnv : public ExecEnv {
+ public:
+  /// `raw_incoming` must start at the IP header and outlive the env.
+  /// `start_from_incoming` models the reply-by-mutation idiom of RFC 792
+  /// ("the source and destination addresses are simply reversed, the
+  /// type code changed to 0, and the checksum recomputed"): the outgoing
+  /// message starts as a copy of the incoming one — including its stale
+  /// checksum, which is what makes the zero-before-compute advice
+  /// (@AdvBefore) observable in tests.
+  IcmpExecEnv(std::span<const std::uint8_t> raw_incoming,
+              net::IpAddr own_address, bool start_from_incoming = false);
+
+  /// Whether the triggering packet decoded as IP (+ ICMP when present).
+  bool valid() const { return valid_; }
+
+  /// The event scenario name ("echo reply message", "net unreachable",
+  /// ...) that @Case-generated code matches against.
+  void set_scenario(const std::string& name) { scenario_ = name; }
+
+  /// Event parameters surfaced as framework functions.
+  void set_error_pointer(std::uint8_t pointer) { error_pointer_ = pointer; }
+  void set_better_gateway(net::IpAddr gateway) { better_gateway_ = gateway; }
+
+  /// Deterministic OS clock (milliseconds since midnight UT).
+  void set_clock(std::uint32_t now_ms) { clock_ms_ = now_ms; }
+
+  /// Finish: serialize the reply packet. The checksum field is emitted
+  /// exactly as generated code left it *summed over the message*: if the
+  /// code zeroed the checksum before computing (the @AdvBefore advice),
+  /// the result is RFC-correct; if not, the stale value corrupts the sum
+  /// — which is precisely how the advice's absence becomes a test
+  /// failure.
+  std::vector<std::uint8_t> finish_reply();
+
+  const net::Ipv4Header& out_ip() const { return out_ip_; }
+  const net::IcmpMessage& out_icmp() const { return out_icmp_; }
+
+  // -- ExecEnv -------------------------------------------------------------
+  std::optional<long> read_field(const codegen::FieldRef& ref,
+                                 codegen::PacketSel sel) override;
+  bool write_field(const codegen::FieldRef& ref, long value) override;
+  bool is_bytes_field(const codegen::FieldRef& ref) const override;
+  std::optional<std::vector<std::uint8_t>> read_bytes(
+      const codegen::FieldRef& ref, codegen::PacketSel sel) override;
+  bool write_bytes(const codegen::FieldRef& ref,
+                   std::vector<std::uint8_t> value) override;
+  bool is_bytes_function(const std::string& fn) const override;
+  std::optional<long> call_scalar(const std::string& fn,
+                                  const std::vector<long>& args) override;
+  std::optional<std::vector<std::uint8_t>> call_bytes(
+      const std::string& fn) override;
+  bool call_effect(const std::string& fn,
+                   const std::vector<long>& args) override;
+  long resolve_symbol(const std::string& name) override;
+
+ private:
+  bool checksum_explicitly_computed_ = false;
+
+  std::span<const std::uint8_t> raw_incoming_;
+  bool valid_ = false;
+  net::Ipv4Header in_ip_;
+  net::IcmpMessage in_icmp_;
+  bool in_has_icmp_ = false;
+
+  net::Ipv4Header out_ip_;
+  net::IcmpMessage out_icmp_;
+
+  net::IpAddr own_address_;
+  std::string scenario_;
+  std::uint8_t error_pointer_ = 0;
+  net::IpAddr better_gateway_;
+  std::uint32_t clock_ms_ = 36000000;
+};
+
+}  // namespace sage::runtime

@@ -1,0 +1,122 @@
+#include "runtime/igmp_env.hpp"
+
+#include "util/strings.hpp"
+
+namespace sage::runtime {
+
+namespace {
+long symbol_value(const std::string& name) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (char c : util::to_lower(name)) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<long>(h & 0x7fffffff);
+}
+}  // namespace
+
+std::vector<std::uint8_t> IgmpExecEnv::finish(net::IpAddr destination) const {
+  net::Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::kIgmp);
+  ip.ttl = 1;  // IGMP never leaves the local network
+  ip.src = own_address_;
+  ip.dst = destination;
+  return net::build_ipv4_packet(ip, message_.serialize());
+}
+
+std::optional<long> IgmpExecEnv::read_field(const codegen::FieldRef& ref,
+                                            codegen::PacketSel sel) {
+  (void)sel;
+  if (ref.layer != "igmp") return std::nullopt;
+  if (ref.field == "version") return message_.version;
+  if (ref.field == "type") return static_cast<long>(message_.type);
+  if (ref.field == "unused") return message_.unused;
+  if (ref.field == "checksum") return message_.checksum;
+  if (ref.field == "group_address") {
+    return static_cast<long>(message_.group_address.value());
+  }
+  if (ref.field == "host_group_address") {
+    return static_cast<long>(host_group_.value());
+  }
+  if (ref.field == "message") return 0;
+  return std::nullopt;
+}
+
+bool IgmpExecEnv::write_field(const codegen::FieldRef& ref, long value) {
+  if (ref.layer != "igmp") return false;
+  if (ref.field == "version") {
+    message_.version = static_cast<std::uint8_t>(value);
+    return true;
+  }
+  if (ref.field == "type") {
+    message_.type = static_cast<net::IgmpType>(value);
+    return true;
+  }
+  if (ref.field == "unused") {
+    message_.unused = static_cast<std::uint8_t>(value);
+    return true;
+  }
+  if (ref.field == "checksum") {
+    message_.checksum = static_cast<std::uint16_t>(value);
+    return true;
+  }
+  if (ref.field == "group_address") {
+    message_.group_address = net::IpAddr(static_cast<std::uint32_t>(value));
+    return true;
+  }
+  return false;
+}
+
+bool IgmpExecEnv::is_bytes_field(const codegen::FieldRef& ref) const {
+  (void)ref;
+  return false;
+}
+std::optional<std::vector<std::uint8_t>> IgmpExecEnv::read_bytes(
+    const codegen::FieldRef& ref, codegen::PacketSel sel) {
+  (void)ref;
+  (void)sel;
+  return std::nullopt;
+}
+bool IgmpExecEnv::write_bytes(const codegen::FieldRef& ref,
+                              std::vector<std::uint8_t> value) {
+  (void)ref;
+  (void)value;
+  return false;
+}
+bool IgmpExecEnv::is_bytes_function(const std::string& fn) const {
+  (void)fn;
+  return false;
+}
+
+std::optional<long> IgmpExecEnv::call_scalar(const std::string& fn,
+                                             const std::vector<long>& args) {
+  (void)args;
+  if (fn == "ones_complement_sum" || fn == "ones_complement") {
+    // Deferred like ICMP: serialize() computes the real checksum.
+    return 0;
+  }
+  return std::nullopt;
+}
+std::optional<std::vector<std::uint8_t>> IgmpExecEnv::call_bytes(
+    const std::string& fn) {
+  (void)fn;
+  return std::nullopt;
+}
+
+bool IgmpExecEnv::call_effect(const std::string& fn,
+                              const std::vector<long>& args) {
+  (void)args;
+  if (fn == "compute_checksum" || fn == "recompute_checksum") {
+    checksum_computed_ = true;  // IgmpMessage::serialize fills it
+    return true;
+  }
+  if (fn == "send_message" || fn == "discard_packet") return true;
+  return false;
+}
+
+long IgmpExecEnv::resolve_symbol(const std::string& name) {
+  if (util::to_lower(name) == "scenario") return symbol_value(scenario_);
+  return symbol_value(name);
+}
+
+}  // namespace sage::runtime

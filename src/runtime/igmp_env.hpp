@@ -1,0 +1,55 @@
+// IGMP execution environment (§6.3): runs the generated IGMP sender
+// ("SAGE generates the sending of host membership and query message")
+// and finalizes an IGMP message wrapped in IP.
+#pragma once
+
+#include <string>
+
+#include "net/igmp.hpp"
+#include "net/ipv4.hpp"
+#include "runtime/interpreter.hpp"
+
+namespace sage::runtime {
+
+class IgmpExecEnv : public ExecEnv {
+ public:
+  /// `host_group` is the group a report announces (the framework's
+  /// "which group am I joining" service).
+  IgmpExecEnv(net::IpAddr own_address, net::IpAddr host_group)
+      : own_address_(own_address), host_group_(host_group) {}
+
+  /// "host membership query message" or "host membership report message".
+  void set_scenario(const std::string& name) { scenario_ = name; }
+
+  const net::IgmpMessage& message() const { return message_; }
+
+  /// Finalize: IGMP message inside an IP datagram to `destination`.
+  std::vector<std::uint8_t> finish(net::IpAddr destination) const;
+
+  // -- ExecEnv ---------------------------------------------------------------
+  std::optional<long> read_field(const codegen::FieldRef& ref,
+                                 codegen::PacketSel sel) override;
+  bool write_field(const codegen::FieldRef& ref, long value) override;
+  bool is_bytes_field(const codegen::FieldRef& ref) const override;
+  std::optional<std::vector<std::uint8_t>> read_bytes(
+      const codegen::FieldRef& ref, codegen::PacketSel sel) override;
+  bool write_bytes(const codegen::FieldRef& ref,
+                   std::vector<std::uint8_t> value) override;
+  bool is_bytes_function(const std::string& fn) const override;
+  std::optional<long> call_scalar(const std::string& fn,
+                                  const std::vector<long>& args) override;
+  std::optional<std::vector<std::uint8_t>> call_bytes(
+      const std::string& fn) override;
+  bool call_effect(const std::string& fn,
+                   const std::vector<long>& args) override;
+  long resolve_symbol(const std::string& name) override;
+
+ private:
+  net::IpAddr own_address_;
+  net::IpAddr host_group_;
+  net::IgmpMessage message_;
+  std::string scenario_;
+  bool checksum_computed_ = false;
+};
+
+}  // namespace sage::runtime

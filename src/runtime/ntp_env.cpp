@@ -1,0 +1,154 @@
+#include "runtime/ntp_env.hpp"
+
+#include "util/strings.hpp"
+
+namespace sage::runtime {
+
+namespace {
+long symbol_value(const std::string& name) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (char c : util::to_lower(name)) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<long>(h & 0x7fffffff);
+}
+}  // namespace
+
+std::vector<std::uint8_t> NtpExecEnv::finish(net::IpAddr destination) const {
+  const auto ntp_bytes = packet_.serialize();
+  net::UdpHeader udp = udp_;
+  if (udp.src_port == 0) udp.src_port = net::kNtpPort;
+  if (udp.dst_port == 0) udp.dst_port = net::kNtpPort;
+  const auto udp_bytes = udp.serialize(own_address_, destination, ntp_bytes);
+
+  net::Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::kUdp);
+  ip.ttl = 64;
+  ip.src = own_address_;
+  ip.dst = destination;
+  return net::build_ipv4_packet(ip, udp_bytes);
+}
+
+std::optional<long> NtpExecEnv::read_field(const codegen::FieldRef& ref,
+                                           codegen::PacketSel sel) {
+  (void)sel;
+  if (ref.layer == "udp") {
+    if (ref.field == "src_port") return udp_.src_port;
+    if (ref.field == "dst_port") return udp_.dst_port;
+    if (ref.field == "length") return udp_.length;
+    return std::nullopt;
+  }
+  if (ref.layer != "ntp") return std::nullopt;
+  if (ref.field == "leap_indicator") return packet_.leap_indicator;
+  if (ref.field == "version") return packet_.version;
+  if (ref.field == "mode") return static_cast<long>(packet_.mode);
+  if (ref.field == "stratum") return packet_.stratum;
+  if (ref.field == "poll") return packet_.poll;
+  if (ref.field == "precision") return packet_.precision;
+  if (ref.field == "peer_timer") return static_cast<long>(peer_timer_);
+  if (ref.field == "transmit_timestamp") {
+    return static_cast<long>(packet_.transmit_timestamp.seconds);
+  }
+  if (ref.field == "message") return 0;
+  return std::nullopt;
+}
+
+bool NtpExecEnv::write_field(const codegen::FieldRef& ref, long value) {
+  if (ref.layer == "udp") {
+    if (ref.field == "src_port") {
+      udp_.src_port = static_cast<std::uint16_t>(value);
+      return true;
+    }
+    if (ref.field == "dst_port") {
+      udp_.dst_port = static_cast<std::uint16_t>(value);
+      return true;
+    }
+    if (ref.field == "checksum") return true;  // filled at serialization
+    return false;
+  }
+  if (ref.layer != "ntp") return false;
+  if (ref.field == "leap_indicator") {
+    packet_.leap_indicator = static_cast<std::uint8_t>(value);
+    return true;
+  }
+  if (ref.field == "version") {
+    packet_.version = static_cast<std::uint8_t>(value);
+    return true;
+  }
+  if (ref.field == "mode") {
+    packet_.mode = static_cast<net::NtpMode>(value);
+    return true;
+  }
+  if (ref.field == "stratum") {
+    packet_.stratum = static_cast<std::uint8_t>(value);
+    return true;
+  }
+  if (ref.field == "poll") {
+    packet_.poll = static_cast<std::int8_t>(value);
+    return true;
+  }
+  if (ref.field == "precision") {
+    packet_.precision = static_cast<std::int8_t>(value);
+    return true;
+  }
+  if (ref.field == "transmit_timestamp") {
+    packet_.transmit_timestamp = {static_cast<std::uint32_t>(value), 0};
+    return true;
+  }
+  return false;
+}
+
+bool NtpExecEnv::is_bytes_field(const codegen::FieldRef& ref) const {
+  (void)ref;
+  return false;
+}
+std::optional<std::vector<std::uint8_t>> NtpExecEnv::read_bytes(
+    const codegen::FieldRef& ref, codegen::PacketSel sel) {
+  (void)ref;
+  (void)sel;
+  return std::nullopt;
+}
+bool NtpExecEnv::write_bytes(const codegen::FieldRef& ref,
+                             std::vector<std::uint8_t> value) {
+  (void)ref;
+  (void)value;
+  return false;
+}
+bool NtpExecEnv::is_bytes_function(const std::string& fn) const {
+  (void)fn;
+  return false;
+}
+
+std::optional<long> NtpExecEnv::call_scalar(const std::string& fn,
+                                            const std::vector<long>& args) {
+  (void)args;
+  if (fn == "current_time") return static_cast<long>(clock_seconds_);
+  if (fn == "ones_complement_sum" || fn == "ones_complement") return 0;
+  return std::nullopt;
+}
+std::optional<std::vector<std::uint8_t>> NtpExecEnv::call_bytes(
+    const std::string& fn) {
+  (void)fn;
+  return std::nullopt;
+}
+
+bool NtpExecEnv::call_effect(const std::string& fn,
+                             const std::vector<long>& args) {
+  (void)args;
+  if (fn == "call_timeout" || fn == "timeout") {
+    timeout_called_ = true;
+    return true;
+  }
+  if (fn == "compute_checksum" || fn == "recompute_checksum" ||
+      fn == "send_message" || fn == "transmit_packet") {
+    return true;  // UDP checksum is filled at serialization
+  }
+  return false;
+}
+
+long NtpExecEnv::resolve_symbol(const std::string& name) {
+  return symbol_value(name);
+}
+
+}  // namespace sage::runtime

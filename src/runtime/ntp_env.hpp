@@ -1,0 +1,54 @@
+// NTP execution environment (§6.3): runs the generated NTP sender —
+// "It generated packets for the timeout procedure containing both NTP
+// and UDP headers" — and finalizes the NTP packet inside UDP inside IP.
+#pragma once
+
+#include <string>
+
+#include "net/ipv4.hpp"
+#include "net/ntp.hpp"
+#include "net/udp.hpp"
+#include "runtime/interpreter.hpp"
+
+namespace sage::runtime {
+
+class NtpExecEnv : public ExecEnv {
+ public:
+  explicit NtpExecEnv(net::IpAddr own_address, std::uint32_t clock_seconds)
+      : own_address_(own_address), clock_seconds_(clock_seconds) {}
+
+  const net::NtpPacket& packet() const { return packet_; }
+  const net::UdpHeader& udp() const { return udp_; }
+  bool timeout_called() const { return timeout_called_; }
+
+  /// Finalize: NTP inside UDP inside IP, to `destination`.
+  std::vector<std::uint8_t> finish(net::IpAddr destination) const;
+
+  // -- ExecEnv ---------------------------------------------------------------
+  std::optional<long> read_field(const codegen::FieldRef& ref,
+                                 codegen::PacketSel sel) override;
+  bool write_field(const codegen::FieldRef& ref, long value) override;
+  bool is_bytes_field(const codegen::FieldRef& ref) const override;
+  std::optional<std::vector<std::uint8_t>> read_bytes(
+      const codegen::FieldRef& ref, codegen::PacketSel sel) override;
+  bool write_bytes(const codegen::FieldRef& ref,
+                   std::vector<std::uint8_t> value) override;
+  bool is_bytes_function(const std::string& fn) const override;
+  std::optional<long> call_scalar(const std::string& fn,
+                                  const std::vector<long>& args) override;
+  std::optional<std::vector<std::uint8_t>> call_bytes(
+      const std::string& fn) override;
+  bool call_effect(const std::string& fn,
+                   const std::vector<long>& args) override;
+  long resolve_symbol(const std::string& name) override;
+
+ private:
+  net::IpAddr own_address_;
+  std::uint32_t clock_seconds_;
+  net::NtpPacket packet_;
+  net::UdpHeader udp_;
+  std::uint32_t peer_timer_ = 0;  // 0 = expired (drives the Table 11 code)
+  bool timeout_called_ = false;
+};
+
+}  // namespace sage::runtime

@@ -1,0 +1,226 @@
+#include "sim/inspector.hpp"
+
+#include <cstdio>
+
+#include "net/bfd.hpp"
+#include "net/checksum.hpp"
+#include "net/icmp.hpp"
+#include "net/igmp.hpp"
+#include "net/ipv4.hpp"
+#include "net/ntp.hpp"
+#include "net/udp.hpp"
+#include "util/bytes.hpp"
+
+namespace sage::sim {
+
+namespace {
+
+void check_icmp(const net::Ipv4Header& ip,
+                std::span<const std::uint8_t> payload, InspectionResult& r) {
+  const auto icmp = net::IcmpMessage::parse(payload);
+  if (!icmp) {
+    r.errors.push_back("ICMP message truncated (" +
+                       std::to_string(payload.size()) + " bytes)");
+    return;
+  }
+  r.summary += "ICMP " + net::icmp_type_name(icmp->type);
+
+  if (!net::IcmpMessage::verify_checksum(payload)) {
+    r.warnings.push_back("ICMP checksum incorrect");
+  }
+
+  switch (icmp->type) {
+    case net::IcmpType::kEcho:
+    case net::IcmpType::kEchoReply: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, ", id %u, seq %u, length %zu",
+                    icmp->identifier(), icmp->sequence_number(),
+                    payload.size());
+      r.summary += buf;
+      break;
+    }
+    case net::IcmpType::kDestinationUnreachable:
+    case net::IcmpType::kTimeExceeded:
+    case net::IcmpType::kSourceQuench:
+    case net::IcmpType::kParameterProblem:
+    case net::IcmpType::kRedirect: {
+      // Error messages must quote the original internet header + 64 bits
+      // of data (RFC 792); tcpdump prints the quoted header and warns if
+      // it is too short to decode.
+      if (icmp->payload.size() < 20 + 8) {
+        r.warnings.push_back(
+            "ICMP error payload too short to contain original internet "
+            "header plus 64 bits of data (" +
+            std::to_string(icmp->payload.size()) + " bytes)");
+      } else {
+        const auto quoted = net::Ipv4Header::parse(icmp->payload);
+        if (!quoted || quoted->version != 4) {
+          r.warnings.push_back("quoted original datagram is not valid IPv4");
+        }
+      }
+      if (icmp->type == net::IcmpType::kRedirect) {
+        r.summary += " to " + icmp->gateway_address().to_string();
+      }
+      if (icmp->type == net::IcmpType::kParameterProblem) {
+        r.summary += ", pointer " + std::to_string(icmp->pointer());
+      }
+      break;
+    }
+    case net::IcmpType::kTimestamp:
+    case net::IcmpType::kTimestampReply: {
+      // 8-byte header + three 32-bit timestamps = 20 bytes total.
+      if (payload.size() != 20) {
+        r.warnings.push_back(
+            "timestamp message length " + std::to_string(payload.size()) +
+            " (expected 20)");
+      }
+      break;
+    }
+    case net::IcmpType::kInformationRequest:
+    case net::IcmpType::kInformationReply: {
+      if (payload.size() != 8) {
+        r.warnings.push_back("information message length " +
+                             std::to_string(payload.size()) +
+                             " (expected 8)");
+      }
+      break;
+    }
+  }
+  (void)ip;
+}
+
+void check_udp(const net::Ipv4Header& ip, std::span<const std::uint8_t> payload,
+               InspectionResult& r) {
+  const auto udp = net::UdpHeader::parse(payload);
+  if (!udp) {
+    r.errors.push_back("UDP header truncated");
+    return;
+  }
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "UDP %u > %u, length %u", udp->src_port,
+                udp->dst_port, udp->length);
+  r.summary += buf;
+  if (udp->length != payload.size()) {
+    r.warnings.push_back("UDP length field " + std::to_string(udp->length) +
+                         " != actual " + std::to_string(payload.size()));
+  }
+  if (!net::UdpHeader::verify_checksum(ip.src, ip.dst, payload)) {
+    r.warnings.push_back("UDP checksum incorrect");
+  }
+  if (udp->dst_port == net::kNtpPort || udp->src_port == net::kNtpPort) {
+    const auto ntp = net::NtpPacket::parse(payload.subspan(8));
+    if (ntp) {
+      r.summary += ", NTPv" + std::to_string(ntp->version) + " mode " +
+                   std::to_string(static_cast<int>(ntp->mode)) + " stratum " +
+                   std::to_string(ntp->stratum);
+    } else {
+      r.warnings.push_back("NTP packet shorter than 48 bytes");
+    }
+  }
+}
+
+void check_igmp(std::span<const std::uint8_t> payload, InspectionResult& r) {
+  const auto igmp = net::IgmpMessage::parse(payload);
+  if (!igmp) {
+    r.errors.push_back("IGMP message truncated");
+    return;
+  }
+  r.summary += std::string("IGMP ") +
+               (igmp->type == net::IgmpType::kHostMembershipQuery
+                    ? "host membership query"
+                    : "host membership report") +
+               " group " + igmp->group_address.to_string();
+  if (igmp->version != 1) {
+    r.warnings.push_back("IGMP version " + std::to_string(igmp->version) +
+                         " (expected 1)");
+  }
+  if (!net::IgmpMessage::verify_checksum(payload)) {
+    r.warnings.push_back("IGMP checksum incorrect");
+  }
+}
+
+}  // namespace
+
+InspectionResult PacketInspector::inspect(
+    std::span<const std::uint8_t> packet) const {
+  InspectionResult r;
+  const auto ip = net::Ipv4Header::parse(packet);
+  if (!ip) {
+    r.errors.push_back("not a decodable IPv4 packet (" +
+                       std::to_string(packet.size()) + " bytes)");
+    r.summary = "[malformed]";
+    return r;
+  }
+
+  r.summary = "IP " + ip->src.to_string() + " > " + ip->dst.to_string() + ": ";
+
+  if (ip->total_length != packet.size()) {
+    if (ip->total_length > packet.size()) {
+      r.errors.push_back("packet truncated: total length " +
+                         std::to_string(ip->total_length) + " but only " +
+                         std::to_string(packet.size()) + " bytes captured");
+    } else {
+      r.warnings.push_back("IP total length " +
+                           std::to_string(ip->total_length) + " < captured " +
+                           std::to_string(packet.size()) + " bytes");
+    }
+  }
+
+  const std::uint16_t expect_ck = net::Ipv4Header::compute_checksum(
+      packet.subspan(0, ip->header_length()));
+  if (expect_ck != ip->checksum) {
+    r.warnings.push_back("IP header checksum incorrect");
+  }
+  if (ip->ttl == 0) {
+    r.warnings.push_back("TTL is zero");
+  }
+
+  const std::size_t payload_len =
+      ip->total_length >= ip->header_length() &&
+              ip->total_length <= packet.size()
+          ? ip->total_length - ip->header_length()
+          : packet.size() - ip->header_length();
+  const std::span<const std::uint8_t> payload(
+      packet.data() + ip->header_length(), payload_len);
+
+  switch (static_cast<net::IpProto>(ip->protocol)) {
+    case net::IpProto::kIcmp:
+      check_icmp(*ip, payload, r);
+      break;
+    case net::IpProto::kUdp:
+      check_udp(*ip, payload, r);
+      break;
+    case net::IpProto::kIgmp:
+      check_igmp(payload, r);
+      break;
+    default:
+      r.summary += "proto " + std::to_string(ip->protocol) + ", length " +
+                   std::to_string(payload.size());
+      break;
+  }
+  return r;
+}
+
+std::vector<InspectionResult> PacketInspector::inspect_pcap(
+    std::span<const std::uint8_t> pcap_bytes) const {
+  const auto records = net::parse_pcap(pcap_bytes);
+  if (!records) {
+    InspectionResult r;
+    r.summary = "[malformed pcap]";
+    r.errors.push_back("pcap stream is malformed or truncated");
+    return {r};
+  }
+  std::vector<InspectionResult> out;
+  out.reserve(records->size());
+  for (const auto& rec : *records) out.push_back(inspect(rec.data));
+  return out;
+}
+
+bool PacketInspector::all_clean(std::span<const std::uint8_t> pcap_bytes) const {
+  for (const auto& r : inspect_pcap(pcap_bytes)) {
+    if (!r.clean()) return false;
+  }
+  return true;
+}
+
+}  // namespace sage::sim

@@ -1,0 +1,43 @@
+// PacketInspector: the reproduction's stand-in for tcpdump (§6.2).
+//
+// The paper's packet-capture verification checks that "tcpdump can read
+// packet contents correctly without warnings or errors". The inspector
+// applies the same oracle: it decodes a raw IPv4 packet, prints a
+// tcpdump-style summary line, and emits a warning/error for every defect
+// tcpdump would flag (truncation, bad checksums, inconsistent lengths,
+// malformed type-specific fields).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/pcap.hpp"
+
+namespace sage::sim {
+
+/// Result of inspecting a single packet.
+struct InspectionResult {
+  std::string summary;                 // tcpdump-style one-liner
+  std::vector<std::string> warnings;   // suspicious but decodable
+  std::vector<std::string> errors;     // undecodable / definitely corrupt
+
+  bool clean() const { return warnings.empty() && errors.empty(); }
+};
+
+class PacketInspector {
+ public:
+  /// Inspect one raw IPv4 packet.
+  InspectionResult inspect(std::span<const std::uint8_t> packet) const;
+
+  /// Inspect every record in a pcap byte stream; a malformed pcap yields a
+  /// single error result.
+  std::vector<InspectionResult> inspect_pcap(
+      std::span<const std::uint8_t> pcap_bytes) const;
+
+  /// Convenience: true if every packet in the capture is clean.
+  bool all_clean(std::span<const std::uint8_t> pcap_bytes) const;
+};
+
+}  // namespace sage::sim

@@ -1,0 +1,341 @@
+#include "sim/network.hpp"
+
+#include "net/checksum.hpp"
+#include "net/icmp.hpp"
+#include "net/udp.hpp"
+#include "util/bytes.hpp"
+
+namespace sage::sim {
+
+namespace {
+constexpr int kHopBudget = 16;
+}
+
+const UdpSocket* Host::udp_socket(std::uint16_t port) const {
+  const auto it = udp_sockets_.find(port);
+  return it == udp_sockets_.end() ? nullptr : &it->second;
+}
+
+bool Router::owns_address(net::IpAddr addr) const {
+  for (const auto& ifc : interfaces_) {
+    if (ifc.address == addr) return true;
+  }
+  return false;
+}
+
+std::optional<std::size_t> Router::interface_for(net::IpAddr addr) const {
+  for (std::size_t i = 0; i < interfaces_.size(); ++i) {
+    if (interfaces_[i].address.same_subnet(addr, interfaces_[i].prefix_len)) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+const StaticRoute* Router::route_for(net::IpAddr addr) const {
+  const StaticRoute* best = nullptr;
+  for (const auto& route : routes_) {
+    if (route.network.same_subnet(addr, route.prefix_len) &&
+        (best == nullptr || route.prefix_len > best->prefix_len)) {
+      best = &route;
+    }
+  }
+  return best;
+}
+
+Host& Network::add_host(std::string name, net::IpAddr address, int prefix_len) {
+  hosts_.push_back(std::make_unique<Host>(std::move(name), address, prefix_len));
+  return *hosts_.back();
+}
+
+Router& Network::add_router(std::string name) {
+  routers_.push_back(std::make_unique<Router>(std::move(name)));
+  return *routers_.back();
+}
+
+Router* Network::find_router(const std::string& name) {
+  for (auto& r : routers_) {
+    if (r->name() == name) return r.get();
+  }
+  return nullptr;
+}
+
+Router* Network::find_router_by_address(net::IpAddr addr) {
+  for (auto& r : routers_) {
+    if (r->owns_address(addr)) return r.get();
+  }
+  return nullptr;
+}
+
+Router* Network::router_serving(net::IpAddr addr) {
+  for (auto& r : routers_) {
+    if (r->interface_for(addr)) return r.get();
+  }
+  return nullptr;
+}
+
+Host* Network::find_host(const std::string& name) {
+  for (auto& h : hosts_) {
+    if (h->name() == name) return h.get();
+  }
+  return nullptr;
+}
+
+Host* Network::find_host_by_address(net::IpAddr address) {
+  for (auto& h : hosts_) {
+    if (h->address() == address) return h.get();
+  }
+  return nullptr;
+}
+
+void Network::send_from_host(const std::string& host_name,
+                             std::vector<std::uint8_t> packet) {
+  transmit(host_name, std::move(packet), kHopBudget);
+}
+
+void Network::send_from_host_via_router(const std::string& host_name,
+                                        std::vector<std::uint8_t> packet) {
+  capture_.push_back(CaptureEntry{host_name, packet});
+  Host* host = find_host(host_name);
+  Router* r = host != nullptr ? router_serving(host->address()) : nullptr;
+  if (r == nullptr) r = router();
+  if (r != nullptr) route_through_router(*r, std::move(packet), kHopBudget);
+}
+
+std::vector<std::uint8_t> Network::capture_to_pcap() const {
+  net::PcapWriter writer;
+  std::uint32_t t = 0;
+  for (const auto& entry : capture_) {
+    writer.add_packet(entry.packet, t / 1000000, t % 1000000);
+    t += 1000;  // 1ms between transmissions keeps ordering visible
+  }
+  return writer.to_bytes();
+}
+
+void Network::transmit(const std::string& from_node,
+                       std::vector<std::uint8_t> packet, int hop_budget) {
+  if (hop_budget <= 0) return;  // loop protection
+  capture_.push_back(CaptureEntry{from_node, packet});
+
+  const auto hdr = net::Ipv4Header::parse(packet);
+  if (!hdr) return;
+
+  Host* from_host = find_host(from_node);
+  Router* from_router = find_router(from_node);
+
+  if (Host* dst_host = find_host_by_address(hdr->dst)) {
+    // A router delivers onto any of its own subnets; a host reaches
+    // same-subnet neighbours directly.
+    const bool direct =
+        (from_router != nullptr &&
+         from_router->interface_for(dst_host->address()).has_value()) ||
+        (from_host != nullptr &&
+         from_host->address().same_subnet(dst_host->address(),
+                                          from_host->prefix_len()));
+    if (direct) {
+      deliver_to_host(*dst_host, std::move(packet), hop_budget);
+      return;
+    }
+  }
+  if (from_host != nullptr) {
+    Router* gateway = router_serving(from_host->address());
+    if (gateway == nullptr) gateway = router();
+    if (gateway != nullptr) {
+      route_through_router(*gateway, std::move(packet), hop_budget);
+    }
+    return;
+  }
+  if (from_router != nullptr) {
+    if (from_router->interface_for(hdr->dst)) {
+      // The destination subnet is directly attached but no such host
+      // exists: the packet falls off the simulated edge.
+      return;
+    }
+    // Router-originated traffic (ICMP errors/replies) for a non-attached
+    // destination consults the router's own tables.
+    route_through_router(*from_router, std::move(packet), hop_budget - 1);
+  }
+}
+
+void Network::send_reply(const std::string& from_node,
+                         std::optional<std::vector<std::uint8_t>> reply,
+                         int hop_budget) {
+  if (!reply) return;
+  transmit(from_node, std::move(*reply), hop_budget - 1);
+}
+
+void Network::deliver_to_host(Host& host, std::vector<std::uint8_t> packet,
+                              int hop_budget) {
+  const auto hdr = net::Ipv4Header::parse(packet);
+  if (!hdr) return;
+  const std::span<const std::uint8_t> payload(
+      packet.data() + hdr->header_length(),
+      packet.size() - hdr->header_length());
+  const ResponderContext ctx{host.address(), packet};
+
+  if (hdr->protocol == static_cast<std::uint8_t>(net::IpProto::kIcmp)) {
+    const auto icmp = net::IcmpMessage::parse(payload);
+    if (icmp && host.responder_ != nullptr) {
+      switch (icmp->type) {
+        case net::IcmpType::kEcho:
+          send_reply(host.name(), host.responder_->on_echo_request(ctx), hop_budget);
+          return;
+        case net::IcmpType::kTimestamp:
+          send_reply(host.name(), host.responder_->on_timestamp_request(ctx),
+                     hop_budget);
+          return;
+        case net::IcmpType::kInformationRequest:
+          send_reply(host.name(), host.responder_->on_information_request(ctx),
+                     hop_budget);
+          return;
+        default:
+          break;  // replies/errors go to the inbox below
+      }
+    }
+    host.inbox_.push_back(std::move(packet));
+    return;
+  }
+
+  if (hdr->protocol == static_cast<std::uint8_t>(net::IpProto::kUdp)) {
+    const auto udp = net::UdpHeader::parse(payload);
+    if (udp) {
+      auto it = host.udp_sockets_.find(udp->dst_port);
+      if (it != host.udp_sockets_.end()) {
+        it->second.received.emplace_back(payload.begin() + 8, payload.end());
+        return;
+      }
+      // Closed port: RFC 792 destination unreachable, code 3.
+      if (host.responder_ != nullptr) {
+        send_reply(host.name(),
+                   host.responder_->on_destination_unreachable(ctx, 3),
+                   hop_budget);
+        return;
+      }
+    }
+  }
+
+  host.inbox_.push_back(std::move(packet));
+}
+
+void Network::route_through_router(Router& r, std::vector<std::uint8_t> packet,
+                                   int hop_budget) {
+  if (hop_budget <= 0) return;
+  const auto hdr = net::Ipv4Header::parse(packet);
+  if (!hdr) return;
+
+  const auto ingress = r.interface_for(hdr->src);
+  const net::IpAddr router_addr =
+      ingress ? r.interfaces()[*ingress].address
+              : (r.interfaces().empty() ? net::IpAddr{} : r.interfaces()[0].address);
+  const ResponderContext ctx{router_addr, packet};
+  IcmpResponder* resp = r.responder_;
+
+  // Packets addressed to the router itself: ICMP requests get answered.
+  if (r.owns_address(hdr->dst)) {
+    if (hdr->protocol == static_cast<std::uint8_t>(net::IpProto::kIcmp) &&
+        resp != nullptr) {
+      const std::span<const std::uint8_t> payload(
+          packet.data() + hdr->header_length(),
+          packet.size() - hdr->header_length());
+      const auto icmp = net::IcmpMessage::parse(payload);
+      if (icmp) {
+        switch (icmp->type) {
+          case net::IcmpType::kEcho:
+            send_reply(r.name(), resp->on_echo_request(ctx), hop_budget);
+            return;
+          case net::IcmpType::kTimestamp:
+            send_reply(r.name(), resp->on_timestamp_request(ctx), hop_budget);
+            return;
+          case net::IcmpType::kInformationRequest:
+            send_reply(r.name(), resp->on_information_request(ctx), hop_budget);
+            return;
+          default:
+            return;  // errors/replies addressed to the router are consumed
+        }
+      }
+    }
+    return;
+  }
+
+  if (!r.behavior_.icmp_errors_enabled) resp = nullptr;
+
+  // Appendix A, Parameter Problem: unsupported type-of-service. The
+  // pointer (1) is the byte offset of the TOS field in the IP header.
+  if (r.behavior_.require_tos_zero && hdr->tos != 0) {
+    if (resp != nullptr) {
+      send_reply(r.name(), resp->on_parameter_problem(ctx, 1), hop_budget);
+    }
+    return;
+  }
+
+  const auto egress = r.interface_for(hdr->dst);
+  const StaticRoute* route = egress ? nullptr : r.route_for(hdr->dst);
+  if (!egress && route == nullptr) {
+    // Appendix A, Destination Unreachable: no route (code 0, net
+    // unreachable).
+    if (resp != nullptr) {
+      send_reply(r.name(), resp->on_destination_unreachable(ctx, 0), hop_budget);
+    }
+    return;
+  }
+
+  // Appendix A, Time Exceeded: TTL would reach zero in transit.
+  if (hdr->ttl <= 1) {
+    if (resp != nullptr) {
+      send_reply(r.name(), resp->on_time_exceeded(ctx), hop_budget);
+    }
+    return;
+  }
+
+  // Appendix A, Source Quench: the outbound buffer for the egress
+  // interface is full, so the datagram is discarded.
+  if (egress && r.behavior_.full_outbound_interface &&
+      *r.behavior_.full_outbound_interface == *egress) {
+    if (resp != nullptr) {
+      send_reply(r.name(), resp->on_source_quench(ctx), hop_budget);
+    }
+    return;
+  }
+
+  // Appendix A, Redirect: the next gateway for the destination lies on
+  // the sender's own subnet, so the sender should go direct.
+  if (egress && ingress && *ingress == *egress) {
+    if (resp != nullptr) {
+      send_reply(r.name(), resp->on_redirect(ctx, hdr->dst), hop_budget);
+    }
+    return;
+  }
+
+  // Forward: decrement TTL and patch the header checksum incrementally
+  // (RFC 1624), then put it on the egress subnet or hand it to the
+  // next-hop router of the matching static route.
+  const std::uint16_t old_ttl_proto = util::get_be16({packet.data() + 8, 2});
+  packet[8] = static_cast<std::uint8_t>(hdr->ttl - 1);
+  const std::uint16_t new_ttl_proto = util::get_be16({packet.data() + 8, 2});
+  const std::uint16_t old_ck = util::get_be16({packet.data() + 10, 2});
+  util::put_be16({packet.data() + 10, 2},
+                 net::incremental_checksum_update(old_ck, old_ttl_proto,
+                                                  new_ttl_proto));
+  if (route != nullptr) {
+    capture_.push_back(CaptureEntry{r.name(), packet});
+    if (Router* next = find_router_by_address(route->next_hop)) {
+      route_through_router(*next, std::move(packet), hop_budget - 1);
+    }
+    return;
+  }
+  transmit(r.name(), std::move(packet), hop_budget - 1);
+}
+
+Network make_appendix_a_network() {
+  Network net;
+  Router& r = net.add_router("r");
+  r.add_interface(net::IpAddr(10, 0, 1, 1), 24);
+  r.add_interface(net::IpAddr(192, 168, 2, 1), 24);
+  r.add_interface(net::IpAddr(172, 64, 3, 1), 24);
+  net.add_host("client", net::IpAddr(10, 0, 1, 100), 24);
+  net.add_host("server1", net::IpAddr(192, 168, 2, 100), 24);
+  net.add_host("server2", net::IpAddr(172, 64, 3, 100), 24);
+  return net;
+}
+
+}  // namespace sage::sim

@@ -1,0 +1,194 @@
+// In-process network simulator standing in for the paper's Mininet
+// testbed (§6.1/§6.2 and Appendix A).
+//
+// Topology mirrors Appendix A: one router with three subnets
+// (10.0.1.1/24, 192.168.2.1/24, 172.64.3.1/24), a client on the first and
+// servers on the others. Hosts and the router exchange raw IPv4 datagrams
+// synchronously; every transmission is recorded in a capture log that the
+// PacketInspector (our tcpdump) later validates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/pcap.hpp"
+#include "sim/responder.hpp"
+
+namespace sage::sim {
+
+/// One recorded transmission: the node that put the packet on the wire
+/// and the raw bytes (starting at the IP header).
+struct CaptureEntry {
+  std::string node;
+  std::vector<std::uint8_t> packet;
+};
+
+/// A listening UDP port on a host (traceroute probes to closed ports are
+/// what elicit port-unreachable).
+struct UdpSocket {
+  std::uint16_t port = 0;
+  std::vector<std::vector<std::uint8_t>> received;  // raw UDP payloads
+};
+
+class Network;
+
+/// End host: one interface, optional ICMP responder, UDP sockets.
+class Host {
+ public:
+  Host(std::string name, net::IpAddr address, int prefix_len)
+      : name_(std::move(name)), address_(address), prefix_len_(prefix_len) {}
+
+  const std::string& name() const { return name_; }
+  net::IpAddr address() const { return address_; }
+  int prefix_len() const { return prefix_len_; }
+
+  /// Attach the ICMP implementation this host runs (non-owning; the
+  /// harness owns responders so one can be shared across scenario runs).
+  void set_responder(IcmpResponder* responder) { responder_ = responder; }
+
+  void open_udp_port(std::uint16_t port) { udp_sockets_[port] = UdpSocket{port, {}}; }
+  const UdpSocket* udp_socket(std::uint16_t port) const;
+
+  /// Packets addressed to this host that were not consumed by a protocol
+  /// handler (e.g. ICMP replies waiting for a client to read them).
+  std::vector<std::vector<std::uint8_t>>& inbox() { return inbox_; }
+
+ private:
+  friend class Network;
+  std::string name_;
+  net::IpAddr address_;
+  int prefix_len_;
+  IcmpResponder* responder_ = nullptr;
+  std::map<std::uint16_t, UdpSocket> udp_sockets_;
+  std::vector<std::vector<std::uint8_t>> inbox_;
+};
+
+/// A router interface: its own address and the prefix it serves.
+struct RouterInterface {
+  net::IpAddr address;
+  int prefix_len = 24;
+};
+
+/// A static route: traffic for `network/prefix_len` goes to `next_hop`
+/// (which must be an interface address of another router, reachable via
+/// one of this router's subnets).
+struct StaticRoute {
+  net::IpAddr network;
+  int prefix_len = 24;
+  net::IpAddr next_hop;
+};
+
+/// Scenario knobs from Appendix A. Each ICMP error scenario flips one.
+struct RouterBehavior {
+  /// Appendix A, Parameter Problem: "the router can only handle IP packets
+  /// in which the type of service value equals zero".
+  bool require_tos_zero = false;
+  /// Appendix A, Source Quench: "one outbound buffer is full"; packets that
+  /// would be forwarded out this interface index are discarded with quench.
+  std::optional<std::size_t> full_outbound_interface;
+  /// When false the router silently drops instead of emitting ICMP errors
+  /// (used to test that no spurious traffic appears).
+  bool icmp_errors_enabled = true;
+};
+
+/// The router under test. Its ICMP behaviour comes entirely from the
+/// attached IcmpResponder — this is where generated code is evaluated.
+class Router {
+ public:
+  explicit Router(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void add_interface(net::IpAddr address, int prefix_len) {
+    interfaces_.push_back({address, prefix_len});
+  }
+  const std::vector<RouterInterface>& interfaces() const { return interfaces_; }
+
+  void set_responder(IcmpResponder* responder) { responder_ = responder; }
+  RouterBehavior& behavior() { return behavior_; }
+
+  /// Install a static route (multi-router topologies).
+  void add_route(net::IpAddr network, int prefix_len, net::IpAddr next_hop) {
+    routes_.push_back({network, prefix_len, next_hop});
+  }
+
+  /// True if `addr` is one of the router's own interface addresses.
+  bool owns_address(net::IpAddr addr) const;
+
+  /// Interface serving `addr`'s subnet, if any.
+  std::optional<std::size_t> interface_for(net::IpAddr addr) const;
+
+  /// Static route whose prefix covers `addr`, if any (longest prefix wins).
+  const StaticRoute* route_for(net::IpAddr addr) const;
+
+ private:
+  friend class Network;
+  std::string name_;
+  std::vector<RouterInterface> interfaces_;
+  std::vector<StaticRoute> routes_;
+  IcmpResponder* responder_ = nullptr;
+  RouterBehavior behavior_;
+};
+
+/// The simulated network: one router, any number of hosts, a capture log.
+class Network {
+ public:
+  Host& add_host(std::string name, net::IpAddr address, int prefix_len = 24);
+  Router& add_router(std::string name);
+
+  Host* find_host(const std::string& name);
+  Host* find_host_by_address(net::IpAddr address);
+  /// The first router (the single-router topologies' "the router").
+  Router* router() { return routers_.empty() ? nullptr : routers_[0].get(); }
+  Router* find_router(const std::string& name);
+  /// Router owning interface `addr`, if any.
+  Router* find_router_by_address(net::IpAddr addr);
+  /// Router with an interface on `addr`'s subnet (the first match).
+  Router* router_serving(net::IpAddr addr);
+
+  /// Transmit `packet` from `host_name`. The packet is routed hop by hop
+  /// until delivered, dropped, or the hop budget is exhausted. Replies
+  /// generated along the way are routed too. Every transmission is
+  /// appended to the capture log.
+  void send_from_host(const std::string& host_name,
+                      std::vector<std::uint8_t> packet);
+
+  /// Like send_from_host, but forces the first hop through the router even
+  /// if the destination is on the sender's own subnet — the Appendix A
+  /// Redirect scenario, where the client's routing table wrongly points at
+  /// the router.
+  void send_from_host_via_router(const std::string& host_name,
+                                 std::vector<std::uint8_t> packet);
+
+  const std::vector<CaptureEntry>& capture() const { return capture_; }
+  void clear_capture() { capture_.clear(); }
+
+  /// Render the capture log as a pcap byte stream (LINKTYPE_RAW).
+  std::vector<std::uint8_t> capture_to_pcap() const;
+
+ private:
+  void transmit(const std::string& from_node, std::vector<std::uint8_t> packet,
+                int hop_budget);
+  void deliver_to_host(Host& host, std::vector<std::uint8_t> packet,
+                       int hop_budget);
+  void route_through_router(Router& router, std::vector<std::uint8_t> packet,
+                            int hop_budget);
+  void send_reply(const std::string& from_node,
+                  std::optional<std::vector<std::uint8_t>> reply,
+                  int hop_budget);
+
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<CaptureEntry> capture_;
+};
+
+/// Build the Appendix A topology: router "r" with 10.0.1.1/24,
+/// 192.168.2.1/24, 172.64.3.1/24; "client" 10.0.1.100, "server1"
+/// 192.168.2.100, "server2" 172.64.3.100.
+Network make_appendix_a_network();
+
+}  // namespace sage::sim

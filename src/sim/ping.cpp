@@ -1,0 +1,229 @@
+#include "sim/ping.hpp"
+
+#include <algorithm>
+
+#include "net/checksum.hpp"
+#include "net/icmp.hpp"
+#include "util/bytes.hpp"
+
+namespace sage::sim {
+
+namespace {
+
+std::uint16_t byteswap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+}
+
+/// Validate the error-message path (destination unreachable / time
+/// exceeded): the reply must quote our original internet header plus the
+/// first 64 bits of its data, per RFC 792 — Linux ping uses the quoted
+/// id/sequence to attribute the error to the right probe.
+void validate_error_reply(const net::Ipv4Header& req_ip,
+                          const net::IcmpMessage& req_icmp,
+                          const net::IcmpMessage& reply, PingResult& out) {
+  if (reply.payload.size() < 20 + 8) {
+    out.errors.insert(InteropError::kPayloadContent);
+    out.detail.push_back("error reply does not quote internet header + 64 bits");
+    return;
+  }
+  const auto quoted_ip = net::Ipv4Header::parse(reply.payload);
+  if (!quoted_ip || quoted_ip->src != req_ip.src || quoted_ip->dst != req_ip.dst) {
+    out.errors.insert(InteropError::kPayloadContent);
+    out.detail.push_back("quoted datagram does not match the probe");
+    return;
+  }
+  const std::span<const std::uint8_t> quoted(reply.payload);
+  if (quoted.size() < quoted_ip->header_length() + 8) {
+    out.errors.insert(InteropError::kPayloadContent);
+    out.detail.push_back("quoted datagram shorter than header + 64 bits");
+    return;
+  }
+  const auto quoted_icmp =
+      net::IcmpMessage::parse(quoted.subspan(quoted_ip->header_length()));
+  if (!quoted_icmp || quoted_icmp->identifier() != req_icmp.identifier()) {
+    out.errors.insert(InteropError::kPayloadContent);
+    out.detail.push_back("quoted ICMP id does not match the probe");
+  }
+}
+
+}  // namespace
+
+std::string interop_error_name(InteropError e) {
+  switch (e) {
+    case InteropError::kIpHeader: return "IP header related";
+    case InteropError::kIcmpHeader: return "ICMP header related";
+    case InteropError::kByteOrder:
+      return "Network byte order and host byte order conversion";
+    case InteropError::kPayloadContent: return "Incorrect ICMP payload content";
+    case InteropError::kReplyLength: return "Incorrect echo reply packet length";
+    case InteropError::kChecksumOrDropped:
+      return "Incorrect checksum or dropped by kernel";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> PingClient::make_payload(std::size_t size) {
+  std::vector<std::uint8_t> payload(size, 0);
+  // First 8 bytes: the struct timeval Linux embeds. A fixed value keeps
+  // the simulation deterministic; the receiver must echo it verbatim.
+  if (size >= 8) {
+    util::put_be64({payload.data(), 8}, 0x0102030405060708ULL);
+  }
+  for (std::size_t i = 8; i < size; ++i) {
+    payload[i] = static_cast<std::uint8_t>(0x10 + (i - 8));
+  }
+  return payload;
+}
+
+std::vector<std::uint8_t> PingClient::make_echo_request(net::IpAddr src,
+                                                        net::IpAddr dst,
+                                                        const PingOptions& opts) {
+  net::IcmpMessage icmp;
+  icmp.type = net::IcmpType::kEcho;
+  icmp.code = 0;
+  icmp.set_identifier(opts.identifier);
+  icmp.set_sequence_number(opts.sequence);
+  icmp.payload = make_payload(opts.payload_size);
+  const auto icmp_bytes = icmp.serialize();
+
+  net::Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::kIcmp);
+  ip.ttl = opts.ttl;
+  ip.src = src;
+  ip.dst = dst;
+  ip.identification = 0x4d2;
+  return net::build_ipv4_packet(ip, icmp_bytes);
+}
+
+PingResult PingClient::ping(Network& network, const std::string& client_host,
+                            net::IpAddr target, const PingOptions& opts) {
+  PingResult out;
+  Host* client = network.find_host(client_host);
+  if (client == nullptr) {
+    out.detail.push_back("no such host: " + client_host);
+    return out;
+  }
+
+  const auto request = make_echo_request(client->address(), target, opts);
+  const auto req_ip = *net::Ipv4Header::parse(request);
+  const auto req_icmp = *net::IcmpMessage::parse(
+      std::span<const std::uint8_t>(request).subspan(req_ip.header_length()));
+
+  const std::size_t inbox_before = client->inbox().size();
+  network.send_from_host(client_host, request);
+
+  if (client->inbox().size() == inbox_before) {
+    out.detail.push_back("no reply received");
+    return out;
+  }
+  out.reply = client->inbox().back();
+
+  const auto ip = net::Ipv4Header::parse(out.reply);
+  if (!ip) {
+    out.errors.insert(InteropError::kIpHeader);
+    out.detail.push_back("reply is not decodable IPv4");
+    return out;
+  }
+  if (ip->version != 4 || ip->ihl < 5 ||
+      ip->protocol != static_cast<std::uint8_t>(net::IpProto::kIcmp) ||
+      ip->dst != client->address()) {
+    out.errors.insert(InteropError::kIpHeader);
+    out.detail.push_back("reply IP header fields are wrong");
+  }
+  if (ip->total_length != out.reply.size()) {
+    // A total_length that disagrees with what arrived usually means a
+    // host-byte-order length was written into the header.
+    if (byteswap16(ip->total_length) == out.reply.size()) {
+      out.errors.insert(InteropError::kByteOrder);
+      out.detail.push_back("IP total length is byte-swapped");
+    } else {
+      out.errors.insert(InteropError::kIpHeader);
+      out.detail.push_back("IP total length mismatch");
+    }
+  }
+  if (net::Ipv4Header::compute_checksum(
+          std::span<const std::uint8_t>(out.reply).subspan(
+              0, ip->header_length())) != ip->checksum) {
+    out.errors.insert(InteropError::kIpHeader);
+    out.detail.push_back("IP header checksum incorrect");
+  }
+
+  const std::span<const std::uint8_t> icmp_bytes =
+      std::span<const std::uint8_t>(out.reply).subspan(ip->header_length());
+  const auto icmp = net::IcmpMessage::parse(icmp_bytes);
+  if (!icmp) {
+    out.errors.insert(InteropError::kIcmpHeader);
+    out.detail.push_back("reply ICMP message truncated");
+    return out;
+  }
+
+  // The kernel verifies the ICMP checksum before delivering to ping; a
+  // bad checksum means ping never sees the reply at all.
+  if (!net::IcmpMessage::verify_checksum(icmp_bytes)) {
+    out.errors.insert(InteropError::kChecksumOrDropped);
+    out.detail.push_back("ICMP checksum incorrect; kernel would drop");
+  }
+
+  switch (opts.expect) {
+    case PingExpect::kEchoReply: {
+      if (icmp->type != net::IcmpType::kEchoReply || icmp->code != 0) {
+        out.errors.insert(InteropError::kIcmpHeader);
+        out.detail.push_back("expected echo reply, got type " +
+                             std::to_string(static_cast<int>(icmp->type)) +
+                             " code " + std::to_string(icmp->code));
+      }
+      if (icmp->identifier() != opts.identifier ||
+          icmp->sequence_number() != opts.sequence) {
+        if (icmp->identifier() == byteswap16(opts.identifier) ||
+            icmp->sequence_number() == byteswap16(opts.sequence)) {
+          out.errors.insert(InteropError::kByteOrder);
+          out.detail.push_back("identifier/sequence are byte-swapped");
+        } else {
+          out.errors.insert(InteropError::kIcmpHeader);
+          out.detail.push_back("identifier/sequence do not match the request");
+        }
+      }
+      if (icmp->payload.size() != req_icmp.payload.size()) {
+        out.errors.insert(InteropError::kReplyLength);
+        out.detail.push_back("echo reply length " +
+                             std::to_string(icmp->payload.size()) +
+                             " != request length " +
+                             std::to_string(req_icmp.payload.size()));
+      }
+      // Linux ping reports "wrong data byte #N" independently of a
+      // length mismatch; compare the common prefix.
+      const std::size_t common =
+          std::min(icmp->payload.size(), req_icmp.payload.size());
+      if (!std::equal(icmp->payload.begin(),
+                      icmp->payload.begin() + static_cast<long>(common),
+                      req_icmp.payload.begin())) {
+        out.errors.insert(InteropError::kPayloadContent);
+        out.detail.push_back("echoed payload differs from the request");
+      }
+      break;
+    }
+    case PingExpect::kDestinationUnreachable: {
+      if (icmp->type != net::IcmpType::kDestinationUnreachable) {
+        out.errors.insert(InteropError::kIcmpHeader);
+        out.detail.push_back("expected destination unreachable");
+      } else {
+        validate_error_reply(req_ip, req_icmp, *icmp, out);
+      }
+      break;
+    }
+    case PingExpect::kTimeExceeded: {
+      if (icmp->type != net::IcmpType::kTimeExceeded) {
+        out.errors.insert(InteropError::kIcmpHeader);
+        out.detail.push_back("expected time exceeded");
+      } else {
+        validate_error_reply(req_ip, req_icmp, *icmp, out);
+      }
+      break;
+    }
+  }
+
+  out.success = out.errors.empty();
+  return out;
+}
+
+}  // namespace sage::sim

@@ -1,0 +1,79 @@
+// PingClient: a behavioural model of Linux `ping` (iputils), the interop
+// oracle of §6.2 and of the student-implementation study (§2.1).
+//
+// The model reproduces the acceptance rules that made 14 of 39 student
+// implementations fail: the kernel silently drops ICMP messages with bad
+// checksums; ping then matches replies on identifier and sequence number
+// (in network byte order), requires the echoed payload to be identical,
+// and requires the reply length to equal the request length. Each rule
+// maps onto one Table 2 error category so the eval harness can recreate
+// that table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "sim/network.hpp"
+
+namespace sage::sim {
+
+/// The six (not mutually exclusive) error categories of Table 2.
+enum class InteropError {
+  kIpHeader,          // IP header related
+  kIcmpHeader,        // ICMP header related
+  kByteOrder,         // network/host byte order conversion
+  kPayloadContent,    // incorrect ICMP payload content
+  kReplyLength,       // incorrect echo reply packet length
+  kChecksumOrDropped, // incorrect checksum / dropped by kernel
+};
+
+std::string interop_error_name(InteropError e);
+
+/// Expected outcome of one ping invocation (the four Linux commands of
+/// §6.2 expect different ICMP messages back).
+enum class PingExpect {
+  kEchoReply,
+  kDestinationUnreachable,
+  kTimeExceeded,
+};
+
+/// Result of one ping: success plus categorized failures for Table 2.
+struct PingResult {
+  bool success = false;
+  std::set<InteropError> errors;
+  std::vector<std::string> detail;  // human-readable failure notes
+  std::vector<std::uint8_t> reply;  // raw reply packet, if any arrived
+};
+
+/// Options for one ping invocation.
+struct PingOptions {
+  std::uint16_t identifier = 0x2a17;  // Linux uses the process id
+  std::uint16_t sequence = 1;
+  std::uint8_t ttl = 64;
+  std::size_t payload_size = 56;      // Linux default
+  PingExpect expect = PingExpect::kEchoReply;
+};
+
+class PingClient {
+ public:
+  /// Send one echo request from `client_host` to `target` and validate
+  /// whatever comes back against `opts.expect`.
+  PingResult ping(Network& network, const std::string& client_host,
+                  net::IpAddr target, const PingOptions& opts = {});
+
+  /// Build the echo request payload Linux ping uses: an 8-byte timestamp
+  /// followed by the incrementing byte pattern 0x10, 0x11, ...
+  static std::vector<std::uint8_t> make_payload(std::size_t size);
+
+  /// Build a complete echo-request IP packet (exposed for the timestamp /
+  /// information-request variants and for tests).
+  static std::vector<std::uint8_t> make_echo_request(net::IpAddr src,
+                                                     net::IpAddr dst,
+                                                     const PingOptions& opts);
+};
+
+}  // namespace sage::sim

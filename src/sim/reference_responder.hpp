@@ -1,0 +1,42 @@
+// ReferenceIcmpResponder: a hand-written, RFC 792-faithful ICMP
+// implementation.
+//
+// This is the reproduction's "correct reference implementation" (§2.2
+// discusses the role of reference implementations in standardization).
+// It serves three purposes:
+//   * baseline for the interop benches (generated code must match it),
+//   * the behaviour 24 of the 39 simulated student implementations share,
+//   * the template that eval::students mutates to inject the Table 2/3
+//     fault classes.
+#pragma once
+
+#include "sim/responder.hpp"
+
+namespace sage::sim {
+
+class ReferenceIcmpResponder : public IcmpResponder {
+ public:
+  std::optional<std::vector<std::uint8_t>> on_echo_request(
+      const ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_timestamp_request(
+      const ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_information_request(
+      const ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_destination_unreachable(
+      const ResponderContext& ctx, std::uint8_t code) override;
+  std::optional<std::vector<std::uint8_t>> on_time_exceeded(
+      const ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_parameter_problem(
+      const ResponderContext& ctx, std::uint8_t pointer) override;
+  std::optional<std::vector<std::uint8_t>> on_source_quench(
+      const ResponderContext& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_redirect(
+      const ResponderContext& ctx, net::IpAddr gateway) override;
+
+  /// The deterministic "milliseconds since midnight UT" clock used for
+  /// timestamp replies (keeps captures reproducible).
+  static constexpr std::uint32_t kReceiveTimestamp = 36000000;   // 10:00:00
+  static constexpr std::uint32_t kTransmitTimestamp = 36000001;  // +1ms
+};
+
+}  // namespace sage::sim

@@ -1,0 +1,72 @@
+// The pluggable ICMP implementation boundary.
+//
+// The paper's end-to-end evaluation (§6.2, Appendix A) wires SAGE-generated
+// ICMP code into a Mininet router and drives it with ping/traceroute. Our
+// simulator does the same through this interface: the router/host calls a
+// responder whenever the spec says an ICMP message must be produced.
+//
+// Three families implement it:
+//   * runtime::GeneratedIcmpResponder — executes SAGE-generated code (IR),
+//   * eval::ReferenceIcmpResponder    — hand-written RFC-faithful baseline,
+//   * eval::students::*               — the 14 faulty "student" variants
+//                                       behind Tables 2 and 3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace sage::sim {
+
+/// Context the node supplies with every event: who we are and the raw
+/// packet that triggered the event (starting at its IP header).
+struct ResponderContext {
+  net::IpAddr own_address;  // address of the interface that took the packet
+  std::span<const std::uint8_t> triggering_packet;
+};
+
+/// Produces complete IP datagrams (starting at the IP header) in response
+/// to protocol events. Returning nullopt means "send nothing".
+class IcmpResponder {
+ public:
+  virtual ~IcmpResponder() = default;
+
+  /// An echo request addressed to us arrived; produce the echo reply.
+  virtual std::optional<std::vector<std::uint8_t>> on_echo_request(
+      const ResponderContext& ctx) = 0;
+
+  /// A timestamp request addressed to us arrived.
+  virtual std::optional<std::vector<std::uint8_t>> on_timestamp_request(
+      const ResponderContext& ctx) = 0;
+
+  /// An information request addressed to us arrived.
+  virtual std::optional<std::vector<std::uint8_t>> on_information_request(
+      const ResponderContext& ctx) = 0;
+
+  /// No route exists for the packet's destination network (code 0), or a
+  /// port was unreachable at the final destination (code 3).
+  virtual std::optional<std::vector<std::uint8_t>> on_destination_unreachable(
+      const ResponderContext& ctx, std::uint8_t code) = 0;
+
+  /// TTL reached zero in transit (code 0).
+  virtual std::optional<std::vector<std::uint8_t>> on_time_exceeded(
+      const ResponderContext& ctx) = 0;
+
+  /// A header problem was detected at byte `pointer` (code 0).
+  virtual std::optional<std::vector<std::uint8_t>> on_parameter_problem(
+      const ResponderContext& ctx, std::uint8_t pointer) = 0;
+
+  /// The node had to discard the packet for lack of buffer space.
+  virtual std::optional<std::vector<std::uint8_t>> on_source_quench(
+      const ResponderContext& ctx) = 0;
+
+  /// Traffic for `network` should go directly to `gateway` (code 1:
+  /// redirect datagrams for the host).
+  virtual std::optional<std::vector<std::uint8_t>> on_redirect(
+      const ResponderContext& ctx, net::IpAddr gateway) = 0;
+};
+
+}  // namespace sage::sim

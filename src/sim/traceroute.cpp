@@ -1,0 +1,112 @@
+#include "sim/traceroute.hpp"
+
+#include "net/icmp.hpp"
+#include "net/udp.hpp"
+#include "util/bytes.hpp"
+
+namespace sage::sim {
+
+TracerouteResult TracerouteClient::trace(Network& network,
+                                         const std::string& client_host,
+                                         net::IpAddr target, int max_hops) {
+  TracerouteResult out;
+  Host* client = network.find_host(client_host);
+  if (client == nullptr) {
+    out.detail.push_back("no such host: " + client_host);
+    return out;
+  }
+
+  for (int ttl = 1; ttl <= max_hops && !out.reached_destination; ++ttl) {
+    const std::uint16_t probe_port =
+        static_cast<std::uint16_t>(kBasePort + ttl - 1);
+
+    net::UdpHeader udp;
+    udp.src_port = 40000;
+    udp.dst_port = probe_port;
+    const std::vector<std::uint8_t> probe_payload(32, 0x40);
+    const auto udp_bytes =
+        udp.serialize(client->address(), target, probe_payload);
+
+    net::Ipv4Header ip;
+    ip.protocol = static_cast<std::uint8_t>(net::IpProto::kUdp);
+    ip.ttl = static_cast<std::uint8_t>(ttl);
+    ip.src = client->address();
+    ip.dst = target;
+    const auto probe = net::build_ipv4_packet(ip, udp_bytes);
+
+    const std::size_t inbox_before = client->inbox().size();
+    network.send_from_host(client_host, probe);
+
+    TracerouteHop hop;
+    hop.ttl = ttl;
+    if (client->inbox().size() == inbox_before) {
+      hop.timed_out = true;
+      out.hops.push_back(hop);
+      out.detail.push_back("ttl " + std::to_string(ttl) + ": *");
+      continue;
+    }
+
+    const auto& reply = client->inbox().back();
+    const auto rip = net::Ipv4Header::parse(reply);
+    if (!rip || rip->protocol != static_cast<std::uint8_t>(net::IpProto::kIcmp)) {
+      hop.timed_out = true;
+      out.hops.push_back(hop);
+      out.detail.push_back("ttl " + std::to_string(ttl) +
+                           ": undecodable reply");
+      continue;
+    }
+    const std::span<const std::uint8_t> icmp_bytes =
+        std::span<const std::uint8_t>(reply).subspan(rip->header_length());
+    const auto icmp = net::IcmpMessage::parse(icmp_bytes);
+    if (!icmp || !net::IcmpMessage::verify_checksum(icmp_bytes)) {
+      hop.timed_out = true;  // kernel drops bad-checksum ICMP
+      out.hops.push_back(hop);
+      out.detail.push_back("ttl " + std::to_string(ttl) +
+                           ": reply dropped (bad ICMP)");
+      continue;
+    }
+
+    // Attribute the reply to our probe via the quoted original datagram.
+    bool matches_probe = false;
+    if (icmp->payload.size() >= 20 + 8) {
+      const auto quoted_ip = net::Ipv4Header::parse(icmp->payload);
+      if (quoted_ip &&
+          icmp->payload.size() >= quoted_ip->header_length() + 8 &&
+          quoted_ip->protocol ==
+              static_cast<std::uint8_t>(net::IpProto::kUdp)) {
+        const auto quoted_udp = net::UdpHeader::parse(
+            std::span<const std::uint8_t>(icmp->payload)
+                .subspan(quoted_ip->header_length()));
+        matches_probe = quoted_udp && quoted_udp->dst_port == probe_port;
+      }
+    }
+    if (!matches_probe) {
+      hop.timed_out = true;
+      out.hops.push_back(hop);
+      out.detail.push_back("ttl " + std::to_string(ttl) +
+                           ": reply does not quote our probe");
+      continue;
+    }
+
+    hop.responder = rip->src;
+    if (icmp->type == net::IcmpType::kDestinationUnreachable &&
+        icmp->code == 3) {
+      hop.is_destination = true;
+      out.reached_destination = true;
+      out.detail.push_back("ttl " + std::to_string(ttl) + ": " +
+                           rip->src.to_string() + " (destination)");
+    } else if (icmp->type == net::IcmpType::kTimeExceeded) {
+      out.detail.push_back("ttl " + std::to_string(ttl) + ": " +
+                           rip->src.to_string());
+    } else {
+      hop.timed_out = true;
+      out.detail.push_back("ttl " + std::to_string(ttl) +
+                           ": unexpected ICMP type " +
+                           std::to_string(static_cast<int>(icmp->type)));
+    }
+    out.hops.push_back(hop);
+  }
+  return out;
+}
+
+}  // namespace sage::sim

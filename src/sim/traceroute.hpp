@@ -1,0 +1,45 @@
+// TracerouteClient: behavioural model of Linux `traceroute` (UDP mode),
+// the fourth interop command of §6.2.
+//
+// It sends UDP probes to high ports with increasing TTL; intermediate
+// routers must answer with ICMP time exceeded, and the destination host
+// answers the final probe with ICMP destination unreachable (port
+// unreachable, code 3). Attribution works exactly as in the real tool:
+// the client matches the quoted original datagram's UDP destination port
+// against the probe it sent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "sim/network.hpp"
+
+namespace sage::sim {
+
+/// One hop discovered by traceroute.
+struct TracerouteHop {
+  int ttl = 0;
+  net::IpAddr responder;  // who answered
+  bool is_destination = false;
+  bool timed_out = false;  // '*' — nothing decodable came back
+};
+
+struct TracerouteResult {
+  std::vector<TracerouteHop> hops;
+  bool reached_destination = false;
+  std::vector<std::string> detail;
+};
+
+class TracerouteClient {
+ public:
+  /// Probe `target` from `client_host` with TTL 1..max_hops.
+  TracerouteResult trace(Network& network, const std::string& client_host,
+                         net::IpAddr target, int max_hops = 8);
+
+  /// The classic traceroute base port.
+  static constexpr std::uint16_t kBasePort = 33434;
+};
+
+}  // namespace sage::sim

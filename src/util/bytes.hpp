@@ -1,0 +1,62 @@
+// Byte-order and raw-buffer helpers for wire-format encoding.
+//
+// All multi-byte protocol fields in this codebase are serialized in network
+// byte order (big-endian) through these helpers; nothing else in the tree
+// performs manual shifting, which keeps the Table-2 "byte order conversion
+// error" fault injection (src/eval) the only place such bugs can exist.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sage::util {
+
+/// Write a 16-bit value in network byte order at `out[0..1]`.
+inline void put_be16(std::span<std::uint8_t> out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 8);
+  out[1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+/// Write a 32-bit value in network byte order at `out[0..3]`.
+inline void put_be32(std::span<std::uint8_t> out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  out[2] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  out[3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+/// Write a 64-bit value in network byte order at `out[0..7]`.
+inline void put_be64(std::span<std::uint8_t> out, std::uint64_t v) {
+  put_be32(out.subspan(0, 4), static_cast<std::uint32_t>(v >> 32));
+  put_be32(out.subspan(4, 4), static_cast<std::uint32_t>(v & 0xffffffffULL));
+}
+
+/// Read a 16-bit network-byte-order value from `in[0..1]`.
+inline std::uint16_t get_be16(std::span<const std::uint8_t> in) {
+  return static_cast<std::uint16_t>((in[0] << 8) | in[1]);
+}
+
+/// Read a 32-bit network-byte-order value from `in[0..3]`.
+inline std::uint32_t get_be32(std::span<const std::uint8_t> in) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+/// Read a 64-bit network-byte-order value from `in[0..7]`.
+inline std::uint64_t get_be64(std::span<const std::uint8_t> in) {
+  return (static_cast<std::uint64_t>(get_be32(in.subspan(0, 4))) << 32) |
+         get_be32(in.subspan(4, 4));
+}
+
+/// Append `n` zero bytes to a buffer, returning the offset of the first one.
+inline std::size_t append_zeros(std::vector<std::uint8_t>& buf, std::size_t n) {
+  const std::size_t off = buf.size();
+  buf.resize(buf.size() + n, 0);
+  return off;
+}
+
+}  // namespace sage::util

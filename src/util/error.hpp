@@ -1,0 +1,18 @@
+// Error type shared across SAGE subsystems.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sage::util {
+
+/// Exception thrown for programming/contract errors inside the SAGE
+/// pipeline (malformed logical forms, unknown predicates, corrupt corpus
+/// data). Recoverable conditions — a sentence failing to parse, a check
+/// rejecting a logical form — are reported through return values instead.
+class SageError : public std::runtime_error {
+ public:
+  explicit SageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace sage::util

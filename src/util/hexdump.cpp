@@ -1,0 +1,46 @@
+#include "util/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace sage::util {
+
+std::string hexdump(std::span<const std::uint8_t> data) {
+  std::string out;
+  char line[128];
+  for (std::size_t row = 0; row < data.size(); row += 16) {
+    int n = std::snprintf(line, sizeof line, "%04zx  ", row);
+    out.append(line, static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (row + i < data.size()) {
+        n = std::snprintf(line, sizeof line, "%02x ", data[row + i]);
+        out.append(line, static_cast<std::size_t>(n));
+      } else {
+        out += "   ";
+      }
+      if (i == 7) out += ' ';
+    }
+    out += " |";
+    for (std::size_t i = 0; i < 16 && row + i < data.size(); ++i) {
+      const std::uint8_t c = data[row + i];
+      out += std::isprint(c) != 0 ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string hex_bytes(std::span<const std::uint8_t> data, std::size_t max_bytes) {
+  std::string out;
+  char buf[4];
+  const std::size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof buf, "%02x", data[i]);
+    if (i != 0) out += ' ';
+    out += buf;
+  }
+  if (n < data.size()) out += " ...";
+  return out;
+}
+
+}  // namespace sage::util

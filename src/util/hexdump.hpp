@@ -1,0 +1,17 @@
+// Hex-dump formatting used by the packet inspector and in test failure
+// messages.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace sage::util {
+
+/// Classic 16-bytes-per-row hex dump with an ASCII gutter.
+std::string hexdump(std::span<const std::uint8_t> data);
+
+/// Compact "de ad be ef" rendering of at most `max_bytes` bytes.
+std::string hex_bytes(std::span<const std::uint8_t> data, std::size_t max_bytes = 64);
+
+}  // namespace sage::util

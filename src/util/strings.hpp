@@ -1,0 +1,46 @@
+// Small string utilities used by the tokenizer, RFC pre-processor and
+// code emitter. Deliberately allocation-light: views in, owned strings out
+// only where the result must outlive the input.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sage::util {
+
+/// Split `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> split(std::string_view s, std::string_view delims);
+
+/// Split `s` on exact separator string `sep`, keeping empty pieces.
+std::vector<std::string> split_keep_empty(std::string_view s, std::string_view sep);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Join `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Replace all occurrences of `from` in `s` with `to`.
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to);
+
+/// Number of leading space characters (tabs count as 8, per RFC layout).
+std::size_t indent_of(std::string_view line);
+
+/// True if every character is an ASCII digit (and the string is non-empty).
+bool is_all_digits(std::string_view s);
+
+/// snake_case conversion of a field or message name ("Type of Service" ->
+/// "type_of_service"); used when generating struct members and functions.
+std::string to_snake_case(std::string_view s);
+
+}  // namespace sage::util

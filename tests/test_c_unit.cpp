@@ -1,0 +1,69 @@
+// The generated code is real C: render the full compilation units for
+// ICMP and BFD and feed them to the system C compiler.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "codegen/c_unit.hpp"
+#include "core/sage.hpp"
+#include "corpus/rfc5880.hpp"
+#include "corpus/rfc792.hpp"
+
+namespace sage {
+namespace {
+
+bool have_cc() { return std::system("cc --version > /dev/null 2>&1") == 0; }
+
+void expect_compiles(const std::string& unit, const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "sage_" + tag + ".c";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << unit;
+  }
+  const std::string cmd =
+      "cc -std=c99 -fsyntax-only -Wall " + path + " 2> " + path + ".log";
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    std::ifstream log(path + ".log");
+    std::string line;
+    while (std::getline(log, line)) std::printf("cc: %s\n", line.c_str());
+  }
+  EXPECT_EQ(rc, 0) << "generated C failed to compile: " << path;
+}
+
+TEST(CompilationUnit, IcmpGeneratedCodeCompiles) {
+  if (!have_cc()) GTEST_SKIP() << "no C compiler available";
+  core::Sage sage;
+  sage.annotate_non_actionable(corpus::icmp_non_actionable_annotations());
+  const auto run = sage.process(corpus::rfc792_revised(), "ICMP");
+  ASSERT_EQ(run.functions.size(), 11u);
+  expect_compiles(codegen::emit_compilation_unit(run.functions), "icmp");
+}
+
+TEST(CompilationUnit, BfdGeneratedCodeCompiles) {
+  if (!have_cc()) GTEST_SKIP() << "no C compiler available";
+  core::Sage sage;
+  const auto run = sage.process(corpus::rfc5880_state_section(), "BFD");
+  ASSERT_EQ(run.functions.size(), 1u);
+  expect_compiles(codegen::emit_compilation_unit(run.functions), "bfd");
+}
+
+TEST(CompilationUnit, DeclarationsCoverEverything) {
+  core::Sage sage;
+  sage.annotate_non_actionable(corpus::icmp_non_actionable_annotations());
+  const auto run = sage.process(corpus::rfc792_revised(), "ICMP");
+  const std::string unit = codegen::emit_compilation_unit(run.functions);
+  EXPECT_NE(unit.find("struct packet {"), std::string::npos);
+  EXPECT_NE(unit.find("static long scenario;"), std::string::npos);
+  EXPECT_NE(unit.find("long compute_checksum();"), std::string::npos);
+  EXPECT_NE(unit.find("struct sage_bytes original_datagram_excerpt();"),
+            std::string::npos);
+  EXPECT_NE(unit.find("static const long echo_reply_message"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sage

@@ -1,0 +1,186 @@
+// Tests for the evaluation module: checksum interpretations (Table 3),
+// the simulated student cohort and interop harness (Table 2), and the
+// component inventory (Tables 9/10).
+#include <gtest/gtest.h>
+
+#include "eval/checksum_interp.hpp"
+#include "eval/components.hpp"
+#include "eval/interop_harness.hpp"
+#include "eval/students.hpp"
+#include "net/checksum.hpp"
+#include "net/icmp.hpp"
+
+namespace sage::eval {
+namespace {
+
+std::vector<std::uint8_t> sample_reply_zero_checksum() {
+  net::IcmpMessage icmp;
+  icmp.type = net::IcmpType::kEchoReply;
+  icmp.set_identifier(0x2a17);
+  icmp.set_sequence_number(1);
+  icmp.payload = sim::PingClient::make_payload(56);
+  auto bytes = icmp.serialize();
+  bytes[2] = 0;
+  bytes[3] = 0;
+  return bytes;
+}
+
+TEST(ChecksumInterp, SevenInterpretationsListed) {
+  EXPECT_EQ(all_interpretations().size(), 7u);
+  for (const auto i : all_interpretations()) {
+    EXPECT_FALSE(interpretation_description(i).empty());
+  }
+}
+
+TEST(ChecksumInterp, OnlyCorrectRangeVerifies) {
+  const auto zeroed = sample_reply_zero_checksum();
+  for (const auto interp : all_interpretations()) {
+    if (interp == ChecksumInterpretation::kIncrementalUpdate) continue;
+    // Interpretation 5 only diverges when IP options are present.
+    const std::size_t options_len =
+        interp == ChecksumInterpretation::kHeaderPayloadOptions ? 3 : 0;
+    const std::uint16_t ck =
+        checksum_with_interpretation(interp, zeroed, 0, 8, options_len);
+    auto bytes = zeroed;
+    bytes[2] = static_cast<std::uint8_t>(ck >> 8);
+    bytes[3] = static_cast<std::uint8_t>(ck & 0xff);
+    const bool verifies = net::IcmpMessage::verify_checksum(bytes);
+    EXPECT_EQ(verifies, interpretation_is_interoperable(interp))
+        << interpretation_description(interp);
+  }
+}
+
+TEST(ChecksumInterp, IncrementalUpdateIsArithmeticallyCorrect) {
+  // Build the request, compute its (correct) checksum, then derive the
+  // reply checksum incrementally and verify it.
+  net::IcmpMessage request;
+  request.type = net::IcmpType::kEcho;
+  request.set_identifier(0x2a17);
+  request.set_sequence_number(1);
+  request.payload = sim::PingClient::make_payload(56);
+  const auto request_bytes = request.serialize();
+  const std::uint16_t request_ck =
+      static_cast<std::uint16_t>((request_bytes[2] << 8) | request_bytes[3]);
+
+  auto reply_zeroed = sample_reply_zero_checksum();
+  const std::uint16_t ck = checksum_with_interpretation(
+      ChecksumInterpretation::kIncrementalUpdate, reply_zeroed, request_ck, 8);
+  reply_zeroed[2] = static_cast<std::uint8_t>(ck >> 8);
+  reply_zeroed[3] = static_cast<std::uint8_t>(ck & 0xff);
+  EXPECT_TRUE(net::IcmpMessage::verify_checksum(reply_zeroed));
+}
+
+TEST(Students, CohortComposition) {
+  const auto cohort = make_student_cohort();
+  EXPECT_EQ(cohort.size(), 39u);
+  std::size_t correct = 0, nocompile = 0, faulty = 0;
+  for (const auto& s : cohort) {
+    if (!s.responder) {
+      ++nocompile;
+    } else if (s.injected.empty()) {
+      ++correct;
+    } else {
+      ++faulty;
+    }
+  }
+  EXPECT_EQ(correct, 24u);
+  EXPECT_EQ(nocompile, 1u);
+  EXPECT_EQ(faulty, 14u);
+}
+
+TEST(Students, InjectedFaultCountsMatchTable2) {
+  const auto cohort = make_student_cohort();
+  std::map<Fault, std::size_t> counts;
+  for (const auto& s : cohort) {
+    for (const auto f : s.injected) ++counts[f];
+  }
+  EXPECT_EQ(counts[Fault::kIpHeaderChecksumStale], 8u);   // 57% of 14
+  EXPECT_EQ(counts[Fault::kIcmpWrongCode], 8u);           // 57%
+  EXPECT_EQ(counts[Fault::kByteSwappedIdentifier], 4u);   // 29%
+  EXPECT_EQ(counts[Fault::kCorruptedPayload], 6u);        // 43%
+  EXPECT_EQ(counts[Fault::kTruncatedReply], 4u);          // 29%
+  EXPECT_EQ(counts[Fault::kWrongChecksumRange], 5u);      // 36%
+}
+
+TEST(InteropHarness, ReferencePassesFaultyFail) {
+  sim::ReferenceIcmpResponder reference;
+  EXPECT_TRUE(ping_against(&reference).success);
+
+  FaultyIcmpResponder faulty({Fault::kCorruptedPayload});
+  const auto result = ping_against(&faulty);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.errors.count(sim::InteropError::kPayloadContent), 1u);
+}
+
+TEST(InteropHarness, EachFaultMapsToItsCategory) {
+  const std::vector<std::pair<Fault, sim::InteropError>> mapping = {
+      {Fault::kIpHeaderChecksumStale, sim::InteropError::kIpHeader},
+      {Fault::kIcmpWrongCode, sim::InteropError::kIcmpHeader},
+      {Fault::kByteSwappedIdentifier, sim::InteropError::kByteOrder},
+      {Fault::kCorruptedPayload, sim::InteropError::kPayloadContent},
+      {Fault::kTruncatedReply, sim::InteropError::kReplyLength},
+      {Fault::kWrongChecksumRange, sim::InteropError::kChecksumOrDropped},
+  };
+  for (const auto& [fault, category] : mapping) {
+    FaultyIcmpResponder responder({fault});
+    const auto result = ping_against(&responder);
+    EXPECT_FALSE(result.success) << fault_name(fault);
+    EXPECT_EQ(result.errors.count(category), 1u) << fault_name(fault);
+  }
+}
+
+TEST(InteropHarness, CohortExperimentReproducesTable2) {
+  const auto report = run_student_experiment(make_student_cohort());
+  EXPECT_EQ(report.total, 39u);
+  EXPECT_EQ(report.passed, 24u);        // 61.5% of 39, as in §2.1
+  EXPECT_EQ(report.failed_compile, 1u);
+  EXPECT_EQ(report.faulty, 14u);
+
+  // Measured frequencies (not copied from the injection matrix): each
+  // category is detected for every implementation carrying its fault.
+  ASSERT_EQ(report.table2.size(), 6u);
+  EXPECT_EQ(report.table2[0].count, 8u);  // IP header (57%)
+  EXPECT_EQ(report.table2[1].count, 8u);  // ICMP header (57%)
+  EXPECT_EQ(report.table2[2].count, 4u);  // byte order (29%)
+  EXPECT_EQ(report.table2[3].count, 6u);  // payload (43%)
+  EXPECT_EQ(report.table2[4].count, 4u);  // length (29%)
+  EXPECT_EQ(report.table2[5].count, 5u);  // checksum (36%)
+  EXPECT_NEAR(report.table2[0].frequency, 0.57, 0.01);
+  EXPECT_NEAR(report.table2[5].frequency, 0.36, 0.01);
+}
+
+TEST(InteropHarness, UnderspecifiedReceiverFailsPing) {
+  // §6.5: the wrong reading of "If code = 0, an identifier ... may be
+  // zero" makes the receiver zero the identifier; Linux ping then cannot
+  // match the reply.
+  const auto responder = make_underspecified_receiver();
+  const auto result = ping_against(responder.get());
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.errors.count(sim::InteropError::kIcmpHeader) == 1 ||
+              result.errors.count(sim::InteropError::kByteOrder) == 1);
+}
+
+TEST(Components, TableShapes) {
+  EXPECT_EQ(surveyed_rfcs().size(), 9u);
+  EXPECT_EQ(conceptual_components().size(), 6u);
+  EXPECT_EQ(syntactic_components().size(), 7u);
+  for (const auto& row : conceptual_components()) {
+    EXPECT_EQ(row.present.size(), surveyed_rfcs().size());
+  }
+  for (const auto& row : syntactic_components()) {
+    EXPECT_EQ(row.present.size(), surveyed_rfcs().size());
+  }
+}
+
+TEST(Components, SageSupportsThreeOfSixConceptual) {
+  std::size_t full = 0, partial = 0;
+  for (const auto& row : conceptual_components()) {
+    if (row.sage_support == Support::kFull) ++full;
+    if (row.sage_support == Support::kPartial) ++partial;
+  }
+  EXPECT_EQ(full, 3u);     // packet format, interoperation, pseudo code
+  EXPECT_EQ(partial, 1u);  // state/session management
+}
+
+}  // namespace
+}  // namespace sage::eval

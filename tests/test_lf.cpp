@@ -1,0 +1,165 @@
+// Tests for logical forms: construction, printing, parsing, hashing, and
+// isomorphism modulo associativity (the substrate of §4.2's associativity
+// check).
+#include <gtest/gtest.h>
+
+#include "lf/isomorphism.hpp"
+#include "lf/logical_form.hpp"
+
+namespace sage::lf {
+namespace {
+
+LfNode is_cs_zero() {
+  return LfNode::predicate("@Is", {LfNode::str("checksum"), LfNode::num(0)});
+}
+
+TEST(LfNode, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(is_cs_zero().to_string(), "@Is(\"checksum\", @Num(0))");
+}
+
+TEST(LfNode, SizeAndDepth) {
+  const auto lf = LfNode::predicate(
+      "@If", {is_cs_zero(),
+              LfNode::predicate("@Action", {LfNode::str("discard")})});
+  EXPECT_EQ(lf.size(), 6u);
+  EXPECT_EQ(lf.depth(), 3u);
+}
+
+TEST(LfNode, EqualityIsStructural) {
+  EXPECT_EQ(is_cs_zero(), is_cs_zero());
+  auto other = is_cs_zero();
+  other.args[1] = LfNode::num(1);
+  EXPECT_FALSE(is_cs_zero() == other);
+}
+
+TEST(ParseLogicalForm, RoundTripsToString) {
+  const std::vector<std::string> cases = {
+      "@Is(\"checksum\", @Num(0))",
+      "@If(@Is(\"code\", @Num(0)), @Action(\"reply\"))",
+      "@And(\"source\", \"destination\")",
+      "@Num(-5)",
+      "\"bare string\"",
+      "@AdvComment()",
+  };
+  for (const auto& text : cases) {
+    const auto parsed = parse_logical_form(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->to_string(), text);
+  }
+}
+
+TEST(ParseLogicalForm, RejectsMalformed) {
+  EXPECT_FALSE(parse_logical_form("@Is(").has_value());
+  EXPECT_FALSE(parse_logical_form("@Is(a, b)").has_value());
+  EXPECT_FALSE(parse_logical_form("\"unterminated").has_value());
+  EXPECT_FALSE(parse_logical_form("@Is(\"x\") trailing").has_value());
+  EXPECT_FALSE(parse_logical_form("@Num(abc)").has_value());
+}
+
+TEST(CollectPredicates, UniqueInOrder) {
+  const auto lf = parse_logical_form(
+      "@If(@Is(\"a\", @Num(1)), @And(@Is(\"b\", @Num(2)), @Action(\"f\")))");
+  ASSERT_TRUE(lf.has_value());
+  const auto preds = collect_predicates(*lf);
+  ASSERT_EQ(preds.size(), 4u);
+  EXPECT_EQ(preds[0], "@If");
+  EXPECT_EQ(preds[1], "@Is");
+  EXPECT_EQ(preds[2], "@And");
+  EXPECT_EQ(preds[3], "@Action");
+}
+
+TEST(StructuralHash, EqualTreesHashEqual) {
+  EXPECT_EQ(structural_hash(is_cs_zero()), structural_hash(is_cs_zero()));
+}
+
+TEST(StructuralHash, DifferentTreesHashDifferent) {
+  auto other = is_cs_zero();
+  other.args[1] = LfNode::num(1);
+  EXPECT_NE(structural_hash(is_cs_zero()), structural_hash(other));
+}
+
+// --- isomorphism / associativity (Figure 3 of the paper) -----------------
+
+TEST(Isomorphism, OfIsAssociative) {
+  // (A of B) of C vs A of (B of C) — sentence H's two logical forms.
+  const auto left = parse_logical_form(
+      "@Of(@Of(\"complement\", \"sum\"), \"message\")");
+  const auto right = parse_logical_form(
+      "@Of(\"complement\", @Of(\"sum\", \"message\"))");
+  ASSERT_TRUE(left && right);
+  EXPECT_TRUE(isomorphic(*left, *right));
+}
+
+TEST(Isomorphism, FlattenProducesNaryNode) {
+  const auto nested = parse_logical_form(
+      "@Of(@Of(\"a\", \"b\"), \"c\")");
+  ASSERT_TRUE(nested.has_value());
+  const auto flat = flatten_associative(*nested, AlgebraicProperties{});
+  EXPECT_EQ(flat.args.size(), 3u);
+  EXPECT_EQ(flat.label, "@Of");
+}
+
+TEST(Isomorphism, AndIsCommutative) {
+  const auto ab = parse_logical_form("@And(\"a\", \"b\")");
+  const auto ba = parse_logical_form("@And(\"b\", \"a\")");
+  ASSERT_TRUE(ab && ba);
+  EXPECT_TRUE(isomorphic(*ab, *ba));
+}
+
+TEST(Isomorphism, OfIsNotCommutative) {
+  const auto ab = parse_logical_form("@Of(\"a\", \"b\")");
+  const auto ba = parse_logical_form("@Of(\"b\", \"a\")");
+  ASSERT_TRUE(ab && ba);
+  EXPECT_FALSE(isomorphic(*ab, *ba));
+}
+
+TEST(Isomorphism, DifferentPredicatesNotIsomorphic) {
+  const auto a = parse_logical_form("@Of(\"a\", \"b\")");
+  const auto b = parse_logical_form("@In(\"a\", \"b\")");
+  ASSERT_TRUE(a && b);
+  EXPECT_FALSE(isomorphic(*a, *b));
+}
+
+TEST(Isomorphism, NonAssociativePredicateKeepsGrouping) {
+  // @Is is not associative: @Is(@Is(a,b),c) != @Is(a,@Is(b,c)).
+  const auto left = parse_logical_form("@Is(@Is(\"a\", \"b\"), \"c\")");
+  const auto right = parse_logical_form("@Is(\"a\", @Is(\"b\", \"c\"))");
+  ASSERT_TRUE(left && right);
+  EXPECT_FALSE(isomorphic(*left, *right));
+}
+
+TEST(Isomorphism, MixedAndOfChains) {
+  // @And(@Of(a,b), c) ~ @And(c, @Of(a,b)) (commutative @And) but not
+  // ~ @And(@Of(b,a), c).
+  const auto x = parse_logical_form("@And(@Of(\"a\", \"b\"), \"c\")");
+  const auto y = parse_logical_form("@And(\"c\", @Of(\"a\", \"b\"))");
+  const auto z = parse_logical_form("@And(@Of(\"b\", \"a\"), \"c\")");
+  ASSERT_TRUE(x && y && z);
+  EXPECT_TRUE(isomorphic(*x, *y));
+  EXPECT_FALSE(isomorphic(*x, *z));
+}
+
+// Property-style sweep: flattening then re-nesting in any order is
+// isomorphic for associative predicates.
+class AssocSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssocSweep, AllNestingsOfFourLeavesAreIsomorphic) {
+  // Five binary nestings of (a ? b ? c ? d) for an associative predicate.
+  const std::vector<std::string> nestings = {
+      "@Of(@Of(@Of(\"a\",\"b\"),\"c\"),\"d\")",
+      "@Of(@Of(\"a\",@Of(\"b\",\"c\")),\"d\")",
+      "@Of(@Of(\"a\",\"b\"),@Of(\"c\",\"d\"))",
+      "@Of(\"a\",@Of(@Of(\"b\",\"c\"),\"d\"))",
+      "@Of(\"a\",@Of(\"b\",@Of(\"c\",\"d\")))",
+  };
+  const int i = GetParam();
+  const auto base = parse_logical_form(nestings[0]);
+  const auto other = parse_logical_form(nestings[static_cast<std::size_t>(i)]);
+  ASSERT_TRUE(base && other);
+  EXPECT_TRUE(isomorphic(*base, *other));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNestings, AssocSweep, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace sage::lf

@@ -1,0 +1,160 @@
+// Tests for the NLP layer: tokenizer, sentence splitter, term dictionary,
+// and noun-phrase chunker (including the Table 7/8 labeling modes).
+#include <gtest/gtest.h>
+
+#include "nlp/chunker.hpp"
+#include "nlp/sentence_splitter.hpp"
+#include "nlp/term_dictionary.hpp"
+#include "nlp/tokenizer.hpp"
+
+namespace sage::nlp {
+namespace {
+
+TEST(Tokenizer, SplitsWordsAndPunct) {
+  const auto toks = tokenize("The checksum is zero.");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].lower, "the");
+  EXPECT_EQ(toks[3].lower, "zero");
+}
+
+TEST(Tokenizer, EqualsSignIsAToken) {
+  const auto toks = tokenize("If code = 0, the type is 3");
+  // if code = 0 , the type is 3
+  ASSERT_EQ(toks.size(), 9u);
+  EXPECT_EQ(toks[2].kind, TokenKind::kPunct);
+  EXPECT_EQ(toks[2].text, "=");
+  EXPECT_EQ(toks[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[3].number, 0);
+  EXPECT_EQ(toks[4].kind, TokenKind::kPunct);
+  EXPECT_EQ(toks[4].text, ",");
+}
+
+TEST(Tokenizer, KeepsHyphensApostrophesAndDottedIdentifiers) {
+  const auto toks = tokenize("the 16-bit one's complement of bfd.SessionState");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[1].lower, "16-bit");
+  EXPECT_EQ(toks[2].lower, "one's");
+  EXPECT_EQ(toks[5].lower, "bfd.sessionstate");
+}
+
+TEST(Tokenizer, QuotedPhraseBecomesNounPhrase) {
+  const auto toks = tokenize("the 'echo reply message' is valid");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kNounPhrase);
+  EXPECT_EQ(toks[1].lower, "echo reply message");
+}
+
+TEST(Tokenizer, NumbersParsed) {
+  const auto toks = tokenize("changed to 16");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[2].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[2].number, 16);
+}
+
+TEST(Tokenizer, RoundTripRendering) {
+  const auto toks = tokenize("checksum is zero");
+  EXPECT_EQ(tokens_to_string(toks), "checksum is zero");
+}
+
+TEST(SentenceSplitter, SplitsOnSentenceDots) {
+  const auto sents = split_sentences(
+      "The checksum is zero. The code is one. It may be replaced.");
+  ASSERT_EQ(sents.size(), 3u);
+  EXPECT_EQ(sents[0], "The checksum is zero.");
+}
+
+TEST(SentenceSplitter, KeepsAbbreviationsAndIdentifiers) {
+  const auto sents = split_sentences(
+      "Use the value (e.g. zero) in bfd.SessionState. Send it.");
+  ASSERT_EQ(sents.size(), 2u);
+  EXPECT_NE(sents[0].find("e.g. zero"), std::string::npos);
+  EXPECT_NE(sents[0].find("bfd.SessionState"), std::string::npos);
+}
+
+TEST(SentenceSplitter, KeepsDottedQuads) {
+  const auto sents =
+      split_sentences("The router owns 10.0.1.1 on that subnet. Done.");
+  ASSERT_EQ(sents.size(), 2u);
+}
+
+TEST(TermDictionary, CaseInsensitiveMultiWord) {
+  TermDictionary dict;
+  dict.add("Echo Reply Message");
+  EXPECT_TRUE(dict.contains("echo reply message"));
+  EXPECT_TRUE(dict.contains("ECHO REPLY MESSAGE"));
+  EXPECT_FALSE(dict.contains("echo reply"));
+  EXPECT_EQ(dict.max_words(), 3u);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(TermDictionary, AddAllAndTerms) {
+  TermDictionary dict;
+  dict.add_all({"checksum", "internet header"});
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.terms().size(), 2u);
+}
+
+class ChunkerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dict_.add_all({"echo reply message", "internet header", "checksum",
+                   "source address", "destination address"});
+  }
+  TermDictionary dict_;
+};
+
+TEST_F(ChunkerTest, LongestDictionaryMatchWins) {
+  NounPhraseChunker chunker(&dict_);
+  const auto toks = chunker.chunk(tokenize("the echo reply message is valid"));
+  // the | 'echo reply message' | is | valid
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kNounPhrase);
+  EXPECT_EQ(toks[1].lower, "echo reply message");
+}
+
+TEST_F(ChunkerTest, NoDictionaryModeLabelsSingleNouns) {
+  NounPhraseChunker chunker(&dict_);
+  const auto toks = chunker.chunk(tokenize("the echo reply message is valid"),
+                                  ChunkingMode::kNoDictionary);
+  // the | 'echo' | 'reply' | 'message' | is | valid
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kNounPhrase);
+  EXPECT_EQ(toks[1].lower, "echo");
+  EXPECT_EQ(toks[3].lower, "message");
+}
+
+TEST_F(ChunkerTest, NoLabelingModePassesThrough) {
+  NounPhraseChunker chunker(&dict_);
+  const auto raw = tokenize("the echo reply message is valid");
+  const auto toks = chunker.chunk(raw, ChunkingMode::kNoLabeling);
+  EXPECT_EQ(toks, raw);
+}
+
+TEST_F(ChunkerTest, PhrasesDoNotCrossPunctuation) {
+  NounPhraseChunker chunker(&dict_);
+  // "source address" must not match across the comma in "source, address".
+  const auto toks = chunker.chunk(tokenize("the source, address is set"));
+  bool merged = false;
+  for (const auto& t : toks) {
+    if (t.lower == "source address") merged = true;
+  }
+  EXPECT_FALSE(merged);
+}
+
+TEST_F(ChunkerTest, GenericNounsLabeledInFullMode) {
+  NounPhraseChunker chunker(&dict_);
+  const auto toks = chunker.chunk(tokenize("the gateway is set"));
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kNounPhrase);  // "gateway" is generic
+}
+
+TEST_F(ChunkerTest, PreLabeledNounPhrasesPreserved) {
+  NounPhraseChunker chunker(&dict_);
+  const auto toks = chunker.chunk(tokenize("the 'echo reply' is sent"));
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kNounPhrase);
+  EXPECT_EQ(toks[1].lower, "echo reply");
+}
+
+}  // namespace
+}  // namespace sage::nlp

@@ -1,0 +1,206 @@
+// Tests for the RFC pre-processor: ASCII-art diagrams, indentation
+// hierarchy, field-description lists, and struct generation.
+#include <gtest/gtest.h>
+
+#include "rfc/ascii_art.hpp"
+#include "rfc/preprocessor.hpp"
+#include "rfc/struct_gen.hpp"
+
+namespace sage::rfc {
+namespace {
+
+const char* kEchoDiagram = R"( 0                   1                   2                   3
+ 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
++-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+|     Type      |     Code      |          Checksum             |
++-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+|           Identifier          |        Sequence Number        |
++-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+|     Data ...
++-+-+-+-+-
+)";
+
+std::vector<std::string> lines_of(const char* text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == '\n') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += *p;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+TEST(AsciiArt, DetectsBordersAndRows) {
+  EXPECT_TRUE(is_diagram_border("+-+-+-+-+"));
+  EXPECT_FALSE(is_diagram_border("   Type"));
+  EXPECT_TRUE(is_diagram_row("|  Type  |  Code |"));
+  EXPECT_FALSE(is_diagram_row("Type | Code"));
+}
+
+TEST(AsciiArt, ParsesEchoHeader) {
+  const auto diagram = parse_header_diagram(lines_of(kEchoDiagram));
+  ASSERT_TRUE(diagram.has_value());
+  ASSERT_EQ(diagram->fields.size(), 6u);
+  EXPECT_EQ(diagram->fields[0].name, "Type");
+  EXPECT_EQ(diagram->fields[0].bits, 8);
+  EXPECT_EQ(diagram->fields[0].bit_offset, 0);
+  EXPECT_EQ(diagram->fields[1].name, "Code");
+  EXPECT_EQ(diagram->fields[1].bits, 8);
+  EXPECT_EQ(diagram->fields[2].name, "Checksum");
+  EXPECT_EQ(diagram->fields[2].bits, 16);
+  EXPECT_EQ(diagram->fields[2].bit_offset, 16);
+  EXPECT_EQ(diagram->fields[3].name, "Identifier");
+  EXPECT_EQ(diagram->fields[3].bits, 16);
+  EXPECT_EQ(diagram->fields[4].name, "Sequence Number");
+  EXPECT_EQ(diagram->fields[4].bit_offset, 48);
+  EXPECT_TRUE(diagram->fields[5].variable_length);
+  EXPECT_EQ(diagram->fixed_bits(), 64);
+}
+
+TEST(AsciiArt, EmptyInputYieldsNothing) {
+  EXPECT_FALSE(parse_header_diagram({}).has_value());
+  EXPECT_FALSE(parse_header_diagram({"+-+-+", "no rows here"}).has_value());
+}
+
+TEST(StructGen, EmitsExpectedMembers) {
+  const auto diagram = parse_header_diagram(lines_of(kEchoDiagram));
+  ASSERT_TRUE(diagram.has_value());
+  const std::string code = generate_c_struct(*diagram, "Echo Message");
+  EXPECT_NE(code.find("struct echo_message {"), std::string::npos);
+  EXPECT_NE(code.find("uint8_t type;"), std::string::npos);
+  EXPECT_NE(code.find("uint16_t checksum;"), std::string::npos);
+  EXPECT_NE(code.find("uint16_t sequence_number;"), std::string::npos);
+  EXPECT_NE(code.find("uint8_t data[];"), std::string::npos);
+}
+
+TEST(StructGen, SubByteFieldsBecomeBitfields) {
+  HeaderDiagram d;
+  d.fields.push_back({"Version", 4, 0, false});
+  d.fields.push_back({"IHL", 4, 4, false});
+  const std::string code = generate_c_struct(d, "ip");
+  EXPECT_NE(code.find("uint8_t version : 4;"), std::string::npos);
+  EXPECT_NE(code.find("uint8_t ihl : 4;"), std::string::npos);
+}
+
+const char* kMiniRfc = R"(Destination Unreachable Message
+
+    0                   1                   2                   3
+    0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |     Type      |     Code      |          Checksum             |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+
+   IP Fields:
+
+   Destination Address
+
+      The source network and address from the original datagram's data.
+
+   ICMP Fields:
+
+   Type
+
+      3
+
+   Code
+
+      0 = net unreachable;  1 = host unreachable.
+
+   Checksum
+
+      The checksum is the 16-bit one's complement of the one's
+      complement sum of the ICMP message starting with the ICMP Type.
+
+Echo or Echo Reply Message
+
+   ICMP Fields:
+
+   Type
+
+      8 for echo message;  0 for echo reply message.
+)";
+
+TEST(Preprocessor, SectionsAndTitles) {
+  const auto doc = preprocess(kMiniRfc, "RFC 792");
+  ASSERT_EQ(doc.sections.size(), 2u);
+  EXPECT_EQ(doc.sections[0].title, "Destination Unreachable Message");
+  EXPECT_EQ(doc.sections[1].title, "Echo or Echo Reply Message");
+  EXPECT_NE(doc.find_section("Echo or Echo Reply Message"), nullptr);
+  EXPECT_EQ(doc.find_section("Nope"), nullptr);
+}
+
+TEST(Preprocessor, DiagramAttachedToSection) {
+  const auto doc = preprocess(kMiniRfc, "RFC 792");
+  ASSERT_TRUE(doc.sections[0].diagram.has_value());
+  EXPECT_EQ(doc.sections[0].diagram->fields.size(), 3u);
+}
+
+TEST(Preprocessor, FieldGroupsAndNames) {
+  const auto doc = preprocess(kMiniRfc, "RFC 792");
+  const auto& fields = doc.sections[0].fields;
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0].group, "IP Fields");
+  EXPECT_EQ(fields[0].name, "Destination Address");
+  EXPECT_EQ(fields[1].group, "ICMP Fields");
+  EXPECT_EQ(fields[1].name, "Type");
+  ASSERT_EQ(fields[1].sentences.size(), 1u);
+  EXPECT_EQ(fields[1].sentences[0], "3");
+}
+
+TEST(Preprocessor, ValueListSplitOnSemicolons) {
+  const auto doc = preprocess(kMiniRfc, "RFC 792");
+  const auto& code_field = doc.sections[0].fields[2];
+  ASSERT_EQ(code_field.sentences.size(), 2u);
+  EXPECT_EQ(code_field.sentences[0], "0 = net unreachable");
+  EXPECT_EQ(code_field.sentences[1], "1 = host unreachable.");
+}
+
+TEST(Preprocessor, WrappedLinesJoined) {
+  const auto doc = preprocess(kMiniRfc, "RFC 792");
+  const auto& checksum = doc.sections[0].fields[3];
+  ASSERT_EQ(checksum.sentences.size(), 1u);
+  EXPECT_NE(checksum.sentences[0].find("one's complement sum of the ICMP"),
+            std::string::npos);
+}
+
+TEST(Preprocessor, ExtractSentencesCarriesContext) {
+  const auto doc = preprocess(kMiniRfc, "RFC 792");
+  const auto sentences = extract_sentences(doc, "ICMP");
+  ASSERT_GE(sentences.size(), 7u);
+  const auto& first = sentences[0];
+  EXPECT_EQ(first.context.at("protocol"), "ICMP");
+  EXPECT_EQ(first.context.at("message"), "Destination Unreachable Message");
+  EXPECT_EQ(first.context.at("field"), "Destination Address");
+  EXPECT_EQ(first.context.at("group"), "IP Fields");
+}
+
+TEST(Preprocessor, EmptyDocument) {
+  const auto doc = preprocess("", "empty");
+  EXPECT_TRUE(doc.sections.empty());
+  EXPECT_TRUE(extract_sentences(doc, "X").empty());
+}
+
+}  // namespace
+}  // namespace sage::rfc
+
+namespace sage::rfc {
+namespace {
+
+TEST(Preprocessor, ToleratesCrlfLineEndings) {
+  const std::string text =
+      "Echo Message\r\n\r\n   ICMP Fields:\r\n\r\n   Type\r\n\r\n      8\r\n";
+  const auto doc = preprocess(text, "RFC 792");
+  ASSERT_EQ(doc.sections.size(), 1u);
+  ASSERT_EQ(doc.sections[0].fields.size(), 1u);
+  EXPECT_EQ(doc.sections[0].fields[0].name, "Type");
+  ASSERT_EQ(doc.sections[0].fields[0].sentences.size(), 1u);
+  EXPECT_EQ(doc.sections[0].fields[0].sentences[0], "8");
+}
+
+}  // namespace
+}  // namespace sage::rfc

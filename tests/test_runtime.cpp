@@ -1,0 +1,238 @@
+// Tests for the static-framework interpreter and the protocol execution
+// environments (ICMP, BFD, IGMP, NTP).
+#include <gtest/gtest.h>
+
+#include "codegen/ir.hpp"
+#include "net/icmp.hpp"
+#include "runtime/bfd_env.hpp"
+#include "runtime/icmp_env.hpp"
+#include "runtime/igmp_env.hpp"
+#include "runtime/interpreter.hpp"
+#include "runtime/ntp_env.hpp"
+#include "sim/ping.hpp"
+
+namespace sage::runtime {
+namespace {
+
+using codegen::Cond;
+using codegen::CmpOp;
+using codegen::Expr;
+using codegen::FieldRef;
+using codegen::PacketSel;
+using codegen::Stmt;
+
+std::vector<std::uint8_t> echo_request() {
+  return sim::PingClient::make_echo_request(net::IpAddr(10, 0, 1, 100),
+                                            net::IpAddr(10, 0, 1, 1), {});
+}
+
+TEST(Interpreter, AssignAndReadScalar) {
+  const auto request = echo_request();
+  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  Interpreter interp;
+  const auto result = interp.run(
+      Stmt::assign({"icmp", "type"}, Expr::constant(0)), env);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(env.out_icmp().type, net::IcmpType::kEchoReply);
+}
+
+TEST(Interpreter, ConditionGatesBody) {
+  const auto request = echo_request();
+  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  Interpreter interp;
+  // in->icmp.type == 8 holds for an echo request.
+  Stmt hit = Stmt::if_then(
+      Cond::compare(Expr::field_read({"icmp", "type"}, PacketSel::kIncoming),
+                    CmpOp::kEq, Expr::constant(8)),
+      {Stmt::assign({"icmp", "code"}, Expr::constant(7))});
+  interp.run(hit, env);
+  EXPECT_EQ(env.out_icmp().code, 7);
+
+  Stmt miss = Stmt::if_then(
+      Cond::compare(Expr::field_read({"icmp", "type"}, PacketSel::kIncoming),
+                    CmpOp::kEq, Expr::constant(99)),
+      {Stmt::assign({"icmp", "code"}, Expr::constant(1))});
+  interp.run(miss, env);
+  EXPECT_EQ(env.out_icmp().code, 7);  // unchanged
+}
+
+TEST(Interpreter, UnknownFieldIsAnError) {
+  const auto request = echo_request();
+  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  Interpreter interp;
+  const auto result =
+      interp.run(Stmt::assign({"icmp", "bogus"}, Expr::constant(1)), env);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.errors.empty());
+}
+
+TEST(Interpreter, BytesAssignmentCopiesPayload) {
+  const auto request = echo_request();
+  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  Interpreter interp;
+  const auto result = interp.run(
+      Stmt::assign({"icmp", "data"},
+                   Expr::field_read({"icmp", "data"}, PacketSel::kIncoming)),
+      env);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(env.out_icmp().payload, sim::PingClient::make_payload(56));
+}
+
+TEST(IcmpEnv, ScenarioSymbolComparison) {
+  const auto request = echo_request();
+  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  env.set_scenario("net unreachable");
+  EXPECT_EQ(env.resolve_symbol("scenario"),
+            env.resolve_symbol("net unreachable"));
+  EXPECT_NE(env.resolve_symbol("scenario"),
+            env.resolve_symbol("port unreachable"));
+}
+
+TEST(IcmpEnv, ReverseAddressesEffect) {
+  const auto request = echo_request();
+  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  EXPECT_TRUE(env.call_effect("reverse_addresses", {}));
+  EXPECT_EQ(env.out_ip().src, net::IpAddr(10, 0, 1, 1));
+  EXPECT_EQ(env.out_ip().dst, net::IpAddr(10, 0, 1, 100));
+}
+
+TEST(IcmpEnv, StaleChecksumSemantics) {
+  // Starting from the incoming message and recomputing WITHOUT zeroing
+  // first must bake the request's checksum into the sum (the advice's
+  // absence is observable).
+  const auto request = echo_request();
+  {
+    IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1),
+                    /*start_from_incoming=*/true);
+    env.call_effect("recompute_checksum", {});
+    const auto packet = env.finish_reply();
+    const auto ip = net::Ipv4Header::parse(packet);
+    EXPECT_FALSE(net::IcmpMessage::verify_checksum(
+        std::span<const std::uint8_t>(packet).subspan(ip->header_length())));
+  }
+  {
+    IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1),
+                    /*start_from_incoming=*/true);
+    Interpreter interp;
+    interp.run(Stmt::assign({"icmp", "checksum"}, Expr::constant(0)), env);
+    env.call_effect("recompute_checksum", {});
+    const auto packet = env.finish_reply();
+    const auto ip = net::Ipv4Header::parse(packet);
+    EXPECT_TRUE(net::IcmpMessage::verify_checksum(
+        std::span<const std::uint8_t>(packet).subspan(ip->header_length())));
+  }
+}
+
+TEST(IcmpEnv, TimestampFieldWritesLandInPayload) {
+  const auto request = echo_request();
+  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  env.write_field({"icmp", "receive_timestamp"}, 1234);
+  env.write_field({"icmp", "transmit_timestamp"}, 5678);
+  EXPECT_EQ(env.out_icmp().receive_timestamp(), 1234u);
+  EXPECT_EQ(env.out_icmp().transmit_timestamp(), 5678u);
+  EXPECT_EQ(env.out_icmp().payload.size(), 12u);
+}
+
+TEST(IcmpEnv, EventParameterFunctions) {
+  const auto request = echo_request();
+  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  env.set_error_pointer(20);
+  env.set_better_gateway(net::IpAddr(10, 0, 1, 50));
+  EXPECT_EQ(*env.call_scalar("error_octet", {}), 20);
+  EXPECT_EQ(*env.call_scalar("better_gateway", {}),
+            static_cast<long>(net::IpAddr(10, 0, 1, 50).value()));
+  EXPECT_EQ(*env.call_scalar("receive_time", {}) + 1,
+            *env.call_scalar("transmit_time", {}));
+}
+
+// ---- BFD env ---------------------------------------------------------------
+
+TEST(BfdEnv, StateVariableRoundTrip) {
+  net::BfdSessionState state;
+  net::BfdControlPacket packet;
+  packet.state = net::BfdState::kInit;
+  packet.my_discriminator = 42;
+  BfdExecEnv env(&state, &packet);
+
+  EXPECT_EQ(*env.read_field({"bfd", "state"}, PacketSel::kIncoming),
+            static_cast<long>(net::BfdState::kInit));
+  EXPECT_EQ(*env.read_field({"bfd", "my_discriminator"}, PacketSel::kIncoming),
+            42);
+  EXPECT_TRUE(env.write_field({"bfd", "session_state"},
+                              static_cast<long>(net::BfdState::kUp)));
+  EXPECT_EQ(state.session_state, net::BfdState::kUp);
+}
+
+TEST(BfdEnv, SymbolsMatchRfcEncodings) {
+  net::BfdSessionState state;
+  net::BfdControlPacket packet;
+  BfdExecEnv env(&state, &packet);
+  EXPECT_EQ(env.resolve_symbol("Up"), 3);
+  EXPECT_EQ(env.resolve_symbol("down"), 1);
+  EXPECT_EQ(env.resolve_symbol("Init"), 2);
+  EXPECT_EQ(env.resolve_symbol("AdminDown"), 0);
+}
+
+TEST(BfdEnv, EffectsSetOperationalState) {
+  net::BfdSessionState state;
+  net::BfdControlPacket packet;
+  BfdExecEnv env(&state, &packet);
+  env.call_effect("cease_transmission", {});
+  EXPECT_FALSE(state.periodic_transmission_enabled);
+  env.call_effect("discard_packet", {});
+  EXPECT_TRUE(state.packet_discarded);
+  EXPECT_EQ(*env.call_scalar("session_lookup", {}), 1);
+  env.set_session_lookup_fails(true);
+  EXPECT_EQ(*env.call_scalar("session_lookup", {}), 0);
+}
+
+// ---- IGMP / NTP envs ----------------------------------------------------------
+
+TEST(IgmpEnv, BuildQueryPacket) {
+  IgmpExecEnv env(net::IpAddr(10, 0, 1, 100), net::IpAddr(224, 1, 2, 3));
+  env.write_field({"igmp", "version"}, 1);
+  env.write_field({"igmp", "type"},
+                  static_cast<long>(net::IgmpType::kHostMembershipQuery));
+  env.write_field({"igmp", "group_address"}, 0);
+  env.call_effect("compute_checksum", {});
+  const auto packet = env.finish(net::IpAddr(224, 0, 0, 1));
+  const auto ip = net::Ipv4Header::parse(packet);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->protocol, static_cast<std::uint8_t>(net::IpProto::kIgmp));
+  EXPECT_EQ(ip->ttl, 1);  // IGMP is link-local
+  EXPECT_TRUE(net::IgmpMessage::verify_checksum(
+      std::span<const std::uint8_t>(packet).subspan(ip->header_length())));
+}
+
+TEST(IgmpEnv, HostGroupAddressService) {
+  IgmpExecEnv env(net::IpAddr(10, 0, 1, 100), net::IpAddr(224, 1, 2, 3));
+  EXPECT_EQ(*env.read_field({"igmp", "host_group_address"},
+                            PacketSel::kIncoming),
+            static_cast<long>(net::IpAddr(224, 1, 2, 3).value()));
+}
+
+TEST(NtpEnv, BuildsNtpInUdpInIp) {
+  NtpExecEnv env(net::IpAddr(10, 0, 1, 100), 0x83aa7e80);
+  env.write_field({"ntp", "version"}, 1);
+  env.write_field({"ntp", "stratum"}, 2);
+  env.write_field({"ntp", "transmit_timestamp"},
+                  *env.call_scalar("current_time", {}));
+  env.call_effect("call_timeout", {});
+  EXPECT_TRUE(env.timeout_called());
+
+  const auto packet = env.finish(net::IpAddr(192, 168, 2, 100));
+  const auto ip = net::Ipv4Header::parse(packet);
+  ASSERT_TRUE(ip.has_value());
+  const auto udp = net::UdpHeader::parse(
+      std::span<const std::uint8_t>(packet).subspan(ip->header_length()));
+  ASSERT_TRUE(udp.has_value());
+  EXPECT_EQ(udp->dst_port, net::kNtpPort);  // defaulted by the framework
+  const auto ntp = net::NtpPacket::parse(
+      std::span<const std::uint8_t>(packet).subspan(ip->header_length() + 8));
+  ASSERT_TRUE(ntp.has_value());
+  EXPECT_EQ(ntp->stratum, 2);
+  EXPECT_EQ(ntp->transmit_timestamp.seconds, 0x83aa7e80u);
+}
+
+}  // namespace
+}  // namespace sage::runtime

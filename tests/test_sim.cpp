@@ -1,0 +1,352 @@
+// Tests for the network simulator, packet inspector (tcpdump model),
+// ping/traceroute clients, and the reference ICMP responder.
+#include <gtest/gtest.h>
+
+#include "net/icmp.hpp"
+#include "net/udp.hpp"
+#include "sim/inspector.hpp"
+#include "sim/network.hpp"
+#include "sim/ping.hpp"
+#include "sim/reference_responder.hpp"
+#include "sim/traceroute.hpp"
+
+namespace sage::sim {
+namespace {
+
+class AppendixANetwork : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = make_appendix_a_network();
+    net_.router()->set_responder(&responder_);
+    net_.find_host("server1")->set_responder(&responder_);
+    net_.find_host("server2")->set_responder(&responder_);
+  }
+
+  Network net_;
+  ReferenceIcmpResponder responder_;
+  PingClient ping_;
+};
+
+TEST_F(AppendixANetwork, PingRouterSucceeds) {
+  const auto result =
+      ping_.ping(net_, "client", net::IpAddr(10, 0, 1, 1));
+  EXPECT_TRUE(result.success) << (result.detail.empty() ? "" : result.detail[0]);
+  EXPECT_TRUE(result.errors.empty());
+}
+
+TEST_F(AppendixANetwork, PingServerAcrossRouterSucceeds) {
+  const auto result =
+      ping_.ping(net_, "client", net::IpAddr(192, 168, 2, 100));
+  EXPECT_TRUE(result.success) << (result.detail.empty() ? "" : result.detail[0]);
+}
+
+TEST_F(AppendixANetwork, ForwardingDecrementsTtlAndFixesChecksum) {
+  ping_.ping(net_, "client", net::IpAddr(192, 168, 2, 100));
+  // Find the forwarded copy of the request (transmitted by the router).
+  bool found = false;
+  for (const auto& entry : net_.capture()) {
+    if (entry.node != "r") continue;
+    const auto ip = net::Ipv4Header::parse(entry.packet);
+    ASSERT_TRUE(ip.has_value());
+    if (ip->dst == net::IpAddr(192, 168, 2, 100)) {
+      EXPECT_EQ(ip->ttl, 63);  // decremented from 64
+      EXPECT_EQ(net::Ipv4Header::compute_checksum(
+                    std::span<const std::uint8_t>(entry.packet)
+                        .subspan(0, ip->header_length())),
+                ip->checksum);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AppendixANetwork, DestinationUnreachableForUnknownSubnet) {
+  PingOptions opts;
+  opts.expect = PingExpect::kDestinationUnreachable;
+  const auto result =
+      ping_.ping(net_, "client", net::IpAddr(8, 8, 8, 8), opts);
+  EXPECT_TRUE(result.success) << (result.detail.empty() ? "" : result.detail[0]);
+}
+
+TEST_F(AppendixANetwork, TimeExceededWhenTtlExpires) {
+  PingOptions opts;
+  opts.ttl = 1;
+  opts.expect = PingExpect::kTimeExceeded;
+  const auto result =
+      ping_.ping(net_, "client", net::IpAddr(192, 168, 2, 100), opts);
+  EXPECT_TRUE(result.success) << (result.detail.empty() ? "" : result.detail[0]);
+}
+
+TEST_F(AppendixANetwork, ParameterProblemOnNonZeroTos) {
+  net_.router()->behavior().require_tos_zero = true;
+  auto request = PingClient::make_echo_request(
+      net::IpAddr(10, 0, 1, 100), net::IpAddr(192, 168, 2, 100), {});
+  request[1] = 1;  // set TOS; header checksum now stale on purpose? No:
+  // rebuild: craft via header for a valid packet.
+  net::Ipv4Header ip;
+  ip.tos = 1;
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::kIcmp);
+  ip.src = net::IpAddr(10, 0, 1, 100);
+  ip.dst = net::IpAddr(192, 168, 2, 100);
+  net::IcmpMessage icmp;
+  icmp.type = net::IcmpType::kEcho;
+  icmp.payload = PingClient::make_payload(56);
+  const auto pkt = net::build_ipv4_packet(ip, icmp.serialize());
+
+  Host* client = net_.find_host("client");
+  net_.send_from_host("client", pkt);
+  ASSERT_FALSE(client->inbox().empty());
+  const auto& reply = client->inbox().back();
+  const auto rip = net::Ipv4Header::parse(reply);
+  ASSERT_TRUE(rip.has_value());
+  const auto ricmp = net::IcmpMessage::parse(
+      std::span<const std::uint8_t>(reply).subspan(rip->header_length()));
+  ASSERT_TRUE(ricmp.has_value());
+  EXPECT_EQ(ricmp->type, net::IcmpType::kParameterProblem);
+  EXPECT_EQ(ricmp->pointer(), 1);  // byte offset of TOS in the IP header
+}
+
+TEST_F(AppendixANetwork, SourceQuenchWhenOutboundBufferFull) {
+  net_.router()->behavior().full_outbound_interface = 1;  // 192.168.2.0/24
+  const auto request = PingClient::make_echo_request(
+      net::IpAddr(10, 0, 1, 100), net::IpAddr(192, 168, 2, 100), {});
+  Host* client = net_.find_host("client");
+  net_.send_from_host("client", request);
+  ASSERT_FALSE(client->inbox().empty());
+  const auto& reply = client->inbox().back();
+  const auto rip = net::Ipv4Header::parse(reply);
+  const auto ricmp = net::IcmpMessage::parse(
+      std::span<const std::uint8_t>(reply).subspan(rip->header_length()));
+  ASSERT_TRUE(ricmp.has_value());
+  EXPECT_EQ(ricmp->type, net::IcmpType::kSourceQuench);
+}
+
+TEST_F(AppendixANetwork, RedirectWhenDestinationOnSendersSubnet) {
+  const net::IpAddr same_subnet_dst(10, 0, 1, 50);
+  const auto request = PingClient::make_echo_request(
+      net::IpAddr(10, 0, 1, 100), same_subnet_dst, {});
+  Host* client = net_.find_host("client");
+  net_.send_from_host_via_router("client", request);
+  ASSERT_FALSE(client->inbox().empty());
+  const auto& reply = client->inbox().back();
+  const auto rip = net::Ipv4Header::parse(reply);
+  const auto ricmp = net::IcmpMessage::parse(
+      std::span<const std::uint8_t>(reply).subspan(rip->header_length()));
+  ASSERT_TRUE(ricmp.has_value());
+  EXPECT_EQ(ricmp->type, net::IcmpType::kRedirect);
+  EXPECT_EQ(ricmp->gateway_address(), same_subnet_dst);
+}
+
+TEST_F(AppendixANetwork, TimestampReplyEchoesOriginate) {
+  net::Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::kIcmp);
+  ip.src = net::IpAddr(10, 0, 1, 100);
+  ip.dst = net::IpAddr(10, 0, 1, 1);
+  net::IcmpMessage icmp;
+  icmp.type = net::IcmpType::kTimestamp;
+  icmp.set_identifier(0x77);
+  icmp.set_timestamps(1234, 0, 0);
+  const auto pkt = net::build_ipv4_packet(ip, icmp.serialize());
+  Host* client = net_.find_host("client");
+  net_.send_from_host("client", pkt);
+  ASSERT_FALSE(client->inbox().empty());
+  const auto& reply = client->inbox().back();
+  const auto rip = net::Ipv4Header::parse(reply);
+  const auto ricmp = net::IcmpMessage::parse(
+      std::span<const std::uint8_t>(reply).subspan(rip->header_length()));
+  ASSERT_TRUE(ricmp.has_value());
+  EXPECT_EQ(ricmp->type, net::IcmpType::kTimestampReply);
+  EXPECT_EQ(ricmp->originate_timestamp(), 1234u);
+  EXPECT_EQ(ricmp->receive_timestamp(),
+            ReferenceIcmpResponder::kReceiveTimestamp);
+  EXPECT_EQ(ricmp->identifier(), 0x77);
+}
+
+TEST_F(AppendixANetwork, TracerouteReachesServerThroughRouter) {
+  TracerouteClient tr;
+  const auto result =
+      tr.trace(net_, "client", net::IpAddr(192, 168, 2, 100));
+  ASSERT_TRUE(result.reached_destination);
+  ASSERT_EQ(result.hops.size(), 2u);
+  EXPECT_EQ(result.hops[0].responder, net::IpAddr(10, 0, 1, 1));
+  EXPECT_FALSE(result.hops[0].is_destination);
+  EXPECT_EQ(result.hops[1].responder, net::IpAddr(192, 168, 2, 100));
+  EXPECT_TRUE(result.hops[1].is_destination);
+}
+
+TEST_F(AppendixANetwork, UdpDeliveredToOpenPort) {
+  Host* server = net_.find_host("server1");
+  server->open_udp_port(9000);
+  net::UdpHeader udp;
+  udp.src_port = 1111;
+  udp.dst_port = 9000;
+  const std::vector<std::uint8_t> payload = {0xca, 0xfe};
+  net::Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::kUdp);
+  ip.src = net::IpAddr(10, 0, 1, 100);
+  ip.dst = server->address();
+  const auto pkt = net::build_ipv4_packet(
+      ip, udp.serialize(ip.src, ip.dst, payload));
+  net_.send_from_host("client", pkt);
+  ASSERT_EQ(server->udp_socket(9000)->received.size(), 1u);
+  EXPECT_EQ(server->udp_socket(9000)->received[0], payload);
+}
+
+TEST_F(AppendixANetwork, CaptureIsCleanPcap) {
+  ping_.ping(net_, "client", net::IpAddr(192, 168, 2, 100));
+  PacketInspector inspector;
+  EXPECT_TRUE(inspector.all_clean(net_.capture_to_pcap()));
+}
+
+TEST(Inspector, FlagsBadIcmpChecksum) {
+  net::Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::kIcmp);
+  ip.src = net::IpAddr(1, 1, 1, 1);
+  ip.dst = net::IpAddr(2, 2, 2, 2);
+  net::IcmpMessage icmp;
+  icmp.type = net::IcmpType::kEchoReply;
+  icmp.payload = {1, 2, 3, 4};
+  const auto pkt = net::build_ipv4_packet(ip, icmp.serialize_with_checksum(0xbad0));
+  PacketInspector inspector;
+  const auto result = inspector.inspect(pkt);
+  ASSERT_FALSE(result.warnings.empty());
+  EXPECT_NE(result.warnings[0].find("ICMP checksum"), std::string::npos);
+}
+
+TEST(Inspector, FlagsTruncation) {
+  net::Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::kIcmp);
+  ip.src = net::IpAddr(1, 1, 1, 1);
+  ip.dst = net::IpAddr(2, 2, 2, 2);
+  net::IcmpMessage icmp;
+  icmp.type = net::IcmpType::kEchoReply;
+  icmp.payload.assign(32, 0xee);
+  auto pkt = net::build_ipv4_packet(ip, icmp.serialize());
+  pkt.resize(pkt.size() - 10);  // truncate the capture
+  PacketInspector inspector;
+  const auto result = inspector.inspect(pkt);
+  EXPECT_FALSE(result.errors.empty());
+}
+
+TEST(Inspector, SummaryNamesEchoReply) {
+  net::Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::kIcmp);
+  ip.src = net::IpAddr(10, 0, 1, 1);
+  ip.dst = net::IpAddr(10, 0, 1, 100);
+  net::IcmpMessage icmp;
+  icmp.type = net::IcmpType::kEchoReply;
+  icmp.payload = PingClient::make_payload(56);
+  const auto pkt = net::build_ipv4_packet(ip, icmp.serialize());
+  PacketInspector inspector;
+  const auto result = inspector.inspect(pkt);
+  EXPECT_TRUE(result.clean()) << (result.warnings.empty()
+                                      ? (result.errors.empty() ? ""
+                                                               : result.errors[0])
+                                      : result.warnings[0]);
+  EXPECT_NE(result.summary.find("echo reply"), std::string::npos);
+  EXPECT_NE(result.summary.find("10.0.1.1 > 10.0.1.100"), std::string::npos);
+}
+
+TEST(Inspector, ErrorMessageMustQuoteOriginalDatagram) {
+  net::Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::kIcmp);
+  ip.src = net::IpAddr(10, 0, 1, 1);
+  ip.dst = net::IpAddr(10, 0, 1, 100);
+  net::IcmpMessage icmp;
+  icmp.type = net::IcmpType::kTimeExceeded;
+  icmp.payload = {1, 2, 3};  // far too short
+  const auto pkt = net::build_ipv4_packet(ip, icmp.serialize());
+  PacketInspector inspector;
+  const auto result = inspector.inspect(pkt);
+  ASSERT_FALSE(result.warnings.empty());
+  EXPECT_NE(result.warnings[0].find("original internet header"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sage::sim
+
+namespace sage::sim {
+namespace {
+
+/// Two-router topology: client -- r1 -- transit -- r2 -- server. Probes
+/// the static-route forwarding path and the three-hop traceroute.
+class TwoRouterNetwork : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Router& r1 = net_.add_router("r1");
+    r1.add_interface(net::IpAddr(10, 0, 1, 1), 24);
+    r1.add_interface(net::IpAddr(10, 0, 9, 1), 24);  // transit
+    r1.add_route(net::IpAddr(192, 168, 2, 0), 24, net::IpAddr(10, 0, 9, 2));
+
+    Router& r2 = net_.add_router("r2");
+    r2.add_interface(net::IpAddr(10, 0, 9, 2), 24);  // transit
+    r2.add_interface(net::IpAddr(192, 168, 2, 1), 24);
+    r2.add_route(net::IpAddr(10, 0, 1, 0), 24, net::IpAddr(10, 0, 9, 1));
+
+    net_.add_host("client", net::IpAddr(10, 0, 1, 100), 24);
+    net_.add_host("server", net::IpAddr(192, 168, 2, 100), 24);
+
+    net_.find_router("r1")->set_responder(&responder_);
+    net_.find_router("r2")->set_responder(&responder_);
+    net_.find_host("server")->set_responder(&responder_);
+  }
+
+  Network net_;
+  ReferenceIcmpResponder responder_;
+};
+
+TEST_F(TwoRouterNetwork, PingAcrossTwoRouters) {
+  PingClient ping;
+  const auto result = ping.ping(net_, "client", net::IpAddr(192, 168, 2, 100));
+  EXPECT_TRUE(result.success) << (result.detail.empty() ? "" : result.detail[0]);
+}
+
+TEST_F(TwoRouterNetwork, TtlDecrementedTwice) {
+  PingClient ping;
+  ping.ping(net_, "client", net::IpAddr(192, 168, 2, 100));
+  // Find the copy r2 delivered: TTL must be 62 (64 - 2 hops).
+  bool found = false;
+  for (const auto& entry : net_.capture()) {
+    const auto ip = net::Ipv4Header::parse(entry.packet);
+    if (ip && ip->dst == net::IpAddr(192, 168, 2, 100) && entry.node == "r2") {
+      EXPECT_EQ(ip->ttl, 62);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TwoRouterNetwork, ThreeHopTraceroute) {
+  TracerouteClient tr;
+  const auto result = tr.trace(net_, "client", net::IpAddr(192, 168, 2, 100));
+  ASSERT_TRUE(result.reached_destination);
+  ASSERT_EQ(result.hops.size(), 3u);
+  EXPECT_EQ(result.hops[0].responder, net::IpAddr(10, 0, 1, 1));
+  EXPECT_EQ(result.hops[1].responder, net::IpAddr(10, 0, 9, 2));
+  EXPECT_EQ(result.hops[2].responder, net::IpAddr(192, 168, 2, 100));
+  EXPECT_TRUE(result.hops[2].is_destination);
+}
+
+TEST_F(TwoRouterNetwork, NoRouteYieldsUnreachable) {
+  PingClient ping;
+  PingOptions opts;
+  opts.expect = PingExpect::kDestinationUnreachable;
+  const auto result = ping.ping(net_, "client", net::IpAddr(8, 8, 8, 8), opts);
+  EXPECT_TRUE(result.success) << (result.detail.empty() ? "" : result.detail[0]);
+}
+
+TEST_F(TwoRouterNetwork, LongestPrefixWins) {
+  Router* r1 = net_.find_router("r1");
+  ASSERT_NE(r1, nullptr);
+  r1->add_route(net::IpAddr(192, 168, 2, 128), 25, net::IpAddr(10, 0, 9, 99));
+  const auto* route = r1->route_for(net::IpAddr(192, 168, 2, 200));
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->next_hop, net::IpAddr(10, 0, 9, 99));
+  const auto* low = r1->route_for(net::IpAddr(192, 168, 2, 5));
+  ASSERT_NE(low, nullptr);
+  EXPECT_EQ(low->next_hop, net::IpAddr(10, 0, 9, 2));
+}
+
+}  // namespace
+}  // namespace sage::sim

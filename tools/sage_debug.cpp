@@ -1,0 +1,67 @@
+// Diagnostic driver: run the pipeline over a corpus and print per-sentence
+// status, counts, and codegen results. Used to iterate on corpus/lexicon.
+#include <cstdio>
+#include <cstring>
+#include "core/sage.hpp"
+#include "corpus/rfc792.hpp"
+#include "corpus/rfc1112.hpp"
+#include "corpus/rfc1059.hpp"
+#include "corpus/rfc5880.hpp"
+using namespace sage;
+
+void run(const char* name, const std::string& text, const std::string& proto,
+         const std::vector<std::string>& annotations, bool verbose) {
+  core::Sage s;
+  s.annotate_non_actionable(annotations);
+  auto run = s.process(text, proto);
+  printf("=== %s ===\n", name);
+  printf("sections=%zu instances=%zu\n", run.document.sections.size(), run.reports.size());
+  printf("parsed=%zu zero=%zu ambiguous=%zu non-actionable=%zu functions=%zu\n",
+         run.count(core::SentenceStatus::kParsed),
+         run.count(core::SentenceStatus::kZeroForms),
+         run.count(core::SentenceStatus::kAmbiguous),
+         run.count(core::SentenceStatus::kNonActionable),
+         run.functions.size());
+  for (auto& r : run.reports) {
+    bool interesting = r.status != core::SentenceStatus::kParsed &&
+                       r.status != core::SentenceStatus::kNonActionable;
+    if (verbose || interesting) {
+      printf("[%s] base=%zu final=%zu ctx=%d \"%s\"\n",
+             core::sentence_status_name(r.status).c_str(), r.base_forms,
+             r.winnow.survivors.size(), (int)r.used_structural_context,
+             r.sentence.text.c_str());
+      if (verbose) {
+        for (auto& u : r.unknown_tokens) printf("    UNKNOWN: %s\n", u.c_str());
+        for (auto& f : r.winnow.survivors) printf("    LF: %s\n", f.to_string().c_str());
+      } else {
+        for (auto& u : r.unknown_tokens) printf("    UNKNOWN: %s\n", u.c_str());
+        if (r.status == core::SentenceStatus::kAmbiguous)
+          for (auto& f : r.winnow.survivors) printf("    LF: %s\n", f.to_string().c_str());
+      }
+    }
+  }
+  printf("discovered non-actionable: %zu\n", run.discovered_non_actionable.size());
+  for (auto& d : run.discovered_non_actionable) printf("  DISC: %s\n", d.c_str());
+  if (verbose) {
+    for (auto& f : run.functions) printf("---- %s\n%s\n", f.name.c_str(), f.c_source.c_str());
+  }
+}
+
+int main(int argc, char** argv) {
+  bool verbose = argc > 2 && strcmp(argv[2], "-v") == 0;
+  std::string which = argc > 1 ? argv[1] : "icmp";
+  if (which == "icmp")
+    run("ICMP original", corpus::rfc792_original(), "ICMP", corpus::icmp_non_actionable_annotations(), verbose);
+  else if (which == "icmp-rev")
+    run("ICMP revised", corpus::rfc792_revised(), "ICMP", corpus::icmp_non_actionable_annotations(), verbose);
+  else if (which == "igmp")
+    run("IGMP", corpus::rfc1112_appendix_i(), "IGMP", corpus::igmp_non_actionable_annotations(), verbose);
+  else if (which == "ntp")
+    run("NTP", corpus::rfc1059_appendices(), "NTP", corpus::ntp_non_actionable_annotations(), verbose);
+  else if (which == "bfd") {
+    std::string text = "BFD State Management\n\n   Description\n\n";
+    for (auto& s : corpus::bfd_state_sentences()) text += "      " + s + "\n";
+    run("BFD", text, "BFD", {}, verbose);
+  }
+  return 0;
+}
