@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bfd_state.dir/bench_bfd_state.cpp.o"
+  "CMakeFiles/bench_bfd_state.dir/bench_bfd_state.cpp.o.d"
+  "bench_bfd_state"
+  "bench_bfd_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bfd_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_interop.dir/bench_e2e_interop.cpp.o"
+  "CMakeFiles/bench_e2e_interop.dir/bench_e2e_interop.cpp.o.d"
+  "bench_e2e_interop"
+  "bench_e2e_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_winnowing.dir/bench_fig5_winnowing.cpp.o"
+  "CMakeFiles/bench_fig5_winnowing.dir/bench_fig5_winnowing.cpp.o.d"
+  "bench_fig5_winnowing"
+  "bench_fig5_winnowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_winnowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_per_check.dir/bench_fig6_per_check.cpp.o"
+  "CMakeFiles/bench_fig6_per_check.dir/bench_fig6_per_check.cpp.o.d"
+  "bench_fig6_per_check"
+  "bench_fig6_per_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_per_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_derivation.dir/bench_fig7_derivation.cpp.o"
+  "CMakeFiles/bench_fig7_derivation.dir/bench_fig7_derivation.cpp.o.d"
+  "bench_fig7_derivation"
+  "bench_fig7_derivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

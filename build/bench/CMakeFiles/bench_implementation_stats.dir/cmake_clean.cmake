@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_implementation_stats.dir/bench_implementation_stats.cpp.o"
+  "CMakeFiles/bench_implementation_stats.dir/bench_implementation_stats.cpp.o.d"
+  "bench_implementation_stats"
+  "bench_implementation_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_implementation_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

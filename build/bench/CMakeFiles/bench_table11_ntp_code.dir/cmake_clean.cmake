@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_ntp_code.dir/bench_table11_ntp_code.cpp.o"
+  "CMakeFiles/bench_table11_ntp_code.dir/bench_table11_ntp_code.cpp.o.d"
+  "bench_table11_ntp_code"
+  "bench_table11_ntp_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_ntp_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

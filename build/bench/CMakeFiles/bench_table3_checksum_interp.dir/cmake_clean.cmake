@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_checksum_interp.dir/bench_table3_checksum_interp.cpp.o"
+  "CMakeFiles/bench_table3_checksum_interp.dir/bench_table3_checksum_interp.cpp.o.d"
+  "bench_table3_checksum_interp"
+  "bench_table3_checksum_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_checksum_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

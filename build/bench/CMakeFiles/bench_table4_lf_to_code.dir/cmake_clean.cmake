@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_lf_to_code.dir/bench_table4_lf_to_code.cpp.o"
+  "CMakeFiles/bench_table4_lf_to_code.dir/bench_table4_lf_to_code.cpp.o.d"
+  "bench_table4_lf_to_code"
+  "bench_table4_lf_to_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_lf_to_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

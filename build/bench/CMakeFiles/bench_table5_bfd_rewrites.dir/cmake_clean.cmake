@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_bfd_rewrites.dir/bench_table5_bfd_rewrites.cpp.o"
+  "CMakeFiles/bench_table5_bfd_rewrites.dir/bench_table5_bfd_rewrites.cpp.o.d"
+  "bench_table5_bfd_rewrites"
+  "bench_table5_bfd_rewrites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_bfd_rewrites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_np_labels.dir/bench_table7_np_labels.cpp.o"
+  "CMakeFiles/bench_table7_np_labels.dir/bench_table7_np_labels.cpp.o.d"
+  "bench_table7_np_labels"
+  "bench_table7_np_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_np_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_10_components.dir/bench_table9_10_components.cpp.o"
+  "CMakeFiles/bench_table9_10_components.dir/bench_table9_10_components.cpp.o.d"
+  "bench_table9_10_components"
+  "bench_table9_10_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_10_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

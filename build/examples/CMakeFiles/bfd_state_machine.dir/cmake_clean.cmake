@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfd_state_machine.dir/bfd_state_machine.cpp.o"
+  "CMakeFiles/bfd_state_machine.dir/bfd_state_machine.cpp.o.d"
+  "bfd_state_machine"
+  "bfd_state_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfd_state_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/header_extract.dir/header_extract.cpp.o"
+  "CMakeFiles/header_extract.dir/header_extract.cpp.o.d"
+  "header_extract"
+  "header_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/header_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icmp_pipeline.dir/icmp_pipeline.cpp.o"
+  "CMakeFiles/icmp_pipeline.dir/icmp_pipeline.cpp.o.d"
+  "icmp_pipeline"
+  "icmp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icmp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

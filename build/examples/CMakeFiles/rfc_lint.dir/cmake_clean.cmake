@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfc_lint.dir/rfc_lint.cpp.o"
+  "CMakeFiles/rfc_lint.dir/rfc_lint.cpp.o.d"
+  "rfc_lint"
+  "rfc_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfc_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec2code.dir/spec2code.cpp.o"
+  "CMakeFiles/spec2code.dir/spec2code.cpp.o.d"
+  "spec2code"
+  "spec2code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec2code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spec2code.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccg/category.cpp" "src/ccg/CMakeFiles/sage_ccg.dir/category.cpp.o" "gcc" "src/ccg/CMakeFiles/sage_ccg.dir/category.cpp.o.d"
+  "/root/repo/src/ccg/lexicon.cpp" "src/ccg/CMakeFiles/sage_ccg.dir/lexicon.cpp.o" "gcc" "src/ccg/CMakeFiles/sage_ccg.dir/lexicon.cpp.o.d"
+  "/root/repo/src/ccg/parser.cpp" "src/ccg/CMakeFiles/sage_ccg.dir/parser.cpp.o" "gcc" "src/ccg/CMakeFiles/sage_ccg.dir/parser.cpp.o.d"
+  "/root/repo/src/ccg/term.cpp" "src/ccg/CMakeFiles/sage_ccg.dir/term.cpp.o" "gcc" "src/ccg/CMakeFiles/sage_ccg.dir/term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lf/CMakeFiles/sage_lf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/sage_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_ccg.dir/category.cpp.o"
+  "CMakeFiles/sage_ccg.dir/category.cpp.o.d"
+  "CMakeFiles/sage_ccg.dir/lexicon.cpp.o"
+  "CMakeFiles/sage_ccg.dir/lexicon.cpp.o.d"
+  "CMakeFiles/sage_ccg.dir/parser.cpp.o"
+  "CMakeFiles/sage_ccg.dir/parser.cpp.o.d"
+  "CMakeFiles/sage_ccg.dir/term.cpp.o"
+  "CMakeFiles/sage_ccg.dir/term.cpp.o.d"
+  "libsage_ccg.a"
+  "libsage_ccg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_ccg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/c_unit.cpp" "src/codegen/CMakeFiles/sage_codegen.dir/c_unit.cpp.o" "gcc" "src/codegen/CMakeFiles/sage_codegen.dir/c_unit.cpp.o.d"
+  "/root/repo/src/codegen/context.cpp" "src/codegen/CMakeFiles/sage_codegen.dir/context.cpp.o" "gcc" "src/codegen/CMakeFiles/sage_codegen.dir/context.cpp.o.d"
+  "/root/repo/src/codegen/emitter.cpp" "src/codegen/CMakeFiles/sage_codegen.dir/emitter.cpp.o" "gcc" "src/codegen/CMakeFiles/sage_codegen.dir/emitter.cpp.o.d"
+  "/root/repo/src/codegen/generator.cpp" "src/codegen/CMakeFiles/sage_codegen.dir/generator.cpp.o" "gcc" "src/codegen/CMakeFiles/sage_codegen.dir/generator.cpp.o.d"
+  "/root/repo/src/codegen/handlers.cpp" "src/codegen/CMakeFiles/sage_codegen.dir/handlers.cpp.o" "gcc" "src/codegen/CMakeFiles/sage_codegen.dir/handlers.cpp.o.d"
+  "/root/repo/src/codegen/ir.cpp" "src/codegen/CMakeFiles/sage_codegen.dir/ir.cpp.o" "gcc" "src/codegen/CMakeFiles/sage_codegen.dir/ir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lf/CMakeFiles/sage_lf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfc/CMakeFiles/sage_rfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/sage_nlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_codegen.dir/c_unit.cpp.o"
+  "CMakeFiles/sage_codegen.dir/c_unit.cpp.o.d"
+  "CMakeFiles/sage_codegen.dir/context.cpp.o"
+  "CMakeFiles/sage_codegen.dir/context.cpp.o.d"
+  "CMakeFiles/sage_codegen.dir/emitter.cpp.o"
+  "CMakeFiles/sage_codegen.dir/emitter.cpp.o.d"
+  "CMakeFiles/sage_codegen.dir/generator.cpp.o"
+  "CMakeFiles/sage_codegen.dir/generator.cpp.o.d"
+  "CMakeFiles/sage_codegen.dir/handlers.cpp.o"
+  "CMakeFiles/sage_codegen.dir/handlers.cpp.o.d"
+  "CMakeFiles/sage_codegen.dir/ir.cpp.o"
+  "CMakeFiles/sage_codegen.dir/ir.cpp.o.d"
+  "libsage_codegen.a"
+  "libsage_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

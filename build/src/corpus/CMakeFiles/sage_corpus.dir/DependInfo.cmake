@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/lexicon_data.cpp" "src/corpus/CMakeFiles/sage_corpus.dir/lexicon_data.cpp.o" "gcc" "src/corpus/CMakeFiles/sage_corpus.dir/lexicon_data.cpp.o.d"
+  "/root/repo/src/corpus/rfc1059.cpp" "src/corpus/CMakeFiles/sage_corpus.dir/rfc1059.cpp.o" "gcc" "src/corpus/CMakeFiles/sage_corpus.dir/rfc1059.cpp.o.d"
+  "/root/repo/src/corpus/rfc1112.cpp" "src/corpus/CMakeFiles/sage_corpus.dir/rfc1112.cpp.o" "gcc" "src/corpus/CMakeFiles/sage_corpus.dir/rfc1112.cpp.o.d"
+  "/root/repo/src/corpus/rfc5880.cpp" "src/corpus/CMakeFiles/sage_corpus.dir/rfc5880.cpp.o" "gcc" "src/corpus/CMakeFiles/sage_corpus.dir/rfc5880.cpp.o.d"
+  "/root/repo/src/corpus/rfc792.cpp" "src/corpus/CMakeFiles/sage_corpus.dir/rfc792.cpp.o" "gcc" "src/corpus/CMakeFiles/sage_corpus.dir/rfc792.cpp.o.d"
+  "/root/repo/src/corpus/rfc793.cpp" "src/corpus/CMakeFiles/sage_corpus.dir/rfc793.cpp.o" "gcc" "src/corpus/CMakeFiles/sage_corpus.dir/rfc793.cpp.o.d"
+  "/root/repo/src/corpus/terms.cpp" "src/corpus/CMakeFiles/sage_corpus.dir/terms.cpp.o" "gcc" "src/corpus/CMakeFiles/sage_corpus.dir/terms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ccg/CMakeFiles/sage_ccg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/sage_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lf/CMakeFiles/sage_lf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

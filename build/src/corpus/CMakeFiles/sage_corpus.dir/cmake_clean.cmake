@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_corpus.dir/lexicon_data.cpp.o"
+  "CMakeFiles/sage_corpus.dir/lexicon_data.cpp.o.d"
+  "CMakeFiles/sage_corpus.dir/rfc1059.cpp.o"
+  "CMakeFiles/sage_corpus.dir/rfc1059.cpp.o.d"
+  "CMakeFiles/sage_corpus.dir/rfc1112.cpp.o"
+  "CMakeFiles/sage_corpus.dir/rfc1112.cpp.o.d"
+  "CMakeFiles/sage_corpus.dir/rfc5880.cpp.o"
+  "CMakeFiles/sage_corpus.dir/rfc5880.cpp.o.d"
+  "CMakeFiles/sage_corpus.dir/rfc792.cpp.o"
+  "CMakeFiles/sage_corpus.dir/rfc792.cpp.o.d"
+  "CMakeFiles/sage_corpus.dir/rfc793.cpp.o"
+  "CMakeFiles/sage_corpus.dir/rfc793.cpp.o.d"
+  "CMakeFiles/sage_corpus.dir/terms.cpp.o"
+  "CMakeFiles/sage_corpus.dir/terms.cpp.o.d"
+  "libsage_corpus.a"
+  "libsage_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

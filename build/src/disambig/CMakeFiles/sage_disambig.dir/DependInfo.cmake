@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disambig/checks.cpp" "src/disambig/CMakeFiles/sage_disambig.dir/checks.cpp.o" "gcc" "src/disambig/CMakeFiles/sage_disambig.dir/checks.cpp.o.d"
+  "/root/repo/src/disambig/winnower.cpp" "src/disambig/CMakeFiles/sage_disambig.dir/winnower.cpp.o" "gcc" "src/disambig/CMakeFiles/sage_disambig.dir/winnower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lf/CMakeFiles/sage_lf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

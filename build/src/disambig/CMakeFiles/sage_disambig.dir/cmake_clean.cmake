@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_disambig.dir/checks.cpp.o"
+  "CMakeFiles/sage_disambig.dir/checks.cpp.o.d"
+  "CMakeFiles/sage_disambig.dir/winnower.cpp.o"
+  "CMakeFiles/sage_disambig.dir/winnower.cpp.o.d"
+  "libsage_disambig.a"
+  "libsage_disambig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_disambig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

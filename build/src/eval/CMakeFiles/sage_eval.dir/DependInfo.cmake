@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/checksum_interp.cpp" "src/eval/CMakeFiles/sage_eval.dir/checksum_interp.cpp.o" "gcc" "src/eval/CMakeFiles/sage_eval.dir/checksum_interp.cpp.o.d"
+  "/root/repo/src/eval/components.cpp" "src/eval/CMakeFiles/sage_eval.dir/components.cpp.o" "gcc" "src/eval/CMakeFiles/sage_eval.dir/components.cpp.o.d"
+  "/root/repo/src/eval/interop_harness.cpp" "src/eval/CMakeFiles/sage_eval.dir/interop_harness.cpp.o" "gcc" "src/eval/CMakeFiles/sage_eval.dir/interop_harness.cpp.o.d"
+  "/root/repo/src/eval/students.cpp" "src/eval/CMakeFiles/sage_eval.dir/students.cpp.o" "gcc" "src/eval/CMakeFiles/sage_eval.dir/students.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sage_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_eval.dir/checksum_interp.cpp.o"
+  "CMakeFiles/sage_eval.dir/checksum_interp.cpp.o.d"
+  "CMakeFiles/sage_eval.dir/components.cpp.o"
+  "CMakeFiles/sage_eval.dir/components.cpp.o.d"
+  "CMakeFiles/sage_eval.dir/interop_harness.cpp.o"
+  "CMakeFiles/sage_eval.dir/interop_harness.cpp.o.d"
+  "CMakeFiles/sage_eval.dir/students.cpp.o"
+  "CMakeFiles/sage_eval.dir/students.cpp.o.d"
+  "libsage_eval.a"
+  "libsage_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lf/isomorphism.cpp" "src/lf/CMakeFiles/sage_lf.dir/isomorphism.cpp.o" "gcc" "src/lf/CMakeFiles/sage_lf.dir/isomorphism.cpp.o.d"
+  "/root/repo/src/lf/logical_form.cpp" "src/lf/CMakeFiles/sage_lf.dir/logical_form.cpp.o" "gcc" "src/lf/CMakeFiles/sage_lf.dir/logical_form.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

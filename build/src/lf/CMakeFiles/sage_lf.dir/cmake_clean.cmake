@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_lf.dir/isomorphism.cpp.o"
+  "CMakeFiles/sage_lf.dir/isomorphism.cpp.o.d"
+  "CMakeFiles/sage_lf.dir/logical_form.cpp.o"
+  "CMakeFiles/sage_lf.dir/logical_form.cpp.o.d"
+  "libsage_lf.a"
+  "libsage_lf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_lf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bfd.cpp" "src/net/CMakeFiles/sage_net.dir/bfd.cpp.o" "gcc" "src/net/CMakeFiles/sage_net.dir/bfd.cpp.o.d"
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/sage_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/sage_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/icmp.cpp" "src/net/CMakeFiles/sage_net.dir/icmp.cpp.o" "gcc" "src/net/CMakeFiles/sage_net.dir/icmp.cpp.o.d"
+  "/root/repo/src/net/igmp.cpp" "src/net/CMakeFiles/sage_net.dir/igmp.cpp.o" "gcc" "src/net/CMakeFiles/sage_net.dir/igmp.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/sage_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/sage_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/ntp.cpp" "src/net/CMakeFiles/sage_net.dir/ntp.cpp.o" "gcc" "src/net/CMakeFiles/sage_net.dir/ntp.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/sage_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/sage_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/sage_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/sage_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_net.dir/bfd.cpp.o"
+  "CMakeFiles/sage_net.dir/bfd.cpp.o.d"
+  "CMakeFiles/sage_net.dir/checksum.cpp.o"
+  "CMakeFiles/sage_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/sage_net.dir/icmp.cpp.o"
+  "CMakeFiles/sage_net.dir/icmp.cpp.o.d"
+  "CMakeFiles/sage_net.dir/igmp.cpp.o"
+  "CMakeFiles/sage_net.dir/igmp.cpp.o.d"
+  "CMakeFiles/sage_net.dir/ipv4.cpp.o"
+  "CMakeFiles/sage_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/sage_net.dir/ntp.cpp.o"
+  "CMakeFiles/sage_net.dir/ntp.cpp.o.d"
+  "CMakeFiles/sage_net.dir/pcap.cpp.o"
+  "CMakeFiles/sage_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/sage_net.dir/udp.cpp.o"
+  "CMakeFiles/sage_net.dir/udp.cpp.o.d"
+  "libsage_net.a"
+  "libsage_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/chunker.cpp" "src/nlp/CMakeFiles/sage_nlp.dir/chunker.cpp.o" "gcc" "src/nlp/CMakeFiles/sage_nlp.dir/chunker.cpp.o.d"
+  "/root/repo/src/nlp/sentence_splitter.cpp" "src/nlp/CMakeFiles/sage_nlp.dir/sentence_splitter.cpp.o" "gcc" "src/nlp/CMakeFiles/sage_nlp.dir/sentence_splitter.cpp.o.d"
+  "/root/repo/src/nlp/term_dictionary.cpp" "src/nlp/CMakeFiles/sage_nlp.dir/term_dictionary.cpp.o" "gcc" "src/nlp/CMakeFiles/sage_nlp.dir/term_dictionary.cpp.o.d"
+  "/root/repo/src/nlp/tokenizer.cpp" "src/nlp/CMakeFiles/sage_nlp.dir/tokenizer.cpp.o" "gcc" "src/nlp/CMakeFiles/sage_nlp.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_nlp.dir/chunker.cpp.o"
+  "CMakeFiles/sage_nlp.dir/chunker.cpp.o.d"
+  "CMakeFiles/sage_nlp.dir/sentence_splitter.cpp.o"
+  "CMakeFiles/sage_nlp.dir/sentence_splitter.cpp.o.d"
+  "CMakeFiles/sage_nlp.dir/term_dictionary.cpp.o"
+  "CMakeFiles/sage_nlp.dir/term_dictionary.cpp.o.d"
+  "CMakeFiles/sage_nlp.dir/tokenizer.cpp.o"
+  "CMakeFiles/sage_nlp.dir/tokenizer.cpp.o.d"
+  "libsage_nlp.a"
+  "libsage_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

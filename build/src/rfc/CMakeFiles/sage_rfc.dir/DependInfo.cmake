@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfc/ascii_art.cpp" "src/rfc/CMakeFiles/sage_rfc.dir/ascii_art.cpp.o" "gcc" "src/rfc/CMakeFiles/sage_rfc.dir/ascii_art.cpp.o.d"
+  "/root/repo/src/rfc/preprocessor.cpp" "src/rfc/CMakeFiles/sage_rfc.dir/preprocessor.cpp.o" "gcc" "src/rfc/CMakeFiles/sage_rfc.dir/preprocessor.cpp.o.d"
+  "/root/repo/src/rfc/struct_gen.cpp" "src/rfc/CMakeFiles/sage_rfc.dir/struct_gen.cpp.o" "gcc" "src/rfc/CMakeFiles/sage_rfc.dir/struct_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nlp/CMakeFiles/sage_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_rfc.dir/ascii_art.cpp.o"
+  "CMakeFiles/sage_rfc.dir/ascii_art.cpp.o.d"
+  "CMakeFiles/sage_rfc.dir/preprocessor.cpp.o"
+  "CMakeFiles/sage_rfc.dir/preprocessor.cpp.o.d"
+  "CMakeFiles/sage_rfc.dir/struct_gen.cpp.o"
+  "CMakeFiles/sage_rfc.dir/struct_gen.cpp.o.d"
+  "libsage_rfc.a"
+  "libsage_rfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_rfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/bfd_env.cpp" "src/runtime/CMakeFiles/sage_runtime.dir/bfd_env.cpp.o" "gcc" "src/runtime/CMakeFiles/sage_runtime.dir/bfd_env.cpp.o.d"
+  "/root/repo/src/runtime/bfd_session.cpp" "src/runtime/CMakeFiles/sage_runtime.dir/bfd_session.cpp.o" "gcc" "src/runtime/CMakeFiles/sage_runtime.dir/bfd_session.cpp.o.d"
+  "/root/repo/src/runtime/generated_responder.cpp" "src/runtime/CMakeFiles/sage_runtime.dir/generated_responder.cpp.o" "gcc" "src/runtime/CMakeFiles/sage_runtime.dir/generated_responder.cpp.o.d"
+  "/root/repo/src/runtime/icmp_env.cpp" "src/runtime/CMakeFiles/sage_runtime.dir/icmp_env.cpp.o" "gcc" "src/runtime/CMakeFiles/sage_runtime.dir/icmp_env.cpp.o.d"
+  "/root/repo/src/runtime/igmp_env.cpp" "src/runtime/CMakeFiles/sage_runtime.dir/igmp_env.cpp.o" "gcc" "src/runtime/CMakeFiles/sage_runtime.dir/igmp_env.cpp.o.d"
+  "/root/repo/src/runtime/interpreter.cpp" "src/runtime/CMakeFiles/sage_runtime.dir/interpreter.cpp.o" "gcc" "src/runtime/CMakeFiles/sage_runtime.dir/interpreter.cpp.o.d"
+  "/root/repo/src/runtime/ntp_env.cpp" "src/runtime/CMakeFiles/sage_runtime.dir/ntp_env.cpp.o" "gcc" "src/runtime/CMakeFiles/sage_runtime.dir/ntp_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/sage_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sage_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lf/CMakeFiles/sage_lf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfc/CMakeFiles/sage_rfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/sage_nlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

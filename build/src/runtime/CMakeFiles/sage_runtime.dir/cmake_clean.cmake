@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_runtime.dir/bfd_env.cpp.o"
+  "CMakeFiles/sage_runtime.dir/bfd_env.cpp.o.d"
+  "CMakeFiles/sage_runtime.dir/bfd_session.cpp.o"
+  "CMakeFiles/sage_runtime.dir/bfd_session.cpp.o.d"
+  "CMakeFiles/sage_runtime.dir/generated_responder.cpp.o"
+  "CMakeFiles/sage_runtime.dir/generated_responder.cpp.o.d"
+  "CMakeFiles/sage_runtime.dir/icmp_env.cpp.o"
+  "CMakeFiles/sage_runtime.dir/icmp_env.cpp.o.d"
+  "CMakeFiles/sage_runtime.dir/igmp_env.cpp.o"
+  "CMakeFiles/sage_runtime.dir/igmp_env.cpp.o.d"
+  "CMakeFiles/sage_runtime.dir/interpreter.cpp.o"
+  "CMakeFiles/sage_runtime.dir/interpreter.cpp.o.d"
+  "CMakeFiles/sage_runtime.dir/ntp_env.cpp.o"
+  "CMakeFiles/sage_runtime.dir/ntp_env.cpp.o.d"
+  "libsage_runtime.a"
+  "libsage_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/inspector.cpp" "src/sim/CMakeFiles/sage_sim.dir/inspector.cpp.o" "gcc" "src/sim/CMakeFiles/sage_sim.dir/inspector.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/sage_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/sage_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/ping.cpp" "src/sim/CMakeFiles/sage_sim.dir/ping.cpp.o" "gcc" "src/sim/CMakeFiles/sage_sim.dir/ping.cpp.o.d"
+  "/root/repo/src/sim/reference_responder.cpp" "src/sim/CMakeFiles/sage_sim.dir/reference_responder.cpp.o" "gcc" "src/sim/CMakeFiles/sage_sim.dir/reference_responder.cpp.o.d"
+  "/root/repo/src/sim/traceroute.cpp" "src/sim/CMakeFiles/sage_sim.dir/traceroute.cpp.o" "gcc" "src/sim/CMakeFiles/sage_sim.dir/traceroute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sage_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_sim.dir/inspector.cpp.o"
+  "CMakeFiles/sage_sim.dir/inspector.cpp.o.d"
+  "CMakeFiles/sage_sim.dir/network.cpp.o"
+  "CMakeFiles/sage_sim.dir/network.cpp.o.d"
+  "CMakeFiles/sage_sim.dir/ping.cpp.o"
+  "CMakeFiles/sage_sim.dir/ping.cpp.o.d"
+  "CMakeFiles/sage_sim.dir/reference_responder.cpp.o"
+  "CMakeFiles/sage_sim.dir/reference_responder.cpp.o.d"
+  "CMakeFiles/sage_sim.dir/traceroute.cpp.o"
+  "CMakeFiles/sage_sim.dir/traceroute.cpp.o.d"
+  "libsage_sim.a"
+  "libsage_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_util.dir/hexdump.cpp.o"
+  "CMakeFiles/sage_util.dir/hexdump.cpp.o.d"
+  "CMakeFiles/sage_util.dir/strings.cpp.o"
+  "CMakeFiles/sage_util.dir/strings.cpp.o.d"
+  "libsage_util.a"
+  "libsage_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_c_unit.dir/test_c_unit.cpp.o"
+  "CMakeFiles/test_c_unit.dir/test_c_unit.cpp.o.d"
+  "test_c_unit"
+  "test_c_unit.pdb"
+  "test_c_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_c_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ccg.dir/test_ccg.cpp.o"
+  "CMakeFiles/test_ccg.dir/test_ccg.cpp.o.d"
+  "test_ccg"
+  "test_ccg.pdb"
+  "test_ccg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ccg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

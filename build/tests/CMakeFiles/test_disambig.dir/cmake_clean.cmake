@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disambig.dir/test_disambig.cpp.o"
+  "CMakeFiles/test_disambig.dir/test_disambig.cpp.o.d"
+  "test_disambig"
+  "test_disambig.pdb"
+  "test_disambig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disambig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rfc.dir/test_rfc.cpp.o"
+  "CMakeFiles/test_rfc.dir/test_rfc.cpp.o.d"
+  "test_rfc"
+  "test_rfc.pdb"
+  "test_rfc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

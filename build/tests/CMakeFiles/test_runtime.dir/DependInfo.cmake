@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/test_runtime.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/test_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sage_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sage_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/sage_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sage_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/sage_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfc/CMakeFiles/sage_rfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/disambig/CMakeFiles/sage_disambig.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccg/CMakeFiles/sage_ccg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lf/CMakeFiles/sage_lf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/sage_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sage_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

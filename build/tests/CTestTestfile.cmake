@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_nlp[1]_include.cmake")
+include("/root/repo/build/tests/test_lf[1]_include.cmake")
+include("/root/repo/build/tests/test_ccg[1]_include.cmake")
+include("/root/repo/build/tests/test_disambig[1]_include.cmake")
+include("/root/repo/build/tests/test_rfc[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_c_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_debug.dir/sage_debug.cpp.o"
+  "CMakeFiles/sage_debug.dir/sage_debug.cpp.o.d"
+  "sage_debug"
+  "sage_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
