@@ -7,6 +7,7 @@
 #include "corpus/terms.hpp"
 #include "disambig/checks.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sage::core {
 
@@ -33,7 +34,8 @@ Sage::Sage()
       dictionary_(corpus::make_term_dictionary()),
       winnower_(disambig::all_checks()),
       handlers_(codegen::HandlerRegistry::standard()),
-      statics_(codegen::StaticContext::standard()) {
+      statics_(codegen::StaticContext::standard()),
+      parse_cache_(std::make_shared<ccg::ParseCache>()) {
   for (auto& word : lexicon_.words()) closed_class_.insert(std::move(word));
 }
 
@@ -101,24 +103,59 @@ SentenceReport Sage::analyze_sentence(const rfc::SpecSentence& sentence,
   }
   const auto tokens = chunker.chunk(nlp::tokenize(sentence.text), mode);
 
-  // CCG parsing.
-  const ccg::CcgParser parser(&lexicon_, options.parser);
-  auto parsed = parser.parse(tokens);
-  report.unknown_tokens = parsed.unknown_tokens;
+  const auto field_it = sentence.context.find("field");
+  const std::string field =
+      field_it == sentence.context.end() ? "" : field_it->second;
 
-  std::vector<lf::LogicalForm> candidates = parsed.forms;
+  // CCG parsing + structural-context retry, memoized.
+  ccg::CachedParse parsed = parse_with_context(tokens, field, options.parser);
+  report.unknown_tokens = std::move(parsed.unknown_tokens);
+  report.used_structural_context = parsed.used_structural_context;
+
+  report.base_forms = parsed.candidates.size();
+  report.base_candidates = parsed.candidates;
+  report.winnow = winnower_.winnow(parsed.candidates);
+
+  if (report.winnow.survivors.empty()) {
+    report.status = SentenceStatus::kZeroForms;
+  } else if (report.winnow.survivors.size() > 1) {
+    report.status = SentenceStatus::kAmbiguous;
+  } else {
+    report.status = SentenceStatus::kParsed;
+    report.final_form = report.winnow.survivors[0];
+  }
+  return report;
+}
+
+ccg::CachedParse Sage::parse_with_context(
+    const std::vector<nlp::Token>& tokens, const std::string& field,
+    const ccg::ParserOptions& options) const {
+  std::string key;
+  if (parse_cache_ != nullptr) {
+    // Dynamic-context fingerprint: the structural "field" subject is the
+    // only context the parse stage folds in (chunking choices are
+    // already reflected in the token sequence itself).
+    key = ccg::ParseCache::key_of(tokens, "field=" + util::to_lower(field),
+                                  options);
+    if (auto cached = parse_cache_->lookup(key)) return *std::move(cached);
+  }
+
+  ccg::CachedParse out;
+  const ccg::CcgParser parser(&lexicon_, options);
+  auto parsed = parser.parse(tokens);
+  out.unknown_tokens = std::move(parsed.unknown_tokens);
+
+  std::vector<lf::LogicalForm>& candidates = out.candidates;
+  candidates = std::move(parsed.forms);
 
   // Zero sentence-level parses: supply the subject from structural
   // context (§4.1 "Causes of ambiguities: zero logical forms"). A field
   // description fragment becomes "<field> is <fragment>".
-  const auto field_it = sentence.context.find("field");
-  const std::string field =
-      field_it == sentence.context.end() ? "" : field_it->second;
   if (candidates.empty() && !field.empty()) {
     if (!parsed.fragments.empty()) {
       // Fragment (examples A/B): the whole sentence is a noun phrase
       // describing the field's value — "<field> is <fragment>".
-      report.used_structural_context = true;
+      out.used_structural_context = true;
       for (const auto& fragment : parsed.fragments) {
         candidates.push_back(lf::LfNode::predicate(
             std::string(lf::pred::kIs),
@@ -157,7 +194,7 @@ SentenceReport Sage::analyze_sentence(const rfc::SpecSentence& sentence,
           filtered.push_back(std::move(form));
         }
         if (!filtered.empty()) {
-          report.used_structural_context = true;
+          out.used_structural_context = true;
           candidates = std::move(filtered);
           break;
         }
@@ -165,35 +202,45 @@ SentenceReport Sage::analyze_sentence(const rfc::SpecSentence& sentence,
     }
   }
 
-  report.base_forms = candidates.size();
-  report.base_candidates = candidates;
-  report.winnow = winnower_.winnow(candidates);
-
-  if (report.winnow.survivors.empty()) {
-    report.status = SentenceStatus::kZeroForms;
-  } else if (report.winnow.survivors.size() > 1) {
-    report.status = SentenceStatus::kAmbiguous;
-  } else {
-    report.status = SentenceStatus::kParsed;
-    report.final_form = report.winnow.survivors[0];
-  }
-  return report;
+  if (parse_cache_ != nullptr) parse_cache_->insert(key, out);
+  return out;
 }
 
 ProtocolRun Sage::process(const std::string& rfc_text,
                           const std::string& protocol,
                           const SageOptions& options) {
+  return process_impl(rfc_text, protocol, options, nullptr);
+}
+
+ProtocolRun Sage::process_impl(const std::string& rfc_text,
+                               const std::string& protocol,
+                               const SageOptions& options,
+                               util::ThreadPool* pool) {
   ProtocolRun run;
+  const ccg::ParseCacheStats before =
+      parse_cache_ == nullptr ? ccg::ParseCacheStats{} : parse_cache_->stats();
   run.document = rfc::preprocess(rfc_text, protocol);
   const auto sentences = rfc::extract_sentences(run.document, protocol);
 
-  // Stage 1+2: parse and winnow every sentence instance.
-  std::map<std::string, std::vector<codegen::SentenceLf>> per_function;
-  std::vector<std::pair<std::string, std::size_t>> slot_of_report;
+  // Stage 1+2: parse and winnow every sentence instance. Sentences are
+  // independent here, so this is the stage that fans out across the
+  // pool; each report lands at its original index, making the output
+  // sequence independent of scheduling order.
+  run.reports.resize(sentences.size());
+  const auto analyze_one = [&](std::size_t i) {
+    run.reports[i] = analyze_sentence(sentences[i], options);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(sentences.size(), analyze_one);
+  } else {
+    for (std::size_t i = 0; i < sentences.size(); ++i) analyze_one(i);
+  }
 
-  for (const auto& sentence : sentences) {
-    run.reports.push_back(analyze_sentence(sentence, options));
-    SentenceReport& report = run.reports.back();
+  // Group winnowed forms per (message, role), in document order.
+  std::map<std::string, std::vector<codegen::SentenceLf>> per_function;
+  for (std::size_t i = 0; i < sentences.size(); ++i) {
+    const auto& sentence = sentences[i];
+    const SentenceReport& report = run.reports[i];
     if (!report.final_form) continue;
 
     const auto message_it = sentence.context.find("message");
@@ -205,9 +252,7 @@ ProtocolRun Sage::process(const std::string& rfc_text,
       entry.context = codegen::DynamicContext::from_map(sentence.context);
       entry.context.role = role;
       entry.sentence = sentence.text;
-      const std::string key = message + "\x1f" + role;
-      per_function[key].push_back(std::move(entry));
-      slot_of_report.emplace_back(key, run.reports.size() - 1);
+      per_function[message + "\x1f" + role].push_back(std::move(entry));
     }
   }
 
@@ -254,6 +299,13 @@ ProtocolRun Sage::process(const std::string& rfc_text,
       std::unique(run.discovered_non_actionable.begin(),
                   run.discovered_non_actionable.end()),
       run.discovered_non_actionable.end());
+
+  if (parse_cache_ != nullptr) {
+    const ccg::ParseCacheStats after = parse_cache_->stats();
+    run.cache.hits = after.hits - before.hits;
+    run.cache.misses = after.misses - before.misses;
+    run.cache.evictions = after.evictions - before.evictions;
+  }
   return run;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "ccg/lexicon.hpp"
+#include "ccg/parse_cache.hpp"
 #include "ccg/parser.hpp"
 #include "codegen/context.hpp"
 #include "codegen/generator.hpp"
@@ -23,7 +25,14 @@
 #include "nlp/term_dictionary.hpp"
 #include "rfc/preprocessor.hpp"
 
+namespace sage::util {
+class ThreadPool;
+}  // namespace sage::util
+
 namespace sage::core {
+
+struct BatchOptions;  // core/batch.hpp
+class BatchRunner;
 
 /// Outcome classification for one sentence instance.
 enum class SentenceStatus {
@@ -58,6 +67,10 @@ struct ProtocolRun {
   /// Sentences auto-discovered as non-actionable this run (code
   /// generation failed; tagged @AdvComment for the next pass).
   std::vector<std::string> discovered_non_actionable;
+  /// Parse-cache activity attributable to this run (hits/misses/
+  /// evictions that happened while it executed). Zero when the cache is
+  /// disabled.
+  ccg::ParseCacheStats cache;
 
   std::size_t count(SentenceStatus status) const;
 };
@@ -87,6 +100,28 @@ class Sage {
   ProtocolRun process(const std::string& rfc_text, const std::string& protocol,
                       const SageOptions& options = {});
 
+  /// The parallel twin of process(): fans sentence-level parse+winnow
+  /// jobs across a thread pool, then assembles reports and functions in
+  /// original document order. The determinism contract (documented in
+  /// docs/PARALLELISM.md) is that the returned ProtocolRun is
+  /// byte-identical to the serial path — only the `cache` counters may
+  /// differ. Defined in core/batch.cpp.
+  ProtocolRun run_protocol_parallel(const std::string& rfc_text,
+                                    const std::string& protocol,
+                                    const BatchOptions& options);
+  ProtocolRun run_protocol_parallel(const std::string& rfc_text,
+                                    const std::string& protocol);
+
+  /// The parse memoization cache. Enabled by default; share one across
+  /// Sage instances (BatchRunner does) to reuse parses between
+  /// documents, or set nullptr to disable memoization entirely.
+  const std::shared_ptr<ccg::ParseCache>& parse_cache() const {
+    return parse_cache_;
+  }
+  void set_parse_cache(std::shared_ptr<ccg::ParseCache> cache) {
+    parse_cache_ = std::move(cache);
+  }
+
   // -- component access for benches and examples ---------------------------
   const ccg::Lexicon& lexicon() const { return lexicon_; }
   const nlp::TermDictionary& dictionary() const { return dictionary_; }
@@ -105,6 +140,22 @@ class Sage {
                                                      const std::string& message);
 
  private:
+  friend class BatchRunner;  // drives process_impl with its shared pool
+
+  /// Parse (+ structural-context retry) for one sentence, memoized when
+  /// the parse cache is enabled.
+  ccg::CachedParse parse_with_context(const std::vector<nlp::Token>& tokens,
+                                      const std::string& field,
+                                      const ccg::ParserOptions& options) const;
+
+  /// Shared pipeline body: stage 1+2 (parse + winnow per sentence)
+  /// through `pool` when given, serially otherwise; stage 3 (codegen +
+  /// iterative discovery) always in document order on the calling
+  /// thread.
+  ProtocolRun process_impl(const std::string& rfc_text,
+                           const std::string& protocol,
+                           const SageOptions& options, util::ThreadPool* pool);
+
   ccg::Lexicon lexicon_;
   nlp::TermDictionary dictionary_;
   nlp::TermDictionary empty_dictionary_;
@@ -113,6 +164,7 @@ class Sage {
   codegen::HandlerRegistry handlers_;
   codegen::StaticContext statics_;
   std::set<std::string> non_actionable_;
+  std::shared_ptr<ccg::ParseCache> parse_cache_;
 };
 
 }  // namespace sage::core

@@ -1,0 +1,118 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace sage::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back(
+        [this](std::stop_token token) { worker_loop(token); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& w : workers_) w.request_stop();
+  cv_.notify_all();
+  // std::jthread joins on destruction.
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop(std::stop_token token) {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      // Wakes on new work or on request_stop (condition_variable_any +
+      // stop_token is the C++20 interruptible wait).
+      if (!cv_.wait(lock, token, [this] { return !queue_.empty(); })) {
+        return;  // stop requested while idle
+      }
+      // Stop beats queued work: jobs that have not started are
+      // discarded, which is what lets destruction be prompt.
+      if (token.stop_requested()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // Serial fast path: nothing to fan out, or the pool has no spare
+  // hands. The caller-runs loop below would be correct too; this keeps
+  // the single-thread path free of any synchronization.
+  if (count == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  const std::size_t total = count;
+
+  const auto drain = [shared, total, &body] {
+    std::size_t completed = 0;
+    for (;;) {
+      const std::size_t i = shared->next.fetch_add(1);
+      if (i >= total) break;
+      if (!shared->failed.load()) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard lock(shared->error_mutex);
+          if (!shared->error) shared->error = std::current_exception();
+          shared->failed.store(true);
+        }
+      }
+      ++completed;
+    }
+    if (completed != 0 &&
+        shared->done.fetch_add(completed) + completed == total) {
+      std::lock_guard lock(shared->done_mutex);
+      shared->done_cv.notify_all();
+    }
+  };
+
+  // One helper per worker (capped by the index count); the caller
+  // drains too. Helpers capture `shared` by value so a helper that
+  // starts after parallel_for returned (all indices already claimed)
+  // still touches valid memory. `body` is only reachable while the
+  // caller is blocked below, and every claimed index completes before
+  // the wait ends, so the reference capture of `body` is safe.
+  const std::size_t helpers = std::min(workers_.size(), total - 1);
+  for (std::size_t h = 0; h < helpers; ++h) submit(drain);
+  drain();
+
+  {
+    std::unique_lock lock(shared->done_mutex);
+    shared->done_cv.wait(lock,
+                         [&] { return shared->done.load() >= total; });
+  }
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace sage::util

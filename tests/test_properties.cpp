@@ -5,8 +5,10 @@
 // byte corruption (failure injection).
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <random>
 
+#include "ccg/parse_cache.hpp"
 #include "ccg/parser.hpp"
 #include "core/sage.hpp"
 #include "corpus/rfc792.hpp"
@@ -177,6 +179,133 @@ TEST(Property, DisablingCoordinationRemovesConjunctions) {
       EXPECT_NE(pred, "@And") << form.to_string();
     }
   }
+}
+
+// ---- parse cache: memoization must be invisible -----------------------------------
+
+/// Random sentences drawn from the lexicon's own vocabulary: these are
+/// exactly the token sequences that can reach deep into the chart, so
+/// they exercise the cache with realistic keys.
+std::string random_sentence(std::mt19937& rng,
+                            const std::vector<std::string>& words) {
+  std::uniform_int_distribution<std::size_t> pick(0, words.size() - 1);
+  std::uniform_int_distribution<int> length(2, 8);
+  std::string sentence;
+  const int n = length(rng);
+  for (int i = 0; i < n; ++i) {
+    if (!sentence.empty()) sentence += ' ';
+    sentence += words[pick(rng)];
+  }
+  return sentence;
+}
+
+class ParseCacheProps : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParseCacheProps, CacheHitEqualsFreshParse) {
+  core::Sage cached;  // default-enabled cache
+  core::Sage fresh;
+  fresh.set_parse_cache(nullptr);
+
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31337);
+  const auto words = cached.lexicon().words();
+  ASSERT_FALSE(words.empty());
+
+  for (int i = 0; i < 40; ++i) {
+    rfc::SpecSentence sentence;
+    sentence.text = random_sentence(rng, words);
+    if (i % 3 == 0) sentence.context["field"] = "Checksum";
+
+    const auto baseline = fresh.analyze_sentence(sentence);
+    // Twice through the cached pipeline: miss-then-insert, then hit.
+    const auto first = cached.analyze_sentence(sentence);
+    const auto second = cached.analyze_sentence(sentence);
+    for (const auto* report : {&first, &second}) {
+      ASSERT_EQ(report->status, baseline.status) << sentence.text;
+      ASSERT_EQ(report->base_forms, baseline.base_forms) << sentence.text;
+      ASSERT_EQ(report->used_structural_context,
+                baseline.used_structural_context)
+          << sentence.text;
+      ASSERT_EQ(report->unknown_tokens, baseline.unknown_tokens)
+          << sentence.text;
+      ASSERT_EQ(report->winnow.survivors.size(),
+                baseline.winnow.survivors.size())
+          << sentence.text;
+      for (std::size_t k = 0; k < baseline.winnow.survivors.size(); ++k) {
+        EXPECT_EQ(report->winnow.survivors[k], baseline.winnow.survivors[k])
+            << sentence.text;
+      }
+    }
+  }
+  EXPECT_GT(cached.parse_cache()->stats().hits, 0u);
+}
+
+TEST_P(ParseCacheProps, EvictionUnderTinyCapacityNeverChangesResults) {
+  core::Sage evicting;
+  evicting.set_parse_cache(std::make_shared<ccg::ParseCache>(2, 1));
+  core::Sage fresh;
+  fresh.set_parse_cache(nullptr);
+
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 65537);
+  const auto words = evicting.lexicon().words();
+
+  std::vector<rfc::SpecSentence> sentences;
+  for (int i = 0; i < 12; ++i) {
+    rfc::SpecSentence s;
+    s.text = random_sentence(rng, words);
+    sentences.push_back(std::move(s));
+  }
+  // Two passes: the second re-misses everything that was evicted, and
+  // results must still match the uncached pipeline exactly.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& sentence : sentences) {
+      const auto expected = fresh.analyze_sentence(sentence);
+      const auto actual = evicting.analyze_sentence(sentence);
+      ASSERT_EQ(actual.status, expected.status) << sentence.text;
+      ASSERT_EQ(actual.base_forms, expected.base_forms) << sentence.text;
+      ASSERT_EQ(actual.winnow.survivors.size(),
+                expected.winnow.survivors.size())
+          << sentence.text;
+    }
+  }
+  // Capacity 2 with 12 distinct keys must have evicted, and only the
+  // counters may show it.
+  EXPECT_GT(evicting.parse_cache()->stats().evictions, 0u);
+  EXPECT_LE(evicting.parse_cache()->size(),
+            evicting.parse_cache()->capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParseCacheProps, ::testing::Range(1, 6));
+
+TEST(Property, DifferingParserOptionsNeverAliasCacheKeys) {
+  const auto tokens = nlp::tokenize("the checksum is zero");
+
+  // Every single-knob mutation of the default options must produce a
+  // distinct key for the same token sequence.
+  std::vector<ccg::ParserOptions> variants(7);
+  variants[1].enable_composition = false;
+  variants[2].enable_type_raising = false;
+  variants[3].enable_coordination = false;
+  variants[4].record_derivations = true;
+  variants[5].max_edges_per_cell = 95;
+  variants[6].max_tokens = 47;
+
+  std::vector<std::string> keys;
+  for (const auto& options : variants) {
+    keys.push_back(ccg::ParseCache::key_of(tokens, "field=", options));
+  }
+  for (std::size_t a = 0; a < keys.size(); ++a) {
+    for (std::size_t b = a + 1; b < keys.size(); ++b) {
+      EXPECT_NE(keys[a], keys[b]) << "variants " << a << " and " << b;
+    }
+  }
+
+  // Context and token changes must also change the key.
+  const ccg::ParserOptions defaults;
+  EXPECT_NE(ccg::ParseCache::key_of(tokens, "field=", defaults),
+            ccg::ParseCache::key_of(tokens, "field=checksum", defaults));
+  EXPECT_NE(ccg::ParseCache::key_of(nlp::tokenize("the checksum is one"),
+                                    "field=", defaults),
+            ccg::ParseCache::key_of(tokens, "field=", defaults));
 }
 
 // ---- failure injection: the inspector must survive anything ------------------------

@@ -1,7 +1,9 @@
 // Diagnostic driver: run the pipeline over a corpus and print per-sentence
 // status, counts, and codegen results. Used to iterate on corpus/lexicon.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include "core/batch.hpp"
 #include "core/sage.hpp"
 #include "corpus/rfc792.hpp"
 #include "corpus/rfc1112.hpp"
@@ -9,11 +11,23 @@
 #include "corpus/rfc5880.hpp"
 using namespace sage;
 
+// --jobs N routes the run through the parallel batch executor (N worker
+// threads); the default stays on the serial path. Output is identical
+// either way — that is the executor's determinism contract.
+std::size_t g_jobs = 0;
+
 void run(const char* name, const std::string& text, const std::string& proto,
          const std::vector<std::string>& annotations, bool verbose) {
   core::Sage s;
   s.annotate_non_actionable(annotations);
-  auto run = s.process(text, proto);
+  core::ProtocolRun run;
+  if (g_jobs > 0) {
+    core::BatchOptions options;
+    options.jobs = g_jobs;
+    run = s.run_protocol_parallel(text, proto, options);
+  } else {
+    run = s.process(text, proto);
+  }
   printf("=== %s ===\n", name);
   printf("sections=%zu instances=%zu\n", run.document.sections.size(), run.reports.size());
   printf("parsed=%zu zero=%zu ambiguous=%zu non-actionable=%zu functions=%zu\n",
@@ -48,8 +62,27 @@ void run(const char* name, const std::string& text, const std::string& proto,
 }
 
 int main(int argc, char** argv) {
-  bool verbose = argc > 2 && strcmp(argv[2], "-v") == 0;
-  std::string which = argc > 1 ? argv[1] : "icmp";
+  // usage: sage_debug [icmp|icmp-rev|igmp|ntp|bfd] [-v] [--jobs N]
+  bool verbose = false;
+  std::string which = "icmp";
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "-v") == 0) {
+      verbose = true;
+    } else if (strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "error: --jobs requires a value\n");
+        return 2;
+      }
+      char* end = nullptr;
+      g_jobs = static_cast<std::size_t>(strtoul(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0') {
+        fprintf(stderr, "error: --jobs expects a number, got '%s'\n", argv[i]);
+        return 2;
+      }
+    } else {
+      which = argv[i];
+    }
+  }
   if (which == "icmp")
     run("ICMP original", corpus::rfc792_original(), "ICMP", corpus::icmp_non_actionable_annotations(), verbose);
   else if (which == "icmp-rev")
@@ -62,6 +95,10 @@ int main(int argc, char** argv) {
     std::string text = "BFD State Management\n\n   Description\n\n";
     for (auto& s : corpus::bfd_state_sentences()) text += "      " + s + "\n";
     run("BFD", text, "BFD", {}, verbose);
+  } else {
+    fprintf(stderr, "error: unknown corpus '%s' (expected icmp|icmp-rev|igmp|ntp|bfd)\n",
+            which.c_str());
+    return 2;
   }
   return 0;
 }
