@@ -1,0 +1,238 @@
+// Cold-parse hot path (not a paper artifact).
+//
+// Measures raw single-thread CCG chart-parser throughput with every
+// cache disabled — the cost that dominates first-run RFC ingestion and
+// every parse-cache miss. The workload is the combined sentence set of
+// all five RFC corpora (ICMP, IGMP, NTP, BFD, TCP probe), tokenized and
+// chunked once up front so only CcgParser::parse is on the clock.
+//
+// Reported per configuration:
+//   * sentences/s and chart edges/s (cold, single thread);
+//   * heap allocations and peak live bytes per pass, via an
+//     instrumented global operator new/delete in this TU.
+//
+// Results are written to BENCH_parser_hotpath.json; EXPERIMENTS.md
+// records the pre-interning baseline for the speedup claim.
+#include <malloc.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ccg/parser.hpp"
+#include "core/sage.hpp"
+#include "corpus/rfc1059.hpp"
+#include "corpus/rfc1112.hpp"
+#include "corpus/rfc5880.hpp"
+#include "corpus/rfc792.hpp"
+#include "corpus/rfc793.hpp"
+#include "nlp/chunker.hpp"
+#include "nlp/tokenizer.hpp"
+#include "rfc/preprocessor.hpp"
+
+namespace {
+
+// ---- allocation instrumentation -------------------------------------------
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_live_bytes{0};
+std::atomic<std::uint64_t> g_peak_live{0};
+
+void note_alloc(void* p) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t size = malloc_usable_size(p);
+  const std::uint64_t live =
+      g_live_bytes.fetch_add(size, std::memory_order_relaxed) + size;
+  std::uint64_t peak = g_peak_live.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak_live.compare_exchange_weak(peak, live,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+void note_free(void* p) {
+  g_live_bytes.fetch_sub(malloc_usable_size(p), std::memory_order_relaxed);
+}
+
+struct AllocSnapshot {
+  std::uint64_t count;
+  std::uint64_t peak;
+};
+
+AllocSnapshot snapshot_and_reset_peak() {
+  AllocSnapshot snap{g_alloc_count.load(std::memory_order_relaxed),
+                     g_peak_live.load(std::memory_order_relaxed)};
+  g_peak_live.store(g_live_bytes.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  note_alloc(p);
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept {
+  if (p == nullptr) return;
+  note_free(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+using namespace sage;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string bfd_text() {
+  std::string text = "BFD State Management\n\n   Description\n\n";
+  for (const auto& s : corpus::bfd_state_sentences()) text += "      " + s + "\n";
+  return text;
+}
+
+std::string tcp_text() {
+  std::string text = "TCP State Management\n\n   Description\n\n";
+  for (const auto& s : corpus::tcp_probe_sentences()) {
+    text += "      " + s.text + "\n";
+  }
+  return text;
+}
+
+/// Every corpus sentence, tokenized+chunked exactly as the pipeline does.
+std::vector<std::vector<nlp::Token>> workload(const core::Sage& sage) {
+  const std::vector<std::pair<std::string, std::string>> corpora = {
+      {corpus::rfc792_original(), "ICMP"},
+      {corpus::rfc1112_appendix_i(), "IGMP"},
+      {corpus::rfc1059_appendices(), "NTP"},
+      {bfd_text(), "BFD"},
+      {tcp_text(), "TCP"},
+  };
+  const nlp::NounPhraseChunker chunker(&sage.dictionary());
+  std::vector<std::vector<nlp::Token>> out;
+  for (const auto& [text, protocol] : corpora) {
+    const auto doc = rfc::preprocess(text, protocol);
+    for (const auto& sentence : rfc::extract_sentences(doc, protocol)) {
+      out.push_back(chunker.chunk(nlp::tokenize(sentence.text)));
+    }
+  }
+  return out;
+}
+
+struct Measurement {
+  double ms_per_pass = 0;
+  double sentences_per_s = 0;
+  double edges_per_s = 0;
+  double allocs_per_pass = 0;
+  std::uint64_t peak_live_bytes = 0;
+  std::size_t forms = 0;  // total logical forms per pass (output sanity)
+};
+
+Measurement measure(const ccg::CcgParser& parser,
+                    const std::vector<std::vector<nlp::Token>>& sentences,
+                    int iterations) {
+  Measurement m;
+  // Warmup pass (interners/lexicon singletons populate outside the clock).
+  std::size_t edges = 0;
+  for (const auto& tokens : sentences) {
+    const auto result = parser.parse(tokens);
+    edges += result.chart_edges;
+    m.forms += result.forms.size();
+  }
+
+  const AllocSnapshot before = snapshot_and_reset_peak();
+  const double start = now_ms();
+  for (int i = 0; i < iterations; ++i) {
+    for (const auto& tokens : sentences) {
+      (void)parser.parse(tokens);
+    }
+  }
+  const double elapsed = now_ms() - start;
+  const AllocSnapshot after = snapshot_and_reset_peak();
+
+  m.ms_per_pass = elapsed / iterations;
+  m.sentences_per_s =
+      static_cast<double>(sentences.size()) / (m.ms_per_pass / 1000.0);
+  m.edges_per_s = static_cast<double>(edges) / (m.ms_per_pass / 1000.0);
+  m.allocs_per_pass =
+      static_cast<double>(after.count - before.count) / iterations;
+  m.peak_live_bytes = after.peak;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int iterations = 20;
+  if (argc > 1) iterations = std::atoi(argv[1]);
+  if (iterations <= 0) iterations = 1;
+
+  benchutil::title("Parser hot path",
+                   "cold-cache chart parsing, all five RFC corpora");
+
+  core::Sage sage;  // lexicon + dictionary source
+  const auto sentences = workload(sage);
+  std::size_t token_count = 0;
+  for (const auto& s : sentences) token_count += s.size();
+
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%zu sentences, %zu tokens, %d iterations",
+                sentences.size(), token_count, iterations);
+  benchutil::row("workload", buf);
+
+  const ccg::CcgParser parser(&sage.lexicon());
+  const Measurement prod = measure(parser, sentences, iterations);
+
+  benchutil::row("configuration",
+                 "ms/pass   sent/s      edges/s      allocs/pass");
+  benchutil::rule();
+  std::snprintf(buf, sizeof buf, "%8.2f   %8.0f   %10.0f   %10.0f",
+                prod.ms_per_pass, prod.sentences_per_s, prod.edges_per_s,
+                prod.allocs_per_pass);
+  benchutil::row("cold parse, single thread", buf);
+  std::snprintf(buf, sizeof buf, "%.1f MiB",
+                static_cast<double>(prod.peak_live_bytes) / (1024.0 * 1024.0));
+  benchutil::row("peak live heap during passes", buf);
+  std::snprintf(buf, sizeof buf, "%zu logical forms/pass", prod.forms);
+  benchutil::row("output sanity", buf);
+
+  FILE* json = std::fopen("BENCH_parser_hotpath.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    std::fprintf(json,
+                 "  \"workload\": \"ICMP+IGMP+NTP+BFD+TCP, %zu sentences, "
+                 "%zu tokens\",\n",
+                 sentences.size(), token_count);
+    std::fprintf(json, "  \"iterations\": %d,\n", iterations);
+    std::fprintf(json, "  \"cold_single_thread\": {\n");
+    std::fprintf(json, "    \"ms_per_pass\": %.3f,\n", prod.ms_per_pass);
+    std::fprintf(json, "    \"sentences_per_s\": %.0f,\n",
+                 prod.sentences_per_s);
+    std::fprintf(json, "    \"edges_per_s\": %.0f,\n", prod.edges_per_s);
+    std::fprintf(json, "    \"allocs_per_pass\": %.0f,\n",
+                 prod.allocs_per_pass);
+    std::fprintf(json, "    \"peak_live_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(prod.peak_live_bytes));
+    std::fprintf(json, "    \"forms_per_pass\": %zu\n", prod.forms);
+    std::fprintf(json, "  }\n");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    benchutil::row("written", "BENCH_parser_hotpath.json");
+  }
+  return 0;
+}

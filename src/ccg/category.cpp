@@ -1,24 +1,90 @@
 #include "ccg/category.hpp"
 
+#include "ccg/interner.hpp"
 #include "util/strings.hpp"
 
 namespace sage::ccg {
 
+namespace {
+
+/// Probe key for the category interner: scalars + child pointers. For
+/// the stored copy, `name` views the canonical node's own name_.
+struct CatKey {
+  Category::Slash slash;
+  std::string_view name;      // primitive only
+  const Category* result;     // complex only
+  const Category* arg;        // complex only
+  std::uint64_t hash;
+
+  bool operator==(const CatKey& o) const {
+    return slash == o.slash && name == o.name && result == o.result &&
+           arg == o.arg;
+  }
+};
+struct CatKeyHash {
+  std::size_t operator()(const CatKey& k) const {
+    return static_cast<std::size_t>(k.hash);
+  }
+};
+
+using CatTable = InternTable<Category, CatKey, CatKeyHash>;
+
+CatTable& cat_table() {
+  static CatTable* table = new CatTable();  // immortal by design
+  return *table;
+}
+
+CatKey key_of(const Category& c) {
+  CatKey key{c.slash(),
+             c.is_primitive() ? std::string_view(c.name()) : std::string_view(),
+             c.is_primitive() ? nullptr : c.result().get(),
+             c.is_primitive() ? nullptr : c.arg().get(), c.hash()};
+  return key;
+}
+
+}  // namespace
+
+std::size_t category_interner_size() { return cat_table().size(); }
+
 CategoryPtr Category::primitive(std::string name) {
-  auto c = std::shared_ptr<Category>(new Category());
-  c->name_ = std::move(name);
-  return c;
+  CatKey key{Slash::kNone, name, nullptr, nullptr, 0};
+  key.hash = hash_bytes(hash_mix(kHashSeed, 0x5ca7), key.name);
+  return cat_table().intern(
+      key,
+      [&](std::uint32_t id) {
+        auto c = std::shared_ptr<Category>(new Category());
+        c->name_ = std::move(name);
+        c->hash_ = key.hash;
+        c->id_ = id;
+        return c;
+      },
+      [](const Category& c) { return key_of(c); });
 }
 
 CategoryPtr Category::complex(CategoryPtr result, Slash slash, CategoryPtr arg) {
-  auto c = std::shared_ptr<Category>(new Category());
-  c->slash_ = slash;
-  c->result_ = std::move(result);
-  c->arg_ = std::move(arg);
-  return c;
+  CatKey key{slash, std::string_view(), result.get(), arg.get(), 0};
+  key.hash = hash_mix(
+      hash_mix(hash_mix(kHashSeed, static_cast<std::uint64_t>(slash)),
+               result->hash()),
+      arg->hash());
+  return cat_table().intern(
+      key,
+      [&](std::uint32_t id) {
+        auto c = std::shared_ptr<Category>(new Category());
+        c->slash_ = slash;
+        c->result_ = std::move(result);
+        c->arg_ = std::move(arg);
+        c->hash_ = key.hash;
+        c->id_ = id;
+        return c;
+      },
+      [](const Category& c) { return key_of(c); });
 }
 
 bool Category::equals(const Category& other) const {
+  // Interned: structural equality is pointer equality. The structural
+  // walk stays as a safety net for any copied-out-of-interner object.
+  if (this == &other) return true;
   if (slash_ != other.slash_) return false;
   if (is_primitive()) return name_ == other.name_;
   return result_->equals(*other.result_) && arg_->equals(*other.arg_);

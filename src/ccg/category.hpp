@@ -7,6 +7,7 @@
 // NP on the left, to form a sentence.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -17,15 +18,19 @@ namespace sage::ccg {
 class Category;
 using CategoryPtr = std::shared_ptr<const Category>;
 
-/// Immutable category tree. Cheap to copy (shared structure).
+/// Immutable, hash-consed category tree (see interner.hpp): the
+/// factories return canonical pointers, so structurally identical
+/// categories are the SAME object — equality is pointer equality, and
+/// every node carries a precomputed structural hash and a dense id the
+/// chart indexes key on.
 class Category {
  public:
   enum class Slash { kNone, kForward, kBackward };
 
-  /// Primitive category, e.g. "S".
+  /// Primitive category, e.g. "S". Interned.
   static CategoryPtr primitive(std::string name);
 
-  /// Complex category `result slash arg`.
+  /// Complex category `result slash arg`. Interned.
   static CategoryPtr complex(CategoryPtr result, Slash slash, CategoryPtr arg);
 
   bool is_primitive() const { return slash_ == Slash::kNone; }
@@ -33,6 +38,11 @@ class Category {
   Slash slash() const { return slash_; }
   const CategoryPtr& result() const { return result_; }
   const CategoryPtr& arg() const { return arg_; }
+
+  /// Precomputed structural hash (equal structures hash equal).
+  std::uint64_t hash() const { return hash_; }
+  /// Dense interner id; same structure <=> same id.
+  std::uint32_t id() const { return id_; }
 
   bool equals(const Category& other) const;
 
@@ -49,6 +59,8 @@ class Category {
   Slash slash_ = Slash::kNone;
   CategoryPtr result_;        // complex only
   CategoryPtr arg_;           // complex only
+  std::uint64_t hash_ = 0;    // structural hash, set by the interner
+  std::uint32_t id_ = 0;      // dense interner id
 };
 
 inline bool operator==(const Category& a, const Category& b) {

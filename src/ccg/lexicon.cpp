@@ -30,13 +30,31 @@ void Lexicon::add_entry(LexEntry entry) {
   ++total_;
 }
 
+namespace {
+
+/// Lexicon keys are stored lowercase. The chunker already hands the
+/// parser lowercased token text, so the overwhelmingly common lookup
+/// needs no case folding — detect that and probe with the borrowed
+/// string_view directly (the map's std::less<> comparator is
+/// transparent), allocating a lowered copy only when required.
+bool has_upper(std::string_view s) {
+  for (const unsigned char c : s) {
+    if (c >= 'A' && c <= 'Z') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 const std::vector<LexEntry>& Lexicon::lookup(std::string_view word) const {
   static const std::vector<LexEntry> kEmpty;
-  const auto it = entries_.find(util::to_lower(word));
+  const auto it =
+      has_upper(word) ? entries_.find(util::to_lower(word)) : entries_.find(word);
   return it == entries_.end() ? kEmpty : it->second;
 }
 
 bool Lexicon::contains(std::string_view word) const {
+  if (!has_upper(word)) return entries_.find(word) != entries_.end();
   return entries_.find(util::to_lower(word)) != entries_.end();
 }
 

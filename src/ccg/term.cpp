@@ -3,57 +3,127 @@
 #include <atomic>
 #include <cctype>
 #include <map>
+#include <unordered_map>
+
+#include "ccg/interner.hpp"
 
 namespace sage::ccg {
 
 namespace {
-std::atomic<int> g_var_counter{1000000};
+std::atomic<int> g_var_counter{kLexVarBase};
+
+/// Probe key for the term interner: scalars + child pointers. For the
+/// stored copy, `name` views the canonical node's own storage.
+struct TermKey {
+  Term::Kind kind;
+  int var;
+  long number;
+  std::string_view name;
+  const Term* a;
+  const Term* b;
+  std::uint64_t hash;
+
+  bool operator==(const TermKey& o) const {
+    return kind == o.kind && var == o.var && number == o.number &&
+           name == o.name && a == o.a && b == o.b;
+  }
+};
+struct TermKeyHash {
+  std::size_t operator()(const TermKey& k) const {
+    return static_cast<std::size_t>(k.hash);
+  }
+};
+
+using TermTable = InternTable<Term, TermKey, TermKeyHash>;
+
+TermTable& term_table() {
+  static TermTable* table = new TermTable();  // immortal by design
+  return *table;
 }
+
+std::uint64_t term_hash(const TermKey& k) {
+  std::uint64_t h = hash_mix(kHashSeed, static_cast<std::uint64_t>(k.kind));
+  h = hash_mix(h, static_cast<std::uint64_t>(k.var));
+  h = hash_mix(h, static_cast<std::uint64_t>(k.number));
+  h = hash_bytes(h, k.name);
+  h = hash_mix(h, k.a != nullptr ? k.a->hash : 0);
+  h = hash_mix(h, k.b != nullptr ? k.b->hash : 0);
+  return h;
+}
+
+TermKey key_of(const Term& t) {
+  TermKey key{t.kind, t.var, t.number, t.name, t.a.get(), t.b.get(), t.hash};
+  return key;
+}
+
+TermPtr intern_term(Term::Kind kind, int var, long number, std::string name,
+                    TermPtr a, TermPtr b) {
+  TermKey key{kind, var, number, name, a.get(), b.get(), 0};
+  key.hash = term_hash(key);
+  return term_table().intern(
+      key,
+      [&](std::uint32_t id) {
+        auto t = std::make_shared<Term>();
+        t->kind = kind;
+        t->var = var;
+        t->number = number;
+        t->name = std::move(name);
+        t->a = std::move(a);
+        t->b = std::move(b);
+        t->hash = key.hash;
+        t->id = id;
+        switch (kind) {
+          case Term::Kind::kVar:
+            t->var_bloom = 1ull << (static_cast<unsigned>(var) & 63u);
+            break;
+          case Term::Kind::kLam:
+            t->normal = t->a->normal;
+            t->var_bloom = t->a->var_bloom;
+            break;
+          case Term::Kind::kApp:
+            t->normal = t->a->normal && t->b->normal &&
+                        t->a->kind != Term::Kind::kLam;
+            t->var_bloom = t->a->var_bloom | t->b->var_bloom;
+            break;
+          default:
+            break;  // leaves: normal, no variables
+        }
+        return t;
+      },
+      [](const Term& t) { return key_of(t); });
+}
+
+}  // namespace
+
+std::size_t term_interner_size() { return term_table().size(); }
 
 int fresh_var() { return g_var_counter.fetch_add(1); }
 
 TermPtr mk_var(int id) {
-  auto t = std::make_shared<Term>();
-  t->kind = Term::Kind::kVar;
-  t->var = id;
-  return t;
+  return intern_term(Term::Kind::kVar, id, 0, {}, nullptr, nullptr);
 }
 
 TermPtr mk_lam(int var, TermPtr body) {
-  auto t = std::make_shared<Term>();
-  t->kind = Term::Kind::kLam;
-  t->var = var;
-  t->a = std::move(body);
-  return t;
+  return intern_term(Term::Kind::kLam, var, 0, {}, std::move(body), nullptr);
 }
 
 TermPtr mk_app(TermPtr fun, TermPtr arg) {
-  auto t = std::make_shared<Term>();
-  t->kind = Term::Kind::kApp;
-  t->a = std::move(fun);
-  t->b = std::move(arg);
-  return t;
+  return intern_term(Term::Kind::kApp, 0, 0, {}, std::move(fun),
+                     std::move(arg));
 }
 
 TermPtr mk_pred(std::string name) {
-  auto t = std::make_shared<Term>();
-  t->kind = Term::Kind::kPred;
-  t->name = std::move(name);
-  return t;
+  return intern_term(Term::Kind::kPred, 0, 0, std::move(name), nullptr,
+                     nullptr);
 }
 
 TermPtr mk_str(std::string value) {
-  auto t = std::make_shared<Term>();
-  t->kind = Term::Kind::kStr;
-  t->name = std::move(value);
-  return t;
+  return intern_term(Term::Kind::kStr, 0, 0, std::move(value), nullptr,
+                     nullptr);
 }
 
 TermPtr mk_num(long value) {
-  auto t = std::make_shared<Term>();
-  t->kind = Term::Kind::kNum;
-  t->number = value;
-  return t;
+  return intern_term(Term::Kind::kNum, 0, value, {}, nullptr, nullptr);
 }
 
 TermPtr mk_pred_app(std::string name, std::vector<TermPtr> args) {
@@ -65,15 +135,22 @@ TermPtr mk_pred_app(std::string name, std::vector<TermPtr> args) {
 namespace {
 
 /// Substitute `value` for free occurrences of `var` in `term`.
-/// Lexicon terms are closed, and combinators only ever substitute terms
-/// whose free variables are freshly generated, so variable capture cannot
-/// occur (every binder uses a globally unique id).
+/// No alpha-renaming: lexicon terms are closed, combinator wrappers use
+/// ids fresh within the parse, and the one reused binder id
+/// (kTypeRaiseVar) is only ever bound over its own head occurrence —
+/// so the shadowing check below is exact and capture cannot occur
+/// (docs/PARSER_INTERNALS.md spells out the argument).
 TermPtr substitute(const TermPtr& term, int var, const TermPtr& value) {
+  // Bloom miss proves `var` does not occur anywhere below: no walk.
+  if ((term->var_bloom & (1ull << (static_cast<unsigned>(var) & 63u))) == 0) {
+    return term;
+  }
   switch (term->kind) {
     case Term::Kind::kVar:
       return term->var == var ? value : term;
     case Term::Kind::kLam: {
-      if (term->var == var) return term;  // shadowed (cannot happen w/ fresh ids)
+      if (term->var == var) return term;  // shadowed
+
       TermPtr body = substitute(term->a, var, value);
       return body == term->a ? term : mk_lam(term->var, std::move(body));
     }
@@ -90,6 +167,7 @@ TermPtr substitute(const TermPtr& term, int var, const TermPtr& value) {
 
 /// One normal-order reduction step; nullptr when already in normal form.
 TermPtr step(const TermPtr& term) {
+  if (term->normal) return nullptr;  // memoized: no redex below
   switch (term->kind) {
     case Term::Kind::kApp: {
       if (term->a->kind == Term::Kind::kLam) {
@@ -110,57 +188,145 @@ TermPtr step(const TermPtr& term) {
 
 }  // namespace
 
-TermPtr beta_reduce(const TermPtr& term, int max_steps) {
+namespace {
+
+/// Memo of successful normalizations ("computed table"): input term id
+/// -> (normal form, steps it took). Sound because terms are canonical
+/// and beta_reduce is a pure function of its input; shared process-wide
+/// so repeated combinations across sentences and batch passes reduce
+/// once. Striped like the interner. Entries are only reused when the
+/// caller's step budget covers the recorded cost, so a generous cache
+/// can never turn a capped failure into a success.
+struct BetaMemoShard {
+  std::mutex mutex;
+  std::unordered_map<std::uint32_t, std::pair<TermPtr, std::uint32_t>> map;
+};
+
+std::array<BetaMemoShard, 16>& beta_memo() {
+  static auto* shards = new std::array<BetaMemoShard, 16>();  // immortal
+  return *shards;
+}
+
+/// Same idea keyed on (fun id, arg id) pairs for reduce_app().
+struct AppMemoShard {
+  std::mutex mutex;
+  std::unordered_map<std::uint64_t, std::pair<TermPtr, std::uint32_t>> map;
+};
+
+std::array<AppMemoShard, 16>& app_memo() {
+  static auto* shards = new std::array<AppMemoShard, 16>();  // immortal
+  return *shards;
+}
+
+}  // namespace
+
+TermPtr beta_reduce(const TermPtr& term, int max_steps,
+                    std::size_t* steps_out) {
+  if (term->normal) return term;
+  BetaMemoShard& shard = beta_memo()[term->id & 15u];
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.map.find(term->id);
+    if (it != shard.map.end() &&
+        it->second.second <= static_cast<std::uint32_t>(max_steps)) {
+      if (steps_out != nullptr) *steps_out += it->second.second;
+      return it->second.first;
+    }
+  }
   TermPtr current = term;
   for (int i = 0; i < max_steps; ++i) {
     TermPtr next = step(current);
-    if (!next) return current;
+    if (!next) {
+      std::lock_guard lock(shard.mutex);
+      shard.map.emplace(term->id,
+                        std::make_pair(current, static_cast<std::uint32_t>(i)));
+      if (steps_out != nullptr) *steps_out += static_cast<std::size_t>(i);
+      return current;
+    }
     current = std::move(next);
   }
   return nullptr;  // did not normalize within the cap
 }
 
-std::string term_to_string(const TermPtr& term) {
-  if (!term) return "<null>";
+TermPtr reduce_app(const TermPtr& fun, const TermPtr& arg, int max_steps,
+                   std::size_t* steps_out) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(fun->id) << 32) | arg->id;
+  AppMemoShard& shard = app_memo()[key & 15u];
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end() &&
+        it->second.second <= static_cast<std::uint32_t>(max_steps)) {
+      if (steps_out != nullptr) *steps_out += it->second.second;
+      return it->second.first;
+    }
+  }
+  std::size_t steps = 0;
+  TermPtr reduced = beta_reduce(mk_app(fun, arg), max_steps, &steps);
+  if (steps_out != nullptr) *steps_out += steps;
+  if (reduced != nullptr) {
+    std::lock_guard lock(shard.mutex);
+    shard.map.emplace(key, std::make_pair(reduced,
+                                          static_cast<std::uint32_t>(steps)));
+  }
+  return reduced;
+}
+
+namespace {
+
+/// Append the rendering of `term` to `out` without allocating temporary
+/// Term copies (renders must stay byte-identical to the historical
+/// recursive formatter — golden corpora depend on these strings).
+void append_term(const Term* term, std::string& out) {
   switch (term->kind) {
     case Term::Kind::kVar:
-      return "x" + std::to_string(term->var);
+      out += 'x';
+      out += std::to_string(term->var);
+      return;
     case Term::Kind::kLam:
-      return "\\x" + std::to_string(term->var) + "." + term_to_string(term->a);
+      out += "\\x";
+      out += std::to_string(term->var);
+      out += '.';
+      append_term(term->a.get(), out);
+      return;
     case Term::Kind::kApp: {
       // Collect the application spine for @Pred(a, b) style printing.
       std::vector<const Term*> args;
-      const Term* head = term.get();
+      const Term* head = term;
       while (head->kind == Term::Kind::kApp) {
         args.push_back(head->b.get());
         head = head->a.get();
       }
-      std::string out;
       if (head->kind == Term::Kind::kPred) {
-        out = head->name;
+        out += head->name;
       } else {
-        out = term_to_string(std::make_shared<Term>(*head));
+        append_term(head, out);
       }
-      out += "(";
+      out += '(';
       for (std::size_t i = args.size(); i-- > 0;) {
-        out += term_to_string(std::make_shared<Term>(*args[i]));
+        append_term(args[i], out);
         if (i != 0) out += ", ";
       }
-      out += ")";
-      return out;
+      out += ')';
+      return;
     }
     case Term::Kind::kPred:
-      return term->name;
+      out += term->name;
+      return;
     case Term::Kind::kStr:
-      return "\"" + term->name + "\"";
+      out += '"';
+      out += term->name;
+      out += '"';
+      return;
     case Term::Kind::kNum:
-      return std::to_string(term->number);
+      out += std::to_string(term->number);
+      return;
   }
-  return "?";
+  out += '?';
 }
 
-std::optional<lf::LogicalForm> term_to_logical_form(const TermPtr& term) {
-  if (!term) return std::nullopt;
+std::optional<lf::LfNode> term_to_lf_node(const Term* term) {
   switch (term->kind) {
     case Term::Kind::kStr:
       return lf::LfNode::str(term->name);
@@ -170,7 +336,7 @@ std::optional<lf::LogicalForm> term_to_logical_form(const TermPtr& term) {
       return lf::LfNode::predicate(term->name);
     case Term::Kind::kApp: {
       std::vector<const Term*> spine;
-      const Term* head = term.get();
+      const Term* head = term;
       while (head->kind == Term::Kind::kApp) {
         spine.push_back(head->b.get());
         head = head->a.get();
@@ -179,7 +345,7 @@ std::optional<lf::LogicalForm> term_to_logical_form(const TermPtr& term) {
       std::vector<lf::LfNode> args;
       args.reserve(spine.size());
       for (std::size_t i = spine.size(); i-- > 0;) {
-        auto arg = term_to_logical_form(std::make_shared<Term>(*spine[i]));
+        auto arg = term_to_lf_node(spine[i]);
         if (!arg) return std::nullopt;
         args.push_back(std::move(*arg));
       }
@@ -190,6 +356,20 @@ std::optional<lf::LogicalForm> term_to_logical_form(const TermPtr& term) {
       return std::nullopt;  // not a ground logical form
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::string term_to_string(const TermPtr& term) {
+  if (!term) return "<null>";
+  std::string out;
+  append_term(term.get(), out);
+  return out;
+}
+
+std::optional<lf::LogicalForm> term_to_logical_form(const TermPtr& term) {
+  if (!term) return std::nullopt;
+  return term_to_lf_node(term.get());
 }
 
 namespace {

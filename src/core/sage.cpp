@@ -1,7 +1,6 @@
 #include "core/sage.hpp"
 
 #include <algorithm>
-#include <functional>
 
 #include "corpus/lexicon_data.hpp"
 #include "corpus/terms.hpp"
@@ -180,11 +179,18 @@ ccg::CachedParse Sage::parse_with_context(
         // field: readings that instead test the field in the condition
         // contradict the document structure and are dropped.
         const std::string field_lower = util::to_lower(field);
-        const std::function<bool(const lf::LfNode&)> mentions =
-            [&](const lf::LfNode& n) {
-              if (n.is_string() && n.label == field_lower) return true;
-              return std::any_of(n.args.begin(), n.args.end(), mentions);
-            };
+        // Explicit-stack search (forms can nest deeply; recursion via
+        // std::function also allocates per level).
+        const auto mentions = [&field_lower](const lf::LfNode& root) {
+          std::vector<const lf::LfNode*> stack = {&root};
+          while (!stack.empty()) {
+            const lf::LfNode* n = stack.back();
+            stack.pop_back();
+            if (n->is_string() && n->label == field_lower) return true;
+            for (const auto& a : n->args) stack.push_back(&a);
+          }
+          return false;
+        };
         std::vector<lf::LogicalForm> filtered;
         for (auto& form : retry.forms) {
           if (form.is_predicate(lf::pred::kIf) && form.args.size() == 2 &&

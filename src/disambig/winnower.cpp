@@ -130,12 +130,18 @@ std::vector<LfNode> Winnower::apply_distributivity(
   // among forms sharing an undistributed normal form, keep the least
   // distributed one (fewest conjunction nodes); drop the others.
   const auto conj_count = [](const LfNode& root) {
+    // Explicit-stack walk: logical forms can get deep, and this runs
+    // per candidate pair — no allocation-per-level std::function.
     std::size_t n = 0;
-    const std::function<void(const LfNode&)> walk = [&](const LfNode& m) {
-      if (m.is_predicate(lf::pred::kAnd) || m.is_predicate(lf::pred::kOr)) ++n;
-      for (const auto& a : m.args) walk(a);
-    };
-    walk(root);
+    std::vector<const LfNode*> stack = {&root};
+    while (!stack.empty()) {
+      const LfNode* m = stack.back();
+      stack.pop_back();
+      if (m->is_predicate(lf::pred::kAnd) || m->is_predicate(lf::pred::kOr)) {
+        ++n;
+      }
+      for (const auto& a : m->args) stack.push_back(&a);
+    }
     return n;
   };
 

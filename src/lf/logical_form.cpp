@@ -31,24 +31,43 @@ std::size_t LfNode::depth() const {
   return d + 1;
 }
 
-std::string LfNode::to_string() const {
-  switch (kind) {
-    case Kind::kNumber:
-      return "@Num(" + std::to_string(number) + ")";
-    case Kind::kString: {
-      return "\"" + label + "\"";
-    }
-    case Kind::kPredicate: {
-      std::string out = label + "(";
-      for (std::size_t i = 0; i < args.size(); ++i) {
+namespace {
+
+/// Append-style renderer: one output buffer for the whole tree instead
+/// of a temporary string per node (to_string is on the pipeline's
+/// dedup paths, where forms are rendered per candidate).
+void append_node(const LfNode& node, std::string& out) {
+  switch (node.kind) {
+    case LfNode::Kind::kNumber:
+      out += "@Num(";
+      out += std::to_string(node.number);
+      out += ')';
+      return;
+    case LfNode::Kind::kString:
+      out += '"';
+      out += node.label;
+      out += '"';
+      return;
+    case LfNode::Kind::kPredicate:
+      out += node.label;
+      out += '(';
+      for (std::size_t i = 0; i < node.args.size(); ++i) {
         if (i != 0) out += ", ";
-        out += args[i].to_string();
+        append_node(node.args[i], out);
       }
-      out += ")";
-      return out;
-    }
+      out += ')';
+      return;
   }
-  return "?";
+  out += '?';
+}
+
+}  // namespace
+
+std::string LfNode::to_string() const {
+  std::string out;
+  out.reserve(32);
+  append_node(*this, out);
+  return out;
 }
 
 namespace {

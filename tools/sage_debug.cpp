@@ -3,18 +3,58 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include "ccg/interner.hpp"
+#include "ccg/parser.hpp"
 #include "core/batch.hpp"
 #include "core/sage.hpp"
 #include "corpus/rfc792.hpp"
 #include "corpus/rfc1112.hpp"
 #include "corpus/rfc1059.hpp"
 #include "corpus/rfc5880.hpp"
+#include "nlp/chunker.hpp"
+#include "nlp/tokenizer.hpp"
+#include "rfc/preprocessor.hpp"
 using namespace sage;
 
 // --jobs N routes the run through the parallel batch executor (N worker
 // threads); the default stays on the serial path. Output is identical
 // either way — that is the executor's determinism contract.
 std::size_t g_jobs = 0;
+
+// --parse-stats re-parses the corpus cold (no cache) and dumps the
+// chart-parser instrumentation: per-stage counters from
+// ccg::ParseStats plus the process-wide interner sizes.
+bool g_parse_stats = false;
+
+void dump_parse_stats(const std::string& text, const std::string& proto,
+                      const core::Sage& s) {
+  const rfc::RfcDocument doc = rfc::preprocess(text, proto);
+  const auto sentences = rfc::extract_sentences(doc, proto);
+  const nlp::NounPhraseChunker chunker(&s.dictionary());
+  const ccg::CcgParser parser(&s.lexicon(), {});
+  ccg::ParseStats total;
+  std::size_t parses = 0;
+  for (const auto& sentence : sentences) {
+    const auto tokens = chunker.chunk(nlp::tokenize(sentence.text));
+    const ccg::ParseResult r = parser.parse(tokens);
+    total.edges_created += r.stats.edges_created;
+    total.dedup_hits += r.stats.dedup_hits;
+    total.cap_drops += r.stats.cap_drops;
+    total.index_probes += r.stats.index_probes;
+    total.beta_reductions += r.stats.beta_reductions;
+    total.beta_steps += r.stats.beta_steps;
+    ++parses;
+  }
+  printf("--- parse stats (%zu cold parses) ---\n", parses);
+  printf("edges created   : %zu\n", total.edges_created);
+  printf("dedup hits      : %zu\n", total.dedup_hits);
+  printf("cap drops       : %zu\n", total.cap_drops);
+  printf("index probes    : %zu\n", total.index_probes);
+  printf("beta reductions : %zu\n", total.beta_reductions);
+  printf("beta steps      : %zu\n", total.beta_steps);
+  printf("interned categories : %zu\n", ccg::category_interner_size());
+  printf("interned terms      : %zu\n", ccg::term_interner_size());
+}
 
 void run(const char* name, const std::string& text, const std::string& proto,
          const std::vector<std::string>& annotations, bool verbose) {
@@ -59,15 +99,19 @@ void run(const char* name, const std::string& text, const std::string& proto,
   if (verbose) {
     for (auto& f : run.functions) printf("---- %s\n%s\n", f.name.c_str(), f.c_source.c_str());
   }
+  if (g_parse_stats) dump_parse_stats(text, proto, s);
 }
 
 int main(int argc, char** argv) {
   // usage: sage_debug [icmp|icmp-rev|igmp|ntp|bfd] [-v] [--jobs N]
+  //                   [--parse-stats]
   bool verbose = false;
   std::string which = "icmp";
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "-v") == 0) {
       verbose = true;
+    } else if (strcmp(argv[i], "--parse-stats") == 0) {
+      g_parse_stats = true;
     } else if (strcmp(argv[i], "--jobs") == 0) {
       if (i + 1 >= argc) {
         fprintf(stderr, "error: --jobs requires a value\n");
