@@ -10,7 +10,7 @@
 #include "net/bfd.hpp"
 #include "rfc/preprocessor.hpp"
 #include "rfc/struct_gen.hpp"
-#include "runtime/bfd_env.hpp"
+#include "runtime/schema_env.hpp"
 #include "runtime/interpreter.hpp"
 
 namespace {
@@ -21,7 +21,7 @@ using namespace sage;
 void receive(const runtime::Interpreter& interp,
              const codegen::GeneratedFunction& fn, net::BfdSessionState* state,
              const net::BfdControlPacket& packet) {
-  runtime::BfdExecEnv env(state, &packet);
+  auto env = runtime::SchemaExecEnv::bfd(state, &packet);
   interp.run(fn.body, env);
 }
 

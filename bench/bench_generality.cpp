@@ -10,9 +10,8 @@
 #include "corpus/rfc1059.hpp"
 #include "corpus/rfc1112.hpp"
 #include "net/igmp.hpp"
-#include "runtime/igmp_env.hpp"
 #include "runtime/interpreter.hpp"
-#include "runtime/ntp_env.hpp"
+#include "runtime/schema_env.hpp"
 #include "sim/inspector.hpp"
 
 namespace {
@@ -68,7 +67,7 @@ int main() {
     // Run the generated sender for the query scenario and hand the packet
     // to the switch model.
     const runtime::Interpreter interp;
-    runtime::IgmpExecEnv env(net::IpAddr(10, 0, 1, 100),
+    auto env = runtime::SchemaExecEnv::igmp(net::IpAddr(10, 0, 1, 100),
                              net::IpAddr(224, 1, 2, 3));
     env.set_scenario("host membership query message");
     bool ran = false;
@@ -101,7 +100,8 @@ int main() {
                 run.functions.size());
 
     const runtime::Interpreter interp;
-    runtime::NtpExecEnv env(net::IpAddr(10, 0, 1, 100), 0x83aa7e80);
+    auto env = runtime::SchemaExecEnv::ntp(net::IpAddr(10, 0, 1, 100),
+                                           0x83aa7e80);
     for (const auto& fn : run.functions) interp.run(fn.body, env);
 
     // Table 11's sentence drives the timeout call.

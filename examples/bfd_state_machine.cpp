@@ -6,7 +6,7 @@
 #include "core/sage.hpp"
 #include "corpus/rfc5880.hpp"
 #include "net/bfd.hpp"
-#include "runtime/bfd_env.hpp"
+#include "runtime/schema_env.hpp"
 #include "runtime/interpreter.hpp"
 
 namespace {
@@ -48,7 +48,7 @@ int main() {
 
   const auto deliver = [&](const Endpoint& from, Endpoint& to) {
     const auto packet = make_packet(from, to);
-    runtime::BfdExecEnv env(&to.state, &packet);
+    auto env = runtime::SchemaExecEnv::bfd(&to.state, &packet);
     interp.run(fn.body, env);
     std::printf("%s --%s--> %s   | %s is now %s (remote %s, remote discr %u)\n",
                 from.name, net::bfd_state_name(packet.state).c_str(), to.name,

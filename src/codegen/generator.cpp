@@ -1,10 +1,95 @@
 #include "codegen/generator.hpp"
 
+#include <algorithm>
+#include <atomic>
+
+#include "net/schema.hpp"
 #include "util/strings.hpp"
+#include "util/symbols.hpp"
 
 namespace sage::codegen {
 
 namespace {
+
+std::atomic<std::size_t> g_schema_resolved{0};
+std::atomic<std::size_t> g_schema_unresolved{0};
+
+/// Post-pass over a generated statement tree: annotate every FieldRef
+/// with its dense registry id (generation-time schema resolution) and
+/// precompute symbol values for kName expressions against the
+/// protocol's symbol table. Unresolvable field names are collected as
+/// diagnostics; they fall back to the interpreter's string path.
+class SchemaAnnotator {
+ public:
+  SchemaAnnotator(const net::schema::ProtocolSchema* schema,
+                  std::vector<std::string>* unresolved)
+      : schema_(schema), unresolved_(unresolved) {}
+
+  void annotate(Stmt& stmt) {
+    if (stmt.kind == Stmt::Kind::kAssign) {
+      note(stmt.target);
+      annotate(stmt.value);
+    }
+    for (auto& a : stmt.args) annotate(a);
+    if (stmt.kind == Stmt::Kind::kIf) annotate(stmt.cond);
+    for (auto& child : stmt.body) annotate(child);
+  }
+
+ private:
+  void note(FieldRef& ref) {
+    if (!ref.valid()) return;
+    if (ref.field_id < 0) {
+      const auto* spec =
+          net::schema::SchemaRegistry::instance().field(ref.layer, ref.field);
+      if (spec != nullptr) ref.field_id = spec->id;
+    }
+    if (ref.field_id >= 0) {
+      g_schema_resolved.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    g_schema_unresolved.fetch_add(1, std::memory_order_relaxed);
+    const std::string name = ref.to_string();
+    if (std::find(unresolved_->begin(), unresolved_->end(), name) ==
+        unresolved_->end()) {
+      unresolved_->push_back(name);
+    }
+  }
+
+  void annotate(Expr& expr) {
+    if (expr.kind == Expr::Kind::kField) note(expr.field);
+    if (expr.kind == Expr::Kind::kName) cache_symbol(expr);
+    for (auto& a : expr.args) annotate(a);
+  }
+
+  /// Mirror of SchemaExecEnv::resolve_symbol, minus the per-run
+  /// "scenario" alias (which must stay a runtime lookup).
+  void cache_symbol(Expr& expr) {
+    const std::string lower = util::to_lower(expr.name);
+    if (lower == "scenario") return;
+    if (schema_ != nullptr) {
+      for (const auto& sym : schema_->symbols) {
+        if (sym.name == lower) {
+          expr.symbol_cached = true;
+          expr.symbol_cache = sym.value;
+          return;
+        }
+      }
+    }
+    expr.symbol_cached = true;
+    expr.symbol_cache = util::symbol_value(expr.name);
+  }
+
+  void annotate(Cond& cond) {
+    if (cond.kind == Cond::Kind::kCompare) {
+      annotate(cond.lhs);
+      annotate(cond.rhs);
+    }
+    for (auto& child : cond.children) annotate(child);
+  }
+
+  const net::schema::ProtocolSchema* schema_;
+  std::vector<std::string>* unresolved_;
+};
 
 /// Does this statement (tree) contain a checksum computation call?
 bool contains_checksum_call(const Stmt& stmt) {
@@ -19,6 +104,16 @@ bool contains_checksum_call(const Stmt& stmt) {
 }
 
 }  // namespace
+
+SchemaResolutionStats schema_resolution_stats() {
+  return {g_schema_resolved.load(std::memory_order_relaxed),
+          g_schema_unresolved.load(std::memory_order_relaxed)};
+}
+
+void reset_schema_resolution_stats() {
+  g_schema_resolved.store(0, std::memory_order_relaxed);
+  g_schema_unresolved.store(0, std::memory_order_relaxed);
+}
 
 std::string CodeGenerator::function_name(const std::string& protocol,
                                          const std::string& message,
@@ -102,6 +197,15 @@ GenerationOutcome CodeGenerator::generate(
   fn.message = message;
   fn.role = role;
   fn.body = Stmt::seq(std::move(body));
+
+  // Schema resolution (see SchemaAnnotator): runs before emission, but
+  // neither field ids nor symbol caches are rendered into the C text, so
+  // goldens are unaffected.
+  SchemaAnnotator annotator(
+      net::schema::SchemaRegistry::instance().protocol(protocol),
+      &outcome.unresolved_fields);
+  annotator.annotate(fn.body);
+
   fn.c_source = emit_function(fn);
   outcome.function = std::move(fn);
   return outcome;

@@ -18,10 +18,18 @@ namespace sage::codegen {
 struct FieldRef {
   std::string layer;
   std::string field;
+  /// Dense id in the packet-schema registry (net/schema.hpp), attached at
+  /// generation time; -1 when the name is not a registered field. Runtime
+  /// environments dispatch on this id instead of comparing strings.
+  int field_id = -1;
 
   bool valid() const { return !layer.empty() && !field.empty(); }
   std::string to_string() const { return layer + "." + field; }
-  bool operator==(const FieldRef&) const = default;
+  /// Identity is the name, not the annotation: two refs to the same
+  /// layer.field compare equal whether or not ids have been attached.
+  bool operator==(const FieldRef& o) const {
+    return layer == o.layer && field == o.field;
+  }
 };
 
 /// Which packet a field read refers to: the incoming (triggering) packet
@@ -38,6 +46,11 @@ struct Expr {
   PacketSel packet = PacketSel::kIncoming;  // kField
   std::string name;          // kCall: function; kName: symbolic value
   std::vector<Expr> args;    // kCall
+  /// kName only: the symbol's value precomputed at generation time
+  /// against the protocol schema (never set for "scenario", whose value
+  /// is per-run). The interpreter skips resolve_symbol when set.
+  bool symbol_cached = false;
+  long symbol_cache = 0;
 
   static Expr constant(long v) {
     Expr e;

@@ -1,5 +1,6 @@
 #include "eval/interop_harness.hpp"
 
+#include "sim/inspector.hpp"
 #include "sim/network.hpp"
 
 namespace sage::eval {
@@ -9,6 +10,12 @@ sim::PingResult ping_against(sim::IcmpResponder* responder) {
   net.router()->set_responder(responder);
   sim::PingClient ping;
   return ping.ping(net, "client", net::IpAddr(10, 0, 1, 1));
+}
+
+std::vector<std::string> decode_reply(sim::IcmpResponder* responder) {
+  const auto result = ping_against(responder);
+  if (result.reply.empty()) return {};
+  return sim::PacketInspector().decode(result.reply);
 }
 
 CohortReport run_student_experiment(const std::vector<Student>& cohort) {

@@ -44,4 +44,11 @@ CohortReport run_student_experiment(const std::vector<Student>& cohort);
 /// Table 3 bench and the under-specification demonstration).
 sim::PingResult ping_against(sim::IcmpResponder* responder);
 
+/// Schema-driven decode of a responder's reply: ping it, then render the
+/// reply's fields as "layer.field = value" lines through the packet-
+/// schema registry (net/schema.hpp). Empty when no reply arrived. Lets
+/// interop failures be diagnosed field-by-field against the same table
+/// the generated code executed.
+std::vector<std::string> decode_reply(sim::IcmpResponder* responder);
+
 }  // namespace sage::eval

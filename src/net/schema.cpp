@@ -1,0 +1,504 @@
+#include "net/schema.hpp"
+
+#include "util/bytes.hpp"
+
+namespace sage::net::schema {
+
+namespace {
+
+/// Field builder shorthand for the catalog below.
+FieldSpec scalar(std::string name, std::uint32_t bit_offset,
+                 std::uint32_t bit_width, bool readable = true,
+                 bool writable = true) {
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kScalar;
+  f.bit_offset = bit_offset;
+  f.bit_width = bit_width;
+  f.readable = readable;
+  f.writable = writable;
+  return f;
+}
+
+FieldSpec state(std::string name, bool writable = true) {
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kState;
+  f.writable = writable;
+  return f;
+}
+
+FieldSpec payload_scalar(std::string name, std::uint32_t byte_offset) {
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kPayloadScalar;
+  f.payload_offset = byte_offset;
+  return f;
+}
+
+FieldSpec bytes(std::string name) {
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kBytes;
+  return f;
+}
+
+FieldSpec token(std::string name) {
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kToken;
+  f.writable = false;
+  return f;
+}
+
+FieldSpec virt(std::string name, bool writable = false,
+               bool write_is_noop = false) {
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kVirtual;
+  f.readable = false;
+  f.writable = writable;
+  f.write_is_noop = write_is_noop;
+  return f;
+}
+
+}  // namespace
+
+std::string field_kind_name(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kScalar: return "scalar";
+    case FieldKind::kPayloadScalar: return "payload";
+    case FieldKind::kBytes: return "bytes";
+    case FieldKind::kState: return "state";
+    case FieldKind::kToken: return "token";
+    case FieldKind::kVirtual: return "virtual";
+  }
+  return "?";
+}
+
+SchemaRegistry::SchemaRegistry() {
+  // ---- ip (RFC 791, 20-byte base header) ---------------------------------
+  {
+    LayerSpec ip;
+    ip.name = "ip";
+    ip.header_bytes = 20;
+    ip.fields = {
+        scalar("version", 0, 4, true, false),
+        scalar("ihl", 4, 4, true, false),
+        scalar("tos", 8, 8),
+        scalar("total_length", 16, 16, true, false),
+        scalar("identification", 32, 16, true, false),
+        scalar("flags", 48, 3, true, false),
+        scalar("fragment_offset", 51, 13, true, false),
+        scalar("ttl", 64, 8),
+        scalar("protocol", 72, 8, true, false),
+        scalar("checksum", 80, 16, true, false),
+        scalar("src", 96, 32),
+        scalar("dst", 128, 32),
+        // Codegen-only phrases: "source and destination addresses",
+        // "internet header". Runtime access goes through effects
+        // (reverse_addresses) and byte functions, never these refs.
+        virt("addresses"),
+        virt("header"),
+    };
+    add_layer(std::move(ip));
+  }
+
+  // ---- icmp (RFC 792, 8-byte header + payload) ---------------------------
+  {
+    LayerSpec icmp;
+    icmp.name = "icmp";
+    icmp.header_bytes = 8;
+    icmp.has_payload = true;
+    icmp.payload_patterns = {"internet_header", "datagram"};
+    icmp.fields = {
+        scalar("type", 0, 8),
+        scalar("code", 8, 8),
+        scalar("checksum", 16, 16),
+        scalar("identifier", 32, 16),
+        scalar("sequence_number", 48, 16),
+        scalar("gateway_internet_address", 32, 32),
+        // RFC 792 pointer: writes fill the whole rest-word (value << 24),
+        // zeroing the unused octets — the ICMP hook handles the write.
+        scalar("pointer", 32, 8),
+        payload_scalar("originate_timestamp", 0),
+        payload_scalar("receive_timestamp", 4),
+        payload_scalar("transmit_timestamp", 8),
+        // "unused" is explicitly writable prose ("unused ... set to zero")
+        // but has no storage: writes are accepted and discarded, reads
+        // are an error, exactly as the RFC field deserves.
+        virt("unused", /*writable=*/true, /*write_is_noop=*/true),
+        token("message"),
+        bytes("data"),
+    };
+    add_layer(std::move(icmp));
+  }
+
+  // ---- igmp (RFC 1112 Appendix I, 8 bytes) -------------------------------
+  {
+    LayerSpec igmp;
+    igmp.name = "igmp";
+    igmp.header_bytes = 8;
+    igmp.fields = {
+        scalar("version", 0, 4),
+        scalar("type", 4, 4),
+        scalar("unused", 8, 8),
+        scalar("checksum", 16, 16),
+        scalar("group_address", 32, 32),
+        // The framework's "which group am I joining" service.
+        state("host_group_address", /*writable=*/false),
+        token("message"),
+    };
+    add_layer(std::move(igmp));
+  }
+
+  // ---- udp (RFC 768, 8 bytes) --------------------------------------------
+  {
+    LayerSpec udp;
+    udp.name = "udp";
+    udp.header_bytes = 8;
+    udp.fields = {
+        scalar("src_port", 0, 16),
+        scalar("dst_port", 16, 16),
+        scalar("length", 32, 16, true, false),
+        // "filled at serialization": writes accepted, value discarded.
+        scalar("checksum", 48, 16, /*readable=*/false, /*writable=*/true),
+    };
+    udp.fields.back().write_is_noop = true;
+    add_layer(std::move(udp));
+  }
+
+  // ---- ntp (RFC 1059 Appendix B, 48 bytes) -------------------------------
+  {
+    LayerSpec n;
+    n.name = "ntp";
+    n.header_bytes = 48;
+    n.fields = {
+        scalar("leap_indicator", 0, 2),
+        scalar("version", 2, 3),
+        scalar("mode", 5, 3),
+        scalar("stratum", 8, 8),
+        scalar("poll", 16, 8),
+        scalar("precision", 24, 8),
+        scalar("root_delay", 32, 32, false, false),
+        scalar("root_dispersion", 64, 32, false, false),
+        scalar("reference_clock_id", 96, 32, false, false),
+        // The 64-bit timestamps' seconds words. Declared for codegen and
+        // decode; only the transmit timestamp is runtime-accessible (the
+        // generated timeout sender touches nothing else).
+        scalar("reference_timestamp", 128, 32, false, false),
+        scalar("originate_timestamp", 192, 32, false, false),
+        scalar("receive_timestamp", 256, 32, false, false),
+        scalar("transmit_timestamp", 320, 32),
+        state("peer_timer", /*writable=*/false),
+        token("message"),
+    };
+    n.fields[4].is_signed = true;  // poll
+    n.fields[5].is_signed = true;  // precision
+    add_layer(std::move(n));
+  }
+
+  // ---- bfd (RFC 5880: §4.1 wire format + §6.8.1 state variables) ---------
+  {
+    LayerSpec bfd;
+    bfd.name = "bfd";
+    bfd.header_bytes = 24;
+    bfd.fields = {
+        // Mandatory-section wire fields (read-only to generated code;
+        // *_field names disambiguate from the session state variables).
+        scalar("version", 0, 3, false, false),
+        scalar("diag", 3, 5, false, false),
+        scalar("state", 8, 2, true, false),
+        scalar("poll_bit", 10, 1, true, false),
+        scalar("final_bit", 11, 1, false, false),
+        scalar("control_plane_independent_bit", 12, 1, false, false),
+        scalar("authentication_present_bit", 13, 1, false, false),
+        scalar("demand_bit", 14, 1, true, false),
+        scalar("multipoint_bit", 15, 1, true, false),
+        scalar("detect_mult_field", 16, 8, true, false),
+        scalar("length_field", 24, 8, false, false),
+        scalar("my_discriminator", 32, 32, true, false),
+        scalar("your_discriminator", 64, 32, true, false),
+        scalar("desired_min_tx_interval_field", 96, 32, false, false),
+        scalar("required_min_rx_interval_field", 128, 32, true, false),
+        scalar("required_min_echo_rx_interval_field", 160, 32, true, false),
+        // §6.8.1 session state variables (bfd.* in the corpus).
+        state("session_state"),
+        state("remote_session_state"),
+        state("local_discr"),
+        state("remote_discr"),
+        state("local_diag"),
+        state("desired_min_tx_interval"),
+        state("required_min_rx_interval"),
+        state("remote_min_rx_interval"),
+        state("demand_mode"),
+        state("remote_demand_mode"),
+        state("detect_mult"),
+        state("auth_type"),
+    };
+    add_layer(std::move(bfd));
+  }
+
+  // ---- tcp / bgp probe state (§7 reach experiment) -----------------------
+  {
+    LayerSpec tcp;
+    tcp.name = "tcp";
+    tcp.fields = {
+        state("syn_bit"),  state("ack_bit"),          state("rst_bit"),
+        state("fin_bit"),  state("connection_state"), state("segment"),
+    };
+    add_layer(std::move(tcp));
+
+    LayerSpec bgp;
+    bgp.name = "bgp";
+    bgp.fields = {state("hold_timer"), state("marker"), state("version")};
+    add_layer(std::move(bgp));
+  }
+
+  // ---- protocol entries ---------------------------------------------------
+  protocols_ = {
+      {"ICMP",
+       {"ip", "icmp"},
+       {{"ip", "protocol", 1}, {"ip", "ttl", 64}},
+       {},
+       /*scenario_symbol=*/true},
+      {"IGMP",
+       {"igmp"},
+       {{"igmp", "version", 1},
+        {"igmp", "type", 1},
+        {"ip", "protocol", 2},
+        {"ip", "ttl", 1}},
+       {},
+       /*scenario_symbol=*/true},
+      {"NTP",
+       {"udp", "ntp"},
+       {{"ntp", "version", 1},
+        {"ntp", "mode", 3},
+        {"ntp", "poll", 6},
+        {"ntp", "precision", -6},
+        {"ip", "protocol", 17},
+        {"ip", "ttl", 64}},
+       {},
+       /*scenario_symbol=*/false},
+      {"BFD",
+       {"bfd"},
+       {},
+       {{"up", 3}, {"down", 1}, {"init", 2}, {"admindown", 0}},
+       /*scenario_symbol=*/false},
+      {"TCP", {"tcp"}, {}, {}, /*scenario_symbol=*/false},
+      {"BGP", {"bgp"}, {}, {}, /*scenario_symbol=*/false},
+  };
+}
+
+void SchemaRegistry::add_layer(LayerSpec layer) {
+  layers_.push_back(std::move(layer));
+}
+
+const SchemaRegistry& SchemaRegistry::instance() {
+  static const SchemaRegistry* registry = [] {
+    auto* r = new SchemaRegistry();
+    // Assign dense ids once all layers are in place (vector storage is
+    // stable from here on; the registry is immutable afterwards).
+    for (auto& l : r->layers_) {
+      for (auto& f : l.fields) {
+        f.id = static_cast<int>(r->by_id_.size());
+        r->by_id_.push_back({&f, &l});
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+const LayerSpec* SchemaRegistry::layer(std::string_view name) const {
+  for (const auto& l : layers_) {
+    if (l.name == name) return &l;
+  }
+  return nullptr;
+}
+
+const ProtocolSchema* SchemaRegistry::protocol(std::string_view name) const {
+  for (const auto& p : protocols_) {
+    if (p.protocol == name) return &p;
+  }
+  return nullptr;
+}
+
+const FieldSpec* SchemaRegistry::field(std::string_view layer_name,
+                                       std::string_view field_name) const {
+  const LayerSpec* l = layer(layer_name);
+  if (l == nullptr) return nullptr;
+  for (const auto& f : l->fields) {
+    if (f.name == field_name) return &f;
+  }
+  // Payload-pattern fallback: dynamically-named excerpt fields resolve to
+  // the layer's canonical bytes field.
+  for (const auto& pattern : l->payload_patterns) {
+    if (field_name.find(pattern) != std::string_view::npos) {
+      for (const auto& f : l->fields) {
+        if (f.kind == FieldKind::kBytes) return &f;
+      }
+    }
+  }
+  return nullptr;
+}
+
+const FieldSpec* SchemaRegistry::field_by_id(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= by_id_.size()) return nullptr;
+  return by_id_[static_cast<std::size_t>(id)].spec;
+}
+
+const LayerSpec* SchemaRegistry::layer_by_id(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= by_id_.size()) return nullptr;
+  return by_id_[static_cast<std::size_t>(id)].layer;
+}
+
+std::optional<long> SchemaRegistry::read_scalar(
+    const FieldSpec& spec, std::span<const std::uint8_t> image) {
+  if (spec.kind != FieldKind::kScalar) return std::nullopt;
+  const std::uint32_t end_bit = spec.bit_offset + spec.bit_width;
+  if (image.size() * 8 < end_bit) return std::nullopt;
+
+  std::uint64_t value = 0;
+  if ((spec.bit_offset & 7) == 0 && (spec.bit_width & 7) == 0) {
+    // Byte-aligned fast path (the overwhelmingly common case).
+    const std::size_t off = spec.bit_offset / 8;
+    switch (spec.bit_width) {
+      case 8: value = image[off]; break;
+      case 16: value = util::get_be16(image.subspan(off, 2)); break;
+      case 32: value = util::get_be32(image.subspan(off, 4)); break;
+      default:
+        for (std::uint32_t i = 0; i < spec.bit_width / 8; ++i) {
+          value = (value << 8) | image[off + i];
+        }
+        break;
+    }
+  } else {
+    for (std::uint32_t bit = spec.bit_offset; bit < end_bit; ++bit) {
+      value = (value << 1) | ((image[bit / 8] >> (7 - (bit & 7))) & 1);
+    }
+  }
+  if (spec.is_signed && spec.bit_width < 64 &&
+      (value & (1ULL << (spec.bit_width - 1))) != 0) {
+    return static_cast<long>(value) -
+           static_cast<long>(1ULL << spec.bit_width);
+  }
+  return static_cast<long>(value);
+}
+
+bool SchemaRegistry::write_scalar(const FieldSpec& spec,
+                                  std::span<std::uint8_t> image, long value) {
+  if (spec.kind != FieldKind::kScalar) return false;
+  const std::uint32_t end_bit = spec.bit_offset + spec.bit_width;
+  if (image.size() * 8 < end_bit) return false;
+
+  const std::uint64_t raw =
+      spec.bit_width >= 64
+          ? static_cast<std::uint64_t>(value)
+          : static_cast<std::uint64_t>(value) & ((1ULL << spec.bit_width) - 1);
+  if ((spec.bit_offset & 7) == 0 && (spec.bit_width & 7) == 0) {
+    const std::size_t off = spec.bit_offset / 8;
+    switch (spec.bit_width) {
+      case 8: image[off] = static_cast<std::uint8_t>(raw); return true;
+      case 16:
+        util::put_be16(image.subspan(off, 2), static_cast<std::uint16_t>(raw));
+        return true;
+      case 32:
+        util::put_be32(image.subspan(off, 4), static_cast<std::uint32_t>(raw));
+        return true;
+      default: break;
+    }
+  }
+  for (std::uint32_t i = 0; i < spec.bit_width; ++i) {
+    const std::uint32_t bit = spec.bit_offset + i;
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(1u << (7 - (bit & 7)));
+    const bool set = (raw >> (spec.bit_width - 1 - i)) & 1;
+    if (set) {
+      image[bit / 8] |= mask;
+    } else {
+      image[bit / 8] &= static_cast<std::uint8_t>(~mask);
+    }
+  }
+  return true;
+}
+
+std::optional<long> SchemaRegistry::read_wire(
+    std::string_view layer_name, std::string_view field_name,
+    std::span<const std::uint8_t> image) const {
+  const FieldSpec* spec = field(layer_name, field_name);
+  if (spec == nullptr) return std::nullopt;
+  return read_scalar(*spec, image);
+}
+
+std::string SchemaRegistry::dump() const {
+  std::string out;
+  for (const auto& l : layers_) {
+    out += "layer " + l.name;
+    if (l.header_bytes > 0) {
+      out += " (" + std::to_string(l.header_bytes) + " bytes";
+      if (l.has_payload) out += " + payload";
+      out += ")";
+    } else {
+      out += " (state-only)";
+    }
+    out += "\n";
+    for (const auto& f : l.fields) {
+      out += "  " + l.name + "." + f.name + "  " + field_kind_name(f.kind);
+      if (f.kind == FieldKind::kScalar) {
+        out += " @" + std::to_string(f.bit_offset) + "+" +
+               std::to_string(f.bit_width);
+        if (f.is_signed) out += " signed";
+      } else if (f.kind == FieldKind::kPayloadScalar) {
+        out += " payload+" + std::to_string(f.payload_offset);
+      }
+      out += std::string(" ") + (f.readable ? "r" : "-") +
+             (f.writable ? (f.write_is_noop ? "n" : "w") : "-");
+      out += "  id=" + std::to_string(f.id);
+      out += "\n";
+    }
+  }
+  for (const auto& p : protocols_) {
+    out += "protocol " + p.protocol + ": layers [";
+    for (std::size_t i = 0; i < p.layers.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += p.layers[i];
+    }
+    out += "]";
+    if (!p.defaults.empty()) {
+      out += " defaults {";
+      for (std::size_t i = 0; i < p.defaults.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += p.defaults[i].layer + "." + p.defaults[i].field + "=" +
+               std::to_string(p.defaults[i].value);
+      }
+      out += "}";
+    }
+    if (!p.symbols.empty()) {
+      out += " symbols {";
+      for (std::size_t i = 0; i < p.symbols.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += p.symbols[i].name + "=" + std::to_string(p.symbols[i].value);
+      }
+      out += "}";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> SchemaRegistry::decode_layer(
+    std::string_view layer_name, std::span<const std::uint8_t> image) const {
+  std::vector<std::string> out;
+  const LayerSpec* l = layer(layer_name);
+  if (l == nullptr) return out;
+  for (const auto& f : l->fields) {
+    if (f.kind != FieldKind::kScalar) continue;
+    const auto v = read_scalar(f, image);
+    if (!v) continue;
+    out.push_back(l->name + "." + f.name + " = " + std::to_string(*v));
+  }
+  return out;
+}
+
+}  // namespace sage::net::schema

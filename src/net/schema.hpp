@@ -1,0 +1,163 @@
+// Declarative packet-schema registry — the single machine-readable
+// description of every protocol the pipeline generates code for.
+//
+// The SAGE paper's static framework knows, per protocol, which header
+// fields exist, where they live on the wire, which of them are session
+// state rather than wire bits, and which symbolic names ("Up", "Down")
+// the RFC text compares against. Before this registry existed that
+// knowledge was duplicated four ways: the codegen static context, the
+// per-protocol ExecEnv classes, the net/ serializers, and the simulator's
+// inspector. The registry makes it one table:
+//
+//   * codegen resolves FieldRefs against it at generation time and
+//     attaches dense field ids to the IR (unknown fields become
+//     generation-time diagnostics),
+//   * runtime::SchemaExecEnv executes generated code table-driven,
+//     dispatching reads/writes on the field id instead of string
+//     comparisons,
+//   * the simulator and tools decode captured packets through the same
+//     offsets/widths (sage_debug --dump-schema prints the table).
+//
+// Field kinds distinguish how a field is stored, not what it means:
+// kScalar lives at bit_offset/bit_width inside the fixed header image;
+// kPayloadScalar lives at a byte offset inside the variable-length
+// payload (the ICMP timestamp-message rows); kBytes IS the payload;
+// kState is a per-session variable with no wire encoding (bfd.*, TCP
+// probe state); kToken reads as constant 0 ("the ICMP message");
+// kVirtual is declared for code generation only and has no runtime
+// storage (e.g. "internet header" as an IP-layer phrase).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sage::net::schema {
+
+enum class FieldKind : std::uint8_t {
+  kScalar,         // bit-addressed scalar inside the fixed header image
+  kPayloadScalar,  // scalar at a byte offset inside the payload
+  kBytes,          // the variable-length payload itself
+  kState,          // session/state variable, no wire encoding
+  kToken,          // symbolic stand-in, reads as 0
+  kVirtual,        // codegen-only; no runtime storage
+};
+
+std::string field_kind_name(FieldKind kind);
+
+struct FieldSpec {
+  std::string name;
+  FieldKind kind = FieldKind::kScalar;
+  std::uint32_t bit_offset = 0;      // kScalar: from bit 0 = MSB of byte 0
+  std::uint32_t bit_width = 0;       // kScalar
+  std::uint32_t payload_offset = 0;  // kPayloadScalar: byte offset
+  bool is_signed = false;            // sign-extend on read (ntp.poll)
+  bool readable = true;
+  bool writable = true;
+  /// Writes are accepted and discarded (icmp.unused, udp.checksum:
+  /// "filled at serialization").
+  bool write_is_noop = false;
+  /// Dense process-wide id, assigned by the registry at construction.
+  int id = -1;
+};
+
+/// One header layer: fixed-size image plus (optionally) a payload.
+struct LayerSpec {
+  std::string name;               // "icmp", "udp", "bfd", ...
+  std::size_t header_bytes = 0;   // fixed header image size (0 for state-only)
+  bool has_payload = false;       // a kBytes field / payload buffer exists
+  std::vector<FieldSpec> fields;
+  /// Substrings that mark a dynamically-named field as payload-backed
+  /// bytes ("internet_header...", "...datagram..."): such names resolve
+  /// to this layer's kBytes field.
+  std::vector<std::string> payload_patterns;
+};
+
+/// A well-known symbolic name with an RFC-mandated encoding (BFD session
+/// states). Names compare case-insensitively.
+struct SymbolSpec {
+  std::string name;  // lowercased
+  long value = 0;
+};
+
+/// A default header value applied when an outgoing image is created
+/// ("serialization order" defaults: NTP version 1 / mode 3 / poll 6 ...).
+struct DefaultSpec {
+  std::string layer;
+  std::string field;
+  long value = 0;
+};
+
+struct ProtocolSchema {
+  std::string protocol;             // "ICMP" (pipeline protocol tag)
+  std::vector<std::string> layers;  // bound layers, serialization order
+  std::vector<DefaultSpec> defaults;
+  std::vector<SymbolSpec> symbols;
+  /// Does resolve_symbol("scenario") name the current event scenario?
+  /// (ICMP/IGMP @Case dispatch; NTP and BFD never used the alias.)
+  bool scenario_symbol = false;
+};
+
+class SchemaRegistry {
+ public:
+  /// The process-wide registry of all known protocols. Immutable after
+  /// construction; safe to share across threads.
+  static const SchemaRegistry& instance();
+
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+  const std::vector<ProtocolSchema>& protocols() const { return protocols_; }
+
+  const LayerSpec* layer(std::string_view name) const;
+  const ProtocolSchema* protocol(std::string_view name) const;
+
+  /// Field lookup by (layer, field). Falls back to the layer's
+  /// payload_patterns: a dynamic name like
+  /// "internet_header_64_bits_of_original_data_datagram" resolves to the
+  /// layer's canonical kBytes field. nullptr when unknown.
+  const FieldSpec* field(std::string_view layer, std::string_view field) const;
+
+  /// Dense-id lookups. Ids are contiguous in [0, field_count()).
+  const FieldSpec* field_by_id(int id) const;
+  const LayerSpec* layer_by_id(int id) const;
+  std::size_t field_count() const { return by_id_.size(); }
+
+  /// Generic bit-level scalar access over a serialized header image.
+  /// Reads sign-extend when the spec says so; writes mask to bit_width.
+  /// nullopt / false when the image is too short or the field is not
+  /// kScalar.
+  static std::optional<long> read_scalar(const FieldSpec& spec,
+                                         std::span<const std::uint8_t> image);
+  static bool write_scalar(const FieldSpec& spec, std::span<std::uint8_t> image,
+                           long value);
+
+  /// Read a named wire field straight out of a serialized header image
+  /// (schema-driven packet decode for the inspector and tools).
+  std::optional<long> read_wire(std::string_view layer, std::string_view field,
+                                std::span<const std::uint8_t> image) const;
+
+  /// Human-readable table of every layer/field/protocol
+  /// (sage_debug --dump-schema).
+  std::string dump() const;
+
+  /// Render "layer.field = value" lines for one layer of a captured
+  /// packet (wire scalars only).
+  std::vector<std::string> decode_layer(std::string_view layer,
+                                        std::span<const std::uint8_t> image) const;
+
+ private:
+  SchemaRegistry();
+  void add_layer(LayerSpec layer);
+
+  std::vector<LayerSpec> layers_;
+  std::vector<ProtocolSchema> protocols_;
+  struct IdEntry {
+    const FieldSpec* spec;
+    const LayerSpec* layer;
+  };
+  std::vector<IdEntry> by_id_;
+};
+
+}  // namespace sage::net::schema

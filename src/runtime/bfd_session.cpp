@@ -41,7 +41,7 @@ bool BfdSession::receive(std::span<const std::uint8_t> raw_packet) {
   const auto packet = net::BfdControlPacket::parse(udp_bytes.subspan(8));
   if (!packet) return false;
 
-  BfdExecEnv env(&state_, &*packet);
+  auto env = SchemaExecEnv::bfd(&state_, &*packet);
   const auto result = interpreter_.run(reception_->body, env);
   return result.ok;
 }

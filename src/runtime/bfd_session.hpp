@@ -15,7 +15,7 @@
 #include "net/bfd.hpp"
 #include "net/ipv4.hpp"
 #include "net/udp.hpp"
-#include "runtime/bfd_env.hpp"
+#include "runtime/schema_env.hpp"
 #include "runtime/interpreter.hpp"
 
 namespace sage::runtime {

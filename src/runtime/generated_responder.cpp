@@ -21,14 +21,15 @@ void GeneratedIcmpResponder::add_function(codegen::GeneratedFunction fn) {
 std::optional<std::vector<std::uint8_t>> GeneratedIcmpResponder::run(
     const std::string& function_name, const sim::ResponderContext& ctx,
     bool start_from_incoming, const std::string& scenario,
-    const std::function<void(IcmpExecEnv&)>& setup) {
+    const std::function<void(SchemaExecEnv&)>& setup) {
   last_errors_.clear();
   const auto it = functions_.find(function_name);
   if (it == functions_.end()) {
     last_errors_.push_back("no generated function named " + function_name);
     return std::nullopt;
   }
-  IcmpExecEnv env(ctx.triggering_packet, ctx.own_address, start_from_incoming);
+  auto env = SchemaExecEnv::icmp(ctx.triggering_packet, ctx.own_address,
+                                 start_from_incoming);
   if (!env.valid()) {
     last_errors_.push_back("triggering packet is not decodable IPv4");
     return std::nullopt;
@@ -90,7 +91,7 @@ GeneratedIcmpResponder::on_parameter_problem(const sim::ResponderContext& ctx,
                                              std::uint8_t pointer) {
   return run(fn_name("Parameter Problem Message", "sender"), ctx,
              /*start_from_incoming=*/false, "pointer indicates the error",
-             [pointer](IcmpExecEnv& env) { env.set_error_pointer(pointer); });
+             [pointer](SchemaExecEnv& env) { env.set_error_pointer(pointer); });
 }
 
 std::optional<std::vector<std::uint8_t>>
@@ -103,7 +104,7 @@ std::optional<std::vector<std::uint8_t>> GeneratedIcmpResponder::on_redirect(
     const sim::ResponderContext& ctx, net::IpAddr gateway) {
   return run(fn_name("Redirect Message", "sender"), ctx,
              /*start_from_incoming=*/false, "redirect datagrams for the host",
-             [gateway](IcmpExecEnv& env) { env.set_better_gateway(gateway); });
+             [gateway](SchemaExecEnv& env) { env.set_better_gateway(gateway); });
 }
 
 }  // namespace sage::runtime

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "codegen/ir.hpp"
-#include "runtime/icmp_env.hpp"
+#include "runtime/schema_env.hpp"
 #include "runtime/interpreter.hpp"
 #include "sim/responder.hpp"
 
@@ -60,7 +60,7 @@ class GeneratedIcmpResponder : public sim::IcmpResponder {
   std::optional<std::vector<std::uint8_t>> run(
       const std::string& function_name, const sim::ResponderContext& ctx,
       bool start_from_incoming, const std::string& scenario,
-      const std::function<void(IcmpExecEnv&)>& setup = nullptr);
+      const std::function<void(SchemaExecEnv&)>& setup = nullptr);
 
   std::map<std::string, codegen::GeneratedFunction> functions_;
   Interpreter interpreter_;

@@ -1,0 +1,717 @@
+#include "runtime/schema_env.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "net/checksum.hpp"
+#include "util/bytes.hpp"
+#include "util/strings.hpp"
+#include "util/symbols.hpp"
+
+namespace sage::runtime {
+
+namespace schema = net::schema;
+
+namespace {
+
+/// RFC 5880 §6.8.1 variables in slot order; must match
+/// read_bfd_state/write_bfd_state below.
+constexpr const char* kBfdStateOrder[] = {
+    "session_state",           "remote_session_state",
+    "local_discr",             "remote_discr",
+    "local_diag",              "desired_min_tx_interval",
+    "required_min_rx_interval", "remote_min_rx_interval",
+    "demand_mode",             "remote_demand_mode",
+    "detect_mult",             "auth_type",
+};
+
+/// Struct-backed IP pseudo-layer in slot order; must match
+/// read_ip/write_ip below.
+constexpr const char* kIpSlotOrder[] = {"src", "dst", "ttl", "tos",
+                                        "total_length"};
+
+int index_in(const char* const* names, std::size_t n, const std::string& name) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (name == names[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+const SchemaExecEnv::ProtocolBinding& SchemaExecEnv::binding_for(
+    const std::string& protocol) {
+  static const std::unordered_map<std::string, ProtocolBinding>* tables = [] {
+    const auto& registry = schema::SchemaRegistry::instance();
+    auto* t = new std::unordered_map<std::string, ProtocolBinding>();
+    for (const auto& p : registry.protocols()) {
+      ProtocolBinding pb;
+      pb.schema = &p;
+      pb.profile = p.protocol == "ICMP"   ? Profile::kIcmp
+                   : p.protocol == "IGMP" ? Profile::kIgmp
+                   : p.protocol == "NTP"  ? Profile::kNtp
+                   : p.protocol == "BFD"  ? Profile::kBfd
+                                          : Profile::kStateMachine;
+      pb.by_id.resize(registry.field_count());
+      for (const auto& layer_name : p.layers) {
+        const auto* layer = registry.layer(layer_name);
+        if (layer == nullptr) continue;
+        if (layer->name == "ip") {
+          // Struct-backed pseudo-layer: only the fields the framework
+          // serves are bound; the rest stay kNone (unknown at runtime).
+          for (const auto& f : layer->fields) {
+            const int slot = index_in(kIpSlotOrder, std::size(kIpSlotOrder),
+                                      f.name);
+            if (slot < 0) continue;
+            auto& b = pb.by_id[static_cast<std::size_t>(f.id)];
+            b.kind = Binding::Kind::kIp;
+            b.spec = &f;
+            b.slot = static_cast<std::uint8_t>(slot);
+          }
+          continue;
+        }
+        const bool image_backed = layer->header_bytes > 0;
+        std::uint8_t layer_slot = 0;
+        if (image_backed) {
+          layer_slot = static_cast<std::uint8_t>(pb.wire_layers.size());
+          pb.wire_layers.push_back(layer);
+        }
+        for (const auto& f : layer->fields) {
+          auto& b = pb.by_id[static_cast<std::size_t>(f.id)];
+          b.spec = &f;
+          b.layer_slot = layer_slot;
+          switch (f.kind) {
+            case schema::FieldKind::kScalar:
+              b.kind = Binding::Kind::kWire;
+              b.write_fills_rest_word =
+                  layer->name == "icmp" && f.name == "pointer";
+              break;
+            case schema::FieldKind::kPayloadScalar:
+              b.kind = Binding::Kind::kPayloadScalar;
+              break;
+            case schema::FieldKind::kBytes:
+              b.kind = Binding::Kind::kBytes;
+              break;
+            case schema::FieldKind::kState: {
+              if (layer->name == "bfd") {
+                const int slot = index_in(
+                    kBfdStateOrder, std::size(kBfdStateOrder), f.name);
+                if (slot >= 0) {
+                  b.kind = Binding::Kind::kBfdState;
+                  b.slot = static_cast<std::uint8_t>(slot);
+                  break;
+                }
+              }
+              if (f.name == "host_group_address") {
+                b.kind = Binding::Kind::kHostGroup;
+                break;
+              }
+              b.kind = Binding::Kind::kState;
+              b.slot = static_cast<std::uint8_t>(pb.state_slot_count++);
+              break;
+            }
+            case schema::FieldKind::kToken:
+            case schema::FieldKind::kVirtual:
+              // Virtual fields share the token binding: readable tokens
+              // read as 0, and write_is_noop virtuals (icmp.unused)
+              // accept-and-discard writes.
+              b.kind = Binding::Kind::kToken;
+              break;
+          }
+        }
+      }
+      t->emplace(p.protocol, std::move(pb));
+    }
+    return t;
+  }();
+  const auto it = tables->find(protocol);
+  if (it != tables->end()) return it->second;
+  static const ProtocolBinding* empty = [] {
+    auto* pb = new ProtocolBinding();
+    pb->by_id.resize(schema::SchemaRegistry::instance().field_count());
+    return pb;
+  }();
+  return *empty;
+}
+
+SchemaExecEnv::SchemaExecEnv(const ProtocolBinding& pb)
+    : pb_(&pb), profile_(pb.profile) {
+  wire_.resize(pb.wire_layers.size());
+  for (std::size_t i = 0; i < wire_.size(); ++i) {
+    const auto* layer = pb.wire_layers[i];
+    wire_[i].spec = layer;
+    bool writable = false;
+    for (const auto& f : layer->fields) {
+      if (f.writable && !f.write_is_noop &&
+          f.kind != schema::FieldKind::kState &&
+          f.kind != schema::FieldKind::kVirtual) {
+        writable = true;
+        break;
+      }
+    }
+    if (writable) {
+      wire_[i].has_out = true;
+      wire_[i].out_image.assign(layer->header_bytes, 0);
+    }
+  }
+  state_slots_.assign(pb.state_slot_count, 0);
+  apply_image_defaults();
+}
+
+void SchemaExecEnv::apply_image_defaults() {
+  if (pb_->schema == nullptr) return;
+  for (const auto& d : pb_->schema->defaults) {
+    for (auto& L : wire_) {
+      if (!L.has_out || L.spec->name != d.layer) continue;
+      const auto* spec =
+          schema::SchemaRegistry::instance().field(d.layer, d.field);
+      if (spec != nullptr) {
+        schema::SchemaRegistry::write_scalar(*spec, L.out_image, d.value);
+      }
+    }
+  }
+}
+
+const schema::DefaultSpec* SchemaExecEnv::ip_default(
+    const std::string& field) const {
+  if (pb_->schema == nullptr) return nullptr;
+  for (const auto& d : pb_->schema->defaults) {
+    if (d.layer == "ip" && d.field == field) return &d;
+  }
+  return nullptr;
+}
+
+// -- factories --------------------------------------------------------------
+
+SchemaExecEnv SchemaExecEnv::icmp(std::span<const std::uint8_t> raw_incoming,
+                                  net::IpAddr own_address,
+                                  bool start_from_incoming) {
+  SchemaExecEnv env(binding_for("ICMP"));
+  env.raw_incoming_ = raw_incoming;
+  env.own_address_ = own_address;
+  env.clock_ = 36000000;  // deterministic OS clock (ms since midnight UT)
+
+  auto& icmp_layer = env.wire_[0];
+  icmp_layer.has_in = true;
+  icmp_layer.in_image.assign(icmp_layer.spec->header_bytes, 0);
+
+  const auto ip = net::Ipv4Header::parse(raw_incoming);
+  if (!ip) {
+    env.valid_ = false;
+    return env;
+  }
+  env.in_ip_ = *ip;
+  bool in_has_icmp = false;
+  if (ip->protocol == static_cast<std::uint8_t>(net::IpProto::kIcmp) &&
+      raw_incoming.size() >= ip->header_length() + 8) {
+    const auto icmp_bytes = raw_incoming.subspan(ip->header_length());
+    icmp_layer.in_image.assign(icmp_bytes.begin(), icmp_bytes.begin() + 8);
+    icmp_layer.in_payload.assign(icmp_bytes.begin() + 8, icmp_bytes.end());
+    in_has_icmp = true;
+  }
+  if (const auto* d = env.ip_default("protocol")) {
+    env.out_ip_.protocol = static_cast<std::uint8_t>(d->value);
+  }
+  if (const auto* d = env.ip_default("ttl")) {
+    env.out_ip_.ttl = static_cast<std::uint8_t>(d->value);
+  }
+  env.out_ip_.src = own_address;
+  if (start_from_incoming && in_has_icmp) {
+    // Reply-by-mutation (RFC 792): the outgoing message starts as a byte
+    // copy of the request — the request's checksum included, stale on
+    // purpose.
+    icmp_layer.out_image = icmp_layer.in_image;
+    icmp_layer.out_payload = icmp_layer.in_payload;
+  }
+  return env;
+}
+
+SchemaExecEnv SchemaExecEnv::igmp(net::IpAddr own_address,
+                                  net::IpAddr host_group) {
+  SchemaExecEnv env(binding_for("IGMP"));
+  env.own_address_ = own_address;
+  env.host_group_ = host_group;
+  return env;
+}
+
+SchemaExecEnv SchemaExecEnv::ntp(net::IpAddr own_address,
+                                 std::uint32_t clock_seconds) {
+  SchemaExecEnv env(binding_for("NTP"));
+  env.own_address_ = own_address;
+  env.clock_ = clock_seconds;
+  return env;
+}
+
+SchemaExecEnv SchemaExecEnv::ntp(net::IpAddr own_address,
+                                 std::uint32_t clock_seconds,
+                                 const net::NtpPacket& incoming) {
+  SchemaExecEnv env = ntp(own_address, clock_seconds);
+  for (auto& L : env.wire_) {
+    if (L.spec->name == "ntp") {
+      L.has_in = true;
+      L.in_image = incoming.serialize();
+    }
+  }
+  return env;
+}
+
+SchemaExecEnv SchemaExecEnv::bfd(net::BfdSessionState* state,
+                                 const net::BfdControlPacket* packet) {
+  SchemaExecEnv env(binding_for("BFD"));
+  env.bfd_state_ = state;
+  if (packet != nullptr) {
+    auto& L = env.wire_[0];
+    L.has_in = true;
+    L.in_image = packet->serialize();
+  }
+  return env;
+}
+
+SchemaExecEnv SchemaExecEnv::state_machine(const std::string& protocol) {
+  return SchemaExecEnv(binding_for(protocol));
+}
+
+// -- field dispatch ---------------------------------------------------------
+
+const SchemaExecEnv::Binding* SchemaExecEnv::binding(
+    const codegen::FieldRef& ref) const {
+  if (ref.field_id >= 0 &&
+      static_cast<std::size_t>(ref.field_id) < pb_->by_id.size()) {
+    return &pb_->by_id[static_cast<std::size_t>(ref.field_id)];
+  }
+  // Un-annotated ref (hand-built IR, reference corpus): resolve by name.
+  const auto* spec =
+      schema::SchemaRegistry::instance().field(ref.layer, ref.field);
+  if (spec == nullptr) return nullptr;
+  return &pb_->by_id[static_cast<std::size_t>(spec->id)];
+}
+
+std::optional<long> SchemaExecEnv::read_field(const codegen::FieldRef& ref,
+                                              codegen::PacketSel sel) {
+  const Binding* b = binding(ref);
+  if (b == nullptr || b->kind == Binding::Kind::kNone) return std::nullopt;
+  const auto& spec = *b->spec;
+  if (!spec.readable) return std::nullopt;
+  switch (b->kind) {
+    case Binding::Kind::kWire: {
+      const LayerImages& L = wire_[b->layer_slot];
+      // Honor the selector when both packets exist; environments that
+      // only hold one side (IGMP/NTP senders) serve it for either
+      // selector, matching the single-message view they model.
+      const std::vector<std::uint8_t>* img =
+          sel == codegen::PacketSel::kIncoming
+              ? (L.has_in ? &L.in_image : (L.has_out ? &L.out_image : nullptr))
+              : (L.has_out ? &L.out_image : (L.has_in ? &L.in_image : nullptr));
+      if (img == nullptr) return std::nullopt;
+      return schema::SchemaRegistry::read_scalar(spec, *img);
+    }
+    case Binding::Kind::kPayloadScalar: {
+      const LayerImages& L = wire_[b->layer_slot];
+      const std::vector<std::uint8_t>& pl =
+          sel == codegen::PacketSel::kIncoming
+              ? (L.has_in ? L.in_payload : L.out_payload)
+              : (L.has_out ? L.out_payload : L.in_payload);
+      if (pl.size() < spec.payload_offset + 4) return 0;
+      return static_cast<long>(
+          util::get_be32({pl.data() + spec.payload_offset, 4}));
+    }
+    case Binding::Kind::kIp:
+      return read_ip(b->slot, sel);
+    case Binding::Kind::kState:
+      return state_slots_[b->slot];
+    case Binding::Kind::kBfdState:
+      return read_bfd_state(b->slot);
+    case Binding::Kind::kHostGroup:
+      return static_cast<long>(host_group_.value());
+    case Binding::Kind::kToken:
+      return 0;
+    case Binding::Kind::kBytes:
+    case Binding::Kind::kNone:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool SchemaExecEnv::write_field(const codegen::FieldRef& ref, long value) {
+  const Binding* b = binding(ref);
+  if (b == nullptr || b->kind == Binding::Kind::kNone) return false;
+  const auto& spec = *b->spec;
+  if (!spec.writable) return false;
+  if (spec.write_is_noop) return true;
+  switch (b->kind) {
+    case Binding::Kind::kWire: {
+      LayerImages& L = wire_[b->layer_slot];
+      if (!L.has_out) return false;
+      if (b->write_fills_rest_word) {
+        // RFC 792 pointer: the write owns the whole rest word —
+        // value << 24, unused octets zeroed.
+        util::put_be32({L.out_image.data() + 4, 4},
+                       static_cast<std::uint32_t>(
+                           static_cast<std::uint8_t>(value))
+                           << 24);
+        return true;
+      }
+      return schema::SchemaRegistry::write_scalar(spec, L.out_image, value);
+    }
+    case Binding::Kind::kPayloadScalar: {
+      LayerImages& L = wire_[b->layer_slot];
+      if (!L.has_out) return false;
+      // The payload-scalar block (the three ICMP timestamps) is sized as
+      // a unit, matching the message format.
+      std::size_t block = 0;
+      for (const auto& f : L.spec->fields) {
+        if (f.kind == schema::FieldKind::kPayloadScalar) {
+          block = std::max<std::size_t>(block, f.payload_offset + 4);
+        }
+      }
+      if (L.out_payload.size() < block) L.out_payload.resize(block, 0);
+      util::put_be32({L.out_payload.data() + spec.payload_offset, 4},
+                     static_cast<std::uint32_t>(value));
+      return true;
+    }
+    case Binding::Kind::kIp:
+      return write_ip(b->slot, value);
+    case Binding::Kind::kState:
+      state_slots_[b->slot] = value;
+      return true;
+    case Binding::Kind::kBfdState:
+      return write_bfd_state(b->slot, value);
+    case Binding::Kind::kHostGroup:
+    case Binding::Kind::kToken:
+    case Binding::Kind::kBytes:
+    case Binding::Kind::kNone:
+      return false;
+  }
+  return false;
+}
+
+std::optional<long> SchemaExecEnv::read_ip(std::uint8_t slot,
+                                           codegen::PacketSel sel) const {
+  const net::Ipv4Header& ip =
+      sel == codegen::PacketSel::kIncoming ? in_ip_ : out_ip_;
+  switch (slot) {
+    case 0: return static_cast<long>(ip.src.value());
+    case 1: return static_cast<long>(ip.dst.value());
+    case 2: return ip.ttl;
+    case 3: return ip.tos;
+    case 4: return ip.total_length;
+    default: return std::nullopt;
+  }
+}
+
+bool SchemaExecEnv::write_ip(std::uint8_t slot, long value) {
+  switch (slot) {
+    case 0: out_ip_.src = net::IpAddr(static_cast<std::uint32_t>(value)); return true;
+    case 1: out_ip_.dst = net::IpAddr(static_cast<std::uint32_t>(value)); return true;
+    case 2: out_ip_.ttl = static_cast<std::uint8_t>(value); return true;
+    case 3: out_ip_.tos = static_cast<std::uint8_t>(value); return true;
+    default: return false;
+  }
+}
+
+std::optional<long> SchemaExecEnv::read_bfd_state(std::uint8_t slot) const {
+  const auto& s = *bfd_state_;
+  switch (slot) {
+    case 0: return static_cast<long>(s.session_state);
+    case 1: return static_cast<long>(s.remote_session_state);
+    case 2: return static_cast<long>(s.local_discr);
+    case 3: return static_cast<long>(s.remote_discr);
+    case 4: return static_cast<long>(s.local_diag);
+    case 5: return static_cast<long>(s.desired_min_tx_interval);
+    case 6: return static_cast<long>(s.required_min_rx_interval);
+    case 7: return static_cast<long>(s.remote_min_rx_interval);
+    case 8: return s.demand_mode ? 1 : 0;
+    case 9: return s.remote_demand_mode ? 1 : 0;
+    case 10: return s.detect_mult;
+    case 11: return s.auth_type;
+    default: return std::nullopt;
+  }
+}
+
+bool SchemaExecEnv::write_bfd_state(std::uint8_t slot, long value) {
+  auto& s = *bfd_state_;
+  switch (slot) {
+    case 0: s.session_state = static_cast<net::BfdState>(value); return true;
+    case 1: s.remote_session_state = static_cast<net::BfdState>(value); return true;
+    case 2: s.local_discr = static_cast<std::uint32_t>(value); return true;
+    case 3: s.remote_discr = static_cast<std::uint32_t>(value); return true;
+    case 4: s.local_diag = static_cast<net::BfdDiag>(value); return true;
+    case 5: s.desired_min_tx_interval = static_cast<std::uint32_t>(value); return true;
+    case 6: s.required_min_rx_interval = static_cast<std::uint32_t>(value); return true;
+    case 7: s.remote_min_rx_interval = static_cast<std::uint32_t>(value); return true;
+    case 8: s.demand_mode = value != 0; return true;
+    case 9: s.remote_demand_mode = value != 0; return true;
+    case 10: s.detect_mult = static_cast<std::uint8_t>(value); return true;
+    case 11: s.auth_type = static_cast<std::uint8_t>(value); return true;
+    default: return false;
+  }
+}
+
+// -- bytes ------------------------------------------------------------------
+
+bool SchemaExecEnv::is_bytes_field(const codegen::FieldRef& ref) const {
+  const Binding* b = binding(ref);
+  return b != nullptr && b->kind == Binding::Kind::kBytes;
+}
+
+std::optional<std::vector<std::uint8_t>> SchemaExecEnv::read_bytes(
+    const codegen::FieldRef& ref, codegen::PacketSel sel) {
+  const Binding* b = binding(ref);
+  if (b == nullptr || b->kind != Binding::Kind::kBytes) return std::nullopt;
+  const LayerImages& L = wire_[b->layer_slot];
+  return sel == codegen::PacketSel::kIncoming ? L.in_payload : L.out_payload;
+}
+
+bool SchemaExecEnv::write_bytes(const codegen::FieldRef& ref,
+                                std::vector<std::uint8_t> value) {
+  const Binding* b = binding(ref);
+  if (b == nullptr || b->kind != Binding::Kind::kBytes) return false;
+  wire_[b->layer_slot].out_payload = std::move(value);
+  return true;
+}
+
+// -- framework functions (the per-protocol profiles) ------------------------
+
+std::vector<std::uint8_t> SchemaExecEnv::out_message_bytes(
+    std::size_t layer_slot) const {
+  const LayerImages& L = wire_[layer_slot];
+  std::vector<std::uint8_t> bytes = L.out_image;
+  bytes.insert(bytes.end(), L.out_payload.begin(), L.out_payload.end());
+  return bytes;
+}
+
+bool SchemaExecEnv::is_bytes_function(const std::string& fn) const {
+  return profile_ == Profile::kIcmp &&
+         (fn == "original_datagram_excerpt" || fn == "copy_field");
+}
+
+std::optional<long> SchemaExecEnv::icmp_call_scalar(
+    const std::string& fn, const std::vector<long>& args) {
+  if (fn == "ones_complement_sum") {
+    // Sum over the outgoing ICMP message as currently constructed,
+    // including whatever sits in the checksum field (stale-value
+    // semantics; see finish_reply).
+    return net::ones_complement_sum(out_message_bytes(0));
+  }
+  if (fn == "ones_complement") {
+    if (args.size() == 1) return (~args[0]) & 0xffff;
+    return net::internet_checksum(out_message_bytes(0));
+  }
+  if (fn == "current_time") return static_cast<long>(clock_);
+  if (fn == "receive_time") return static_cast<long>(clock_);
+  if (fn == "transmit_time") return static_cast<long>(clock_) + 1;
+  if (fn == "error_octet") return error_pointer_;
+  if (fn == "better_gateway") return static_cast<long>(better_gateway_.value());
+  if (fn == "own_address") return static_cast<long>(own_address_.value());
+  return std::nullopt;
+}
+
+std::optional<long> SchemaExecEnv::call_scalar(const std::string& fn,
+                                               const std::vector<long>& args) {
+  switch (profile_) {
+    case Profile::kIcmp:
+      return icmp_call_scalar(fn, args);
+    case Profile::kIgmp:
+      if (fn == "ones_complement_sum" || fn == "ones_complement") {
+        return 0;  // deferred: finish() computes the real checksum
+      }
+      return std::nullopt;
+    case Profile::kNtp:
+      if (fn == "current_time") return static_cast<long>(clock_);
+      if (fn == "ones_complement_sum" || fn == "ones_complement") return 0;
+      return std::nullopt;
+    case Profile::kBfd:
+      if (fn == "session_lookup") {
+        // 1 when the Your Discriminator lookup found a session.
+        return session_lookup_fails_ ? 0 : 1;
+      }
+      return std::nullopt;
+    case Profile::kStateMachine:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::uint8_t>> SchemaExecEnv::call_bytes(
+    const std::string& fn) {
+  if (profile_ != Profile::kIcmp) return std::nullopt;
+  if (fn == "original_datagram_excerpt") {
+    return net::original_datagram_excerpt(raw_incoming_);
+  }
+  if (fn == "copy_field") {
+    return wire_[0].in_payload;  // bare copy: the echoed data
+  }
+  return std::nullopt;
+}
+
+bool SchemaExecEnv::call_effect(const std::string& fn,
+                                const std::vector<long>& args) {
+  (void)args;
+  switch (profile_) {
+    case Profile::kIcmp:
+      if (fn == "reverse_addresses") {
+        out_ip_.src = in_ip_.dst;
+        out_ip_.dst = in_ip_.src;
+        return true;
+      }
+      if (fn == "recompute_checksum" || fn == "compute_checksum") {
+        // Deferred: the framework computes the checksum when the message
+        // is finalized (after every field, including the variable-length
+        // data, is in place). See finish_reply.
+        checksum_explicitly_computed_ = true;
+        return true;
+      }
+      if (fn == "send_message" || fn == "discard_packet") {
+        return true;  // transmission is the simulator's job
+      }
+      return false;
+    case Profile::kIgmp:
+      if (fn == "compute_checksum" || fn == "recompute_checksum") {
+        checksum_explicitly_computed_ = true;  // finish() fills it
+        return true;
+      }
+      if (fn == "send_message" || fn == "discard_packet") return true;
+      return false;
+    case Profile::kNtp:
+      if (fn == "call_timeout" || fn == "timeout") {
+        timeout_called_ = true;
+        return true;
+      }
+      if (fn == "compute_checksum" || fn == "recompute_checksum" ||
+          fn == "send_message" || fn == "transmit_packet") {
+        return true;  // UDP checksum is filled at serialization
+      }
+      return false;
+    case Profile::kBfd:
+      if (fn == "select_session") {
+        session_selected_ = !session_lookup_fails_;
+        return true;
+      }
+      if (fn == "discard_packet") {
+        // "If no session is found, the packet MUST be discarded" — but
+        // only when the lookup actually failed; generated code guards
+        // this with the rewritten condition (Table 5).
+        bfd_state_->packet_discarded = true;
+        return true;
+      }
+      if (fn == "cease_transmission") {
+        bfd_state_->periodic_transmission_enabled = false;
+        return true;
+      }
+      if (fn == "call_timeout") {
+        timeout_called_ = true;
+        return true;
+      }
+      if (fn == "transmit_packet" || fn == "send_message") {
+        packet_transmitted_ = true;
+        return true;
+      }
+      return false;
+    case Profile::kStateMachine:
+      effects_.push_back(fn);
+      return true;
+  }
+  return false;
+}
+
+long SchemaExecEnv::resolve_symbol(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  if (pb_->schema != nullptr) {
+    if (pb_->schema->scenario_symbol && lower == "scenario") {
+      return util::symbol_value(scenario_);
+    }
+    for (const auto& s : pb_->schema->symbols) {
+      if (s.name == lower) return s.value;
+    }
+  }
+  return util::symbol_value(name);
+}
+
+// -- finalization and typed views -------------------------------------------
+
+std::vector<std::uint8_t> SchemaExecEnv::finish_reply() {
+  // Serialize the ICMP message with the checksum field exactly as the
+  // generated code left it in the image...
+  auto icmp_bytes = out_message_bytes(0);
+  if (checksum_explicitly_computed_) {
+    // ...then run the framework checksum over the message *including*
+    // that field value. Generated code that followed the @AdvBefore
+    // advice zeroed the field first, yielding the RFC-correct checksum;
+    // code that skipped the advice bakes a stale value into the sum.
+    const std::uint16_t ck = net::internet_checksum(icmp_bytes);
+    util::put_be16({icmp_bytes.data() + 2, 2}, ck);
+  }
+  if (out_ip_.src == net::IpAddr()) out_ip_.src = own_address_;
+  return net::build_ipv4_packet(out_ip_, icmp_bytes);
+}
+
+std::vector<std::uint8_t> SchemaExecEnv::finish(net::IpAddr destination) const {
+  net::Ipv4Header ip;
+  if (const auto* d = ip_default("protocol")) {
+    ip.protocol = static_cast<std::uint8_t>(d->value);
+  }
+  if (const auto* d = ip_default("ttl")) {
+    ip.ttl = static_cast<std::uint8_t>(d->value);
+  }
+  ip.src = own_address_;
+  ip.dst = destination;
+
+  if (profile_ == Profile::kIgmp) {
+    // The IGMP checksum is always computed at serialization time over
+    // the 8-byte message, whatever the checksum field was set to.
+    auto bytes = wire_[0].out_image;
+    bytes[2] = 0;
+    bytes[3] = 0;
+    const std::uint16_t ck = net::internet_checksum(bytes);
+    util::put_be16({bytes.data() + 2, 2}, ck);
+    return net::build_ipv4_packet(ip, bytes);
+  }
+
+  // NTP: the packet image inside UDP inside IP, well-known port 123 when
+  // generated code didn't set one.
+  std::size_t udp_slot = 0;
+  std::size_t ntp_slot = 0;
+  for (std::size_t i = 0; i < wire_.size(); ++i) {
+    if (wire_[i].spec->name == "udp") udp_slot = i;
+    if (wire_[i].spec->name == "ntp") ntp_slot = i;
+  }
+  const auto& ntp_bytes = wire_[ntp_slot].out_image;
+  net::UdpHeader udp;
+  udp.src_port = util::get_be16({wire_[udp_slot].out_image.data(), 2});
+  udp.dst_port = util::get_be16({wire_[udp_slot].out_image.data() + 2, 2});
+  if (udp.src_port == 0) udp.src_port = net::kNtpPort;
+  if (udp.dst_port == 0) udp.dst_port = net::kNtpPort;
+  const auto udp_bytes = udp.serialize(own_address_, destination, ntp_bytes);
+  return net::build_ipv4_packet(ip, udp_bytes);
+}
+
+net::IcmpMessage SchemaExecEnv::out_icmp() const {
+  return *net::IcmpMessage::parse(out_message_bytes(0));
+}
+
+net::IgmpMessage SchemaExecEnv::message() const {
+  return *net::IgmpMessage::parse(wire_[0].out_image);
+}
+
+net::NtpPacket SchemaExecEnv::packet() const {
+  for (const auto& L : wire_) {
+    if (L.spec->name == "ntp") return *net::NtpPacket::parse(L.out_image);
+  }
+  return net::NtpPacket{};
+}
+
+net::UdpHeader SchemaExecEnv::udp() const {
+  for (const auto& L : wire_) {
+    if (L.spec->name == "udp") {
+      net::UdpHeader u;
+      u.src_port = util::get_be16({L.out_image.data(), 2});
+      u.dst_port = util::get_be16({L.out_image.data() + 2, 2});
+      u.length = util::get_be16({L.out_image.data() + 4, 2});
+      u.checksum = util::get_be16({L.out_image.data() + 6, 2});
+      return u;
+    }
+  }
+  return net::UdpHeader{};
+}
+
+}  // namespace sage::runtime

@@ -1,5 +1,6 @@
 #include "sim/inspector.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "net/bfd.hpp"
@@ -8,12 +9,35 @@
 #include "net/igmp.hpp"
 #include "net/ipv4.hpp"
 #include "net/ntp.hpp"
+#include "net/schema.hpp"
 #include "net/udp.hpp"
 #include "util/bytes.hpp"
 
 namespace sage::sim {
 
 namespace {
+
+/// Expected on-wire size of a layer's fixed header, per the registry.
+std::size_t schema_header_bytes(std::string_view layer, std::size_t fallback) {
+  const auto* spec = net::schema::SchemaRegistry::instance().layer(layer);
+  return spec != nullptr ? spec->header_bytes : fallback;
+}
+
+/// Expected total size of a layer whose payload is a fixed scalar block
+/// (the ICMP timestamp message: 8-byte header + three 32-bit stamps).
+std::size_t schema_scalar_block_bytes(std::string_view layer,
+                                      std::size_t fallback) {
+  const auto* spec = net::schema::SchemaRegistry::instance().layer(layer);
+  if (spec == nullptr) return fallback;
+  std::size_t total = spec->header_bytes;
+  for (const auto& f : spec->fields) {
+    if (f.kind == net::schema::FieldKind::kPayloadScalar) {
+      total = std::max(total,
+                       spec->header_bytes + f.payload_offset + std::size_t{4});
+    }
+  }
+  return total;
+}
 
 void check_icmp(const net::Ipv4Header& ip,
                 std::span<const std::uint8_t> payload, InspectionResult& r) {
@@ -68,20 +92,23 @@ void check_icmp(const net::Ipv4Header& ip,
     }
     case net::IcmpType::kTimestamp:
     case net::IcmpType::kTimestampReply: {
-      // 8-byte header + three 32-bit timestamps = 20 bytes total.
-      if (payload.size() != 20) {
+      // Header + three 32-bit timestamps, sized from the schema registry
+      // (8 + 3*4 = 20 bytes total).
+      const std::size_t expect = schema_scalar_block_bytes("icmp", 20);
+      if (payload.size() != expect) {
         r.warnings.push_back(
             "timestamp message length " + std::to_string(payload.size()) +
-            " (expected 20)");
+            " (expected " + std::to_string(expect) + ")");
       }
       break;
     }
     case net::IcmpType::kInformationRequest:
     case net::IcmpType::kInformationReply: {
-      if (payload.size() != 8) {
+      const std::size_t expect = schema_header_bytes("icmp", 8);
+      if (payload.size() != expect) {
         r.warnings.push_back("information message length " +
-                             std::to_string(payload.size()) +
-                             " (expected 8)");
+                             std::to_string(payload.size()) + " (expected " +
+                             std::to_string(expect) + ")");
       }
       break;
     }
@@ -130,9 +157,17 @@ void check_igmp(std::span<const std::uint8_t> payload, InspectionResult& r) {
                     ? "host membership query"
                     : "host membership report") +
                " group " + igmp->group_address.to_string();
-  if (igmp->version != 1) {
+  long expected_version = 1;
+  if (const auto* schema =
+          net::schema::SchemaRegistry::instance().protocol("IGMP")) {
+    for (const auto& d : schema->defaults) {
+      if (d.layer == "igmp" && d.field == "version") expected_version = d.value;
+    }
+  }
+  if (igmp->version != expected_version) {
     r.warnings.push_back("IGMP version " + std::to_string(igmp->version) +
-                         " (expected 1)");
+                         " (expected " + std::to_string(expected_version) +
+                         ")");
   }
   if (!net::IgmpMessage::verify_checksum(payload)) {
     r.warnings.push_back("IGMP checksum incorrect");
@@ -221,6 +256,50 @@ bool PacketInspector::all_clean(std::span<const std::uint8_t> pcap_bytes) const 
     if (!r.clean()) return false;
   }
   return true;
+}
+
+std::vector<std::string> PacketInspector::decode(
+    std::span<const std::uint8_t> packet) const {
+  const auto& registry = net::schema::SchemaRegistry::instance();
+  std::vector<std::string> lines;
+  const auto ip = net::Ipv4Header::parse(packet);
+  if (!ip) {
+    lines.push_back("[not IPv4]");
+    return lines;
+  }
+  for (auto& line : registry.decode_layer(
+           "ip", packet.subspan(0, ip->header_length()))) {
+    lines.push_back(std::move(line));
+  }
+  const auto payload = packet.subspan(ip->header_length());
+  switch (static_cast<net::IpProto>(ip->protocol)) {
+    case net::IpProto::kIcmp:
+      for (auto& line : registry.decode_layer("icmp", payload)) {
+        lines.push_back(std::move(line));
+      }
+      break;
+    case net::IpProto::kIgmp:
+      for (auto& line : registry.decode_layer("igmp", payload)) {
+        lines.push_back(std::move(line));
+      }
+      break;
+    case net::IpProto::kUdp: {
+      for (auto& line : registry.decode_layer("udp", payload)) {
+        lines.push_back(std::move(line));
+      }
+      const auto udp = net::UdpHeader::parse(payload);
+      if (udp && (udp->src_port == net::kNtpPort ||
+                  udp->dst_port == net::kNtpPort)) {
+        for (auto& line : registry.decode_layer("ntp", payload.subspan(8))) {
+          lines.push_back(std::move(line));
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return lines;
 }
 
 }  // namespace sage::sim

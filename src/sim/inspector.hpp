@@ -38,6 +38,12 @@ class PacketInspector {
 
   /// Convenience: true if every packet in the capture is clean.
   bool all_clean(std::span<const std::uint8_t> pcap_bytes) const;
+
+  /// Schema-driven field decode: "layer.field = value" lines for every
+  /// wire scalar the packet-schema registry knows about in this packet
+  /// (IP header plus the ICMP/IGMP/UDP/NTP layer it carries). Used by
+  /// sage_debug and the interop harness.
+  std::vector<std::string> decode(std::span<const std::uint8_t> packet) const;
 };
 
 }  // namespace sage::sim

@@ -1,0 +1,17 @@
+#include "util/symbols.hpp"
+
+#include <cstdint>
+
+namespace sage::util {
+
+long symbol_value(std::string_view name) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (char c : name) {
+    const auto b = static_cast<std::uint8_t>(c);
+    h ^= (b >= 'A' && b <= 'Z') ? static_cast<std::uint8_t>(b + 32) : b;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<long>(h & 0x7fffffff);
+}
+
+}  // namespace sage::util

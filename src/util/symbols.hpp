@@ -1,0 +1,18 @@
+// Stable symbolic-value hashing shared by every execution environment.
+//
+// Generated code compares symbolic names ("net unreachable", "scenario",
+// message-type phrases) as scalars; the encoding is FNV-1a over the
+// lowercased name, masked to a non-negative 31-bit value so it fits the
+// interpreter's `long` domain on every platform. The exact outputs are
+// pinned by tests/test_schema.cpp — they are part of the generated-code
+// ABI (captures and goldens depend on them).
+#pragma once
+
+#include <string_view>
+
+namespace sage::util {
+
+/// FNV-1a over the lowercased `name`, masked to 31 bits.
+long symbol_value(std::string_view name);
+
+}  // namespace sage::util

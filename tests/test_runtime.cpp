@@ -1,14 +1,11 @@
-// Tests for the static-framework interpreter and the protocol execution
-// environments (ICMP, BFD, IGMP, NTP).
+// Tests for the static-framework interpreter and the table-driven
+// SchemaExecEnv across its protocol profiles (ICMP, BFD, IGMP, NTP).
 #include <gtest/gtest.h>
 
 #include "codegen/ir.hpp"
 #include "net/icmp.hpp"
-#include "runtime/bfd_env.hpp"
-#include "runtime/icmp_env.hpp"
-#include "runtime/igmp_env.hpp"
 #include "runtime/interpreter.hpp"
-#include "runtime/ntp_env.hpp"
+#include "runtime/schema_env.hpp"
 #include "sim/ping.hpp"
 
 namespace sage::runtime {
@@ -28,7 +25,7 @@ std::vector<std::uint8_t> echo_request() {
 
 TEST(Interpreter, AssignAndReadScalar) {
   const auto request = echo_request();
-  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1));
   Interpreter interp;
   const auto result = interp.run(
       Stmt::assign({"icmp", "type"}, Expr::constant(0)), env);
@@ -38,7 +35,7 @@ TEST(Interpreter, AssignAndReadScalar) {
 
 TEST(Interpreter, ConditionGatesBody) {
   const auto request = echo_request();
-  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1));
   Interpreter interp;
   // in->icmp.type == 8 holds for an echo request.
   Stmt hit = Stmt::if_then(
@@ -58,7 +55,7 @@ TEST(Interpreter, ConditionGatesBody) {
 
 TEST(Interpreter, UnknownFieldIsAnError) {
   const auto request = echo_request();
-  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1));
   Interpreter interp;
   const auto result =
       interp.run(Stmt::assign({"icmp", "bogus"}, Expr::constant(1)), env);
@@ -68,7 +65,7 @@ TEST(Interpreter, UnknownFieldIsAnError) {
 
 TEST(Interpreter, BytesAssignmentCopiesPayload) {
   const auto request = echo_request();
-  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1));
   Interpreter interp;
   const auto result = interp.run(
       Stmt::assign({"icmp", "data"},
@@ -80,7 +77,7 @@ TEST(Interpreter, BytesAssignmentCopiesPayload) {
 
 TEST(IcmpEnv, ScenarioSymbolComparison) {
   const auto request = echo_request();
-  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1));
   env.set_scenario("net unreachable");
   EXPECT_EQ(env.resolve_symbol("scenario"),
             env.resolve_symbol("net unreachable"));
@@ -90,7 +87,7 @@ TEST(IcmpEnv, ScenarioSymbolComparison) {
 
 TEST(IcmpEnv, ReverseAddressesEffect) {
   const auto request = echo_request();
-  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1));
   EXPECT_TRUE(env.call_effect("reverse_addresses", {}));
   EXPECT_EQ(env.out_ip().src, net::IpAddr(10, 0, 1, 1));
   EXPECT_EQ(env.out_ip().dst, net::IpAddr(10, 0, 1, 100));
@@ -102,8 +99,8 @@ TEST(IcmpEnv, StaleChecksumSemantics) {
   // absence is observable).
   const auto request = echo_request();
   {
-    IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1),
-                    /*start_from_incoming=*/true);
+    auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1),
+                                   /*start_from_incoming=*/true);
     env.call_effect("recompute_checksum", {});
     const auto packet = env.finish_reply();
     const auto ip = net::Ipv4Header::parse(packet);
@@ -111,8 +108,8 @@ TEST(IcmpEnv, StaleChecksumSemantics) {
         std::span<const std::uint8_t>(packet).subspan(ip->header_length())));
   }
   {
-    IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1),
-                    /*start_from_incoming=*/true);
+    auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1),
+                                   /*start_from_incoming=*/true);
     Interpreter interp;
     interp.run(Stmt::assign({"icmp", "checksum"}, Expr::constant(0)), env);
     env.call_effect("recompute_checksum", {});
@@ -125,7 +122,7 @@ TEST(IcmpEnv, StaleChecksumSemantics) {
 
 TEST(IcmpEnv, TimestampFieldWritesLandInPayload) {
   const auto request = echo_request();
-  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1));
   env.write_field({"icmp", "receive_timestamp"}, 1234);
   env.write_field({"icmp", "transmit_timestamp"}, 5678);
   EXPECT_EQ(env.out_icmp().receive_timestamp(), 1234u);
@@ -135,7 +132,7 @@ TEST(IcmpEnv, TimestampFieldWritesLandInPayload) {
 
 TEST(IcmpEnv, EventParameterFunctions) {
   const auto request = echo_request();
-  IcmpExecEnv env(request, net::IpAddr(10, 0, 1, 1));
+  auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1));
   env.set_error_pointer(20);
   env.set_better_gateway(net::IpAddr(10, 0, 1, 50));
   EXPECT_EQ(*env.call_scalar("error_octet", {}), 20);
@@ -152,7 +149,7 @@ TEST(BfdEnv, StateVariableRoundTrip) {
   net::BfdControlPacket packet;
   packet.state = net::BfdState::kInit;
   packet.my_discriminator = 42;
-  BfdExecEnv env(&state, &packet);
+  auto env = SchemaExecEnv::bfd(&state, &packet);
 
   EXPECT_EQ(*env.read_field({"bfd", "state"}, PacketSel::kIncoming),
             static_cast<long>(net::BfdState::kInit));
@@ -166,7 +163,7 @@ TEST(BfdEnv, StateVariableRoundTrip) {
 TEST(BfdEnv, SymbolsMatchRfcEncodings) {
   net::BfdSessionState state;
   net::BfdControlPacket packet;
-  BfdExecEnv env(&state, &packet);
+  auto env = SchemaExecEnv::bfd(&state, &packet);
   EXPECT_EQ(env.resolve_symbol("Up"), 3);
   EXPECT_EQ(env.resolve_symbol("down"), 1);
   EXPECT_EQ(env.resolve_symbol("Init"), 2);
@@ -176,7 +173,7 @@ TEST(BfdEnv, SymbolsMatchRfcEncodings) {
 TEST(BfdEnv, EffectsSetOperationalState) {
   net::BfdSessionState state;
   net::BfdControlPacket packet;
-  BfdExecEnv env(&state, &packet);
+  auto env = SchemaExecEnv::bfd(&state, &packet);
   env.call_effect("cease_transmission", {});
   EXPECT_FALSE(state.periodic_transmission_enabled);
   env.call_effect("discard_packet", {});
@@ -189,7 +186,8 @@ TEST(BfdEnv, EffectsSetOperationalState) {
 // ---- IGMP / NTP envs ----------------------------------------------------------
 
 TEST(IgmpEnv, BuildQueryPacket) {
-  IgmpExecEnv env(net::IpAddr(10, 0, 1, 100), net::IpAddr(224, 1, 2, 3));
+  auto env = SchemaExecEnv::igmp(net::IpAddr(10, 0, 1, 100),
+                                  net::IpAddr(224, 1, 2, 3));
   env.write_field({"igmp", "version"}, 1);
   env.write_field({"igmp", "type"},
                   static_cast<long>(net::IgmpType::kHostMembershipQuery));
@@ -205,14 +203,15 @@ TEST(IgmpEnv, BuildQueryPacket) {
 }
 
 TEST(IgmpEnv, HostGroupAddressService) {
-  IgmpExecEnv env(net::IpAddr(10, 0, 1, 100), net::IpAddr(224, 1, 2, 3));
+  auto env = SchemaExecEnv::igmp(net::IpAddr(10, 0, 1, 100),
+                                  net::IpAddr(224, 1, 2, 3));
   EXPECT_EQ(*env.read_field({"igmp", "host_group_address"},
                             PacketSel::kIncoming),
             static_cast<long>(net::IpAddr(224, 1, 2, 3).value()));
 }
 
 TEST(NtpEnv, BuildsNtpInUdpInIp) {
-  NtpExecEnv env(net::IpAddr(10, 0, 1, 100), 0x83aa7e80);
+  auto env = SchemaExecEnv::ntp(net::IpAddr(10, 0, 1, 100), 0x83aa7e80);
   env.write_field({"ntp", "version"}, 1);
   env.write_field({"ntp", "stratum"}, 2);
   env.write_field({"ntp", "transmit_timestamp"},

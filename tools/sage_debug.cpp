@@ -5,8 +5,10 @@
 #include <cstring>
 #include "ccg/interner.hpp"
 #include "ccg/parser.hpp"
+#include "codegen/generator.hpp"
 #include "core/batch.hpp"
 #include "core/sage.hpp"
+#include "net/schema.hpp"
 #include "corpus/rfc792.hpp"
 #include "corpus/rfc1112.hpp"
 #include "corpus/rfc1059.hpp"
@@ -54,6 +56,9 @@ void dump_parse_stats(const std::string& text, const std::string& proto,
   printf("beta steps      : %zu\n", total.beta_steps);
   printf("interned categories : %zu\n", ccg::category_interner_size());
   printf("interned terms      : %zu\n", ccg::term_interner_size());
+  const auto schema = codegen::schema_resolution_stats();
+  printf("schema field refs resolved   : %zu\n", schema.resolved);
+  printf("schema field refs unresolved : %zu\n", schema.unresolved);
 }
 
 void run(const char* name, const std::string& text, const std::string& proto,
@@ -96,6 +101,7 @@ void run(const char* name, const std::string& text, const std::string& proto,
   }
   printf("discovered non-actionable: %zu\n", run.discovered_non_actionable.size());
   for (auto& d : run.discovered_non_actionable) printf("  DISC: %s\n", d.c_str());
+  for (auto& u : run.unresolved_fields) printf("  UNRESOLVED FIELD: %s\n", u.c_str());
   if (verbose) {
     for (auto& f : run.functions) printf("---- %s\n%s\n", f.name.c_str(), f.c_source.c_str());
   }
@@ -104,7 +110,7 @@ void run(const char* name, const std::string& text, const std::string& proto,
 
 int main(int argc, char** argv) {
   // usage: sage_debug [icmp|icmp-rev|igmp|ntp|bfd] [-v] [--jobs N]
-  //                   [--parse-stats]
+  //                   [--parse-stats] [--dump-schema]
   bool verbose = false;
   std::string which = "icmp";
   for (int i = 1; i < argc; ++i) {
@@ -112,6 +118,9 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (strcmp(argv[i], "--parse-stats") == 0) {
       g_parse_stats = true;
+    } else if (strcmp(argv[i], "--dump-schema") == 0) {
+      fputs(net::schema::SchemaRegistry::instance().dump().c_str(), stdout);
+      return 0;
     } else if (strcmp(argv[i], "--jobs") == 0) {
       if (i + 1 >= argc) {
         fprintf(stderr, "error: --jobs requires a value\n");
