@@ -1,0 +1,16 @@
+#include "core/generated_icmp.hpp"
+
+#include "corpus/rfc792.hpp"
+
+namespace sage::core {
+
+const ProtocolRun& canonical_icmp_run() {
+  static const ProtocolRun run = [] {
+    Sage sage;
+    sage.annotate_non_actionable(corpus::icmp_non_actionable_annotations());
+    return sage.process(corpus::rfc792_revised(), "ICMP");
+  }();
+  return run;
+}
+
+}  // namespace sage::core

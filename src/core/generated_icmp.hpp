@@ -1,0 +1,15 @@
+// The canonical generated-ICMP artifact: one pipeline run over the
+// revised RFC 792 text with the standard non-actionable annotations,
+// memoized process-wide. The fuzz harness, the debug tool, and the
+// throughput bench all differentially test the *same* generated code, and
+// none of them pays for a second multi-second pipeline pass.
+#pragma once
+
+#include "core/sage.hpp"
+
+namespace sage::core {
+
+/// Processed once per process (thread-safe); immutable afterwards.
+const ProtocolRun& canonical_icmp_run();
+
+}  // namespace sage::core

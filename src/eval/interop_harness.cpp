@@ -12,10 +12,14 @@ sim::PingResult ping_against(sim::IcmpResponder* responder) {
   return ping.ping(net, "client", net::IpAddr(10, 0, 1, 1));
 }
 
+std::vector<std::string> decode_packet(std::span<const std::uint8_t> packet) {
+  return sim::PacketInspector().decode(packet);
+}
+
 std::vector<std::string> decode_reply(sim::IcmpResponder* responder) {
   const auto result = ping_against(responder);
   if (result.reply.empty()) return {};
-  return sim::PacketInspector().decode(result.reply);
+  return decode_packet(result.reply);
 }
 
 CohortReport run_student_experiment(const std::vector<Student>& cohort) {

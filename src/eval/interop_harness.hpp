@@ -4,6 +4,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,11 +45,15 @@ CohortReport run_student_experiment(const std::vector<Student>& cohort);
 /// Table 3 bench and the under-specification demonstration).
 sim::PingResult ping_against(sim::IcmpResponder* responder);
 
-/// Schema-driven decode of a responder's reply: ping it, then render the
-/// reply's fields as "layer.field = value" lines through the packet-
-/// schema registry (net/schema.hpp). Empty when no reply arrived. Lets
-/// interop failures be diagnosed field-by-field against the same table
-/// the generated code executed.
+/// Schema-driven decode of a raw captured packet: "layer.field = value"
+/// lines through the packet-schema registry (net/schema.hpp). Shared by
+/// decode_reply and the fuzz harness's semantic-equality oracle, so a
+/// divergence report and an interop diagnosis read identically.
+std::vector<std::string> decode_packet(std::span<const std::uint8_t> packet);
+
+/// Decode a responder's ping reply via decode_packet. Empty when no reply
+/// arrived. Lets interop failures be diagnosed field-by-field against the
+/// same table the generated code executed.
 std::vector<std::string> decode_reply(sim::IcmpResponder* responder);
 
 }  // namespace sage::eval

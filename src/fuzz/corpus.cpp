@@ -1,0 +1,151 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sage::fuzz {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::optional<CorpusCase> parse_corpus_case(const std::string& name,
+                                            const std::string& text,
+                                            std::string* error) {
+  CorpusCase c;
+  c.name = name;
+  c.packet.mutation = MutationKind::kHandWritten;
+  c.packet.scenario = name;
+
+  std::istringstream in(text);
+  std::string line;
+  bool in_bytes = false;
+  std::string hex;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    if (in_bytes) {
+      hex += " " + t;
+      continue;
+    }
+    if (t[0] == '#') {
+      const std::string note = trim(t.substr(1));
+      if (!note.empty()) {
+        if (!c.note.empty()) c.note += " ";
+        c.note += note;
+      }
+      continue;
+    }
+    const auto colon = t.find(':');
+    if (colon == std::string::npos) {
+      fail(error, name + ": expected 'key: value', got '" + t + "'");
+      return std::nullopt;
+    }
+    const std::string key = trim(t.substr(0, colon));
+    const std::string value = trim(t.substr(colon + 1));
+    if (key == "bytes") {
+      in_bytes = true;
+      hex = value;
+    } else if (key == "protocol") {
+      c.packet.protocol = value;
+    } else if (key == "via-router") {
+      c.packet.via_router = value == "1";
+    } else if (key == "tos-zero-required") {
+      c.packet.require_tos_zero = value == "1";
+    } else if (key == "full-outbound") {
+      c.packet.full_outbound = std::strtoul(value.c_str(), nullptr, 10);
+    } else {
+      fail(error, name + ": unknown key '" + key + "'");
+      return std::nullopt;
+    }
+  }
+
+  if (c.packet.protocol.empty()) {
+    fail(error, name + ": missing 'protocol:'");
+    return std::nullopt;
+  }
+  const auto& known = PacketGenerator::known_protocols();
+  if (std::find(known.begin(), known.end(), c.packet.protocol) == known.end()) {
+    fail(error, name + ": unknown protocol '" + c.packet.protocol + "'");
+    return std::nullopt;
+  }
+
+  std::istringstream hexin(hex);
+  std::string tok;
+  while (hexin >> tok) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(tok.c_str(), &end, 16);
+    if (end == tok.c_str() || *end != '\0' || v > 0xff) {
+      fail(error, name + ": bad hex byte '" + tok + "'");
+      return std::nullopt;
+    }
+    c.packet.bytes.push_back(static_cast<std::uint8_t>(v));
+  }
+  if (c.packet.bytes.empty()) {
+    fail(error, name + ": no bytes");
+    return std::nullopt;
+  }
+  return c;
+}
+
+std::string render_corpus_case(const CorpusCase& c) {
+  std::ostringstream out;
+  if (!c.note.empty()) out << "# " << c.note << "\n";
+  out << "protocol: " << c.packet.protocol << "\n";
+  if (c.packet.via_router) out << "via-router: 1\n";
+  if (c.packet.require_tos_zero) out << "tos-zero-required: 1\n";
+  if (c.packet.full_outbound) out << "full-outbound: " << *c.packet.full_outbound << "\n";
+  out << "bytes:\n";
+  static const char* kHex = "0123456789abcdef";
+  for (std::size_t i = 0; i < c.packet.bytes.size(); ++i) {
+    out << kHex[c.packet.bytes[i] >> 4] << kHex[c.packet.bytes[i] & 0xf];
+    out << ((i + 1) % 16 == 0 || i + 1 == c.packet.bytes.size() ? '\n' : ' ');
+  }
+  return out.str();
+}
+
+std::vector<CorpusCase> load_corpus_dir(const std::string& dir,
+                                        std::vector<std::string>* errors) {
+  std::vector<CorpusCase> cases;
+  std::error_code ec;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".case") files.push_back(entry.path());
+  }
+  if (ec && errors != nullptr) {
+    errors->push_back(dir + ": " + ec.message());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    auto c = parse_corpus_case(path.stem().string(), buffer.str(), &error);
+    if (!c) {
+      if (errors != nullptr) errors->push_back(error);
+      continue;
+    }
+    cases.push_back(std::move(*c));
+  }
+  return cases;
+}
+
+}  // namespace sage::fuzz

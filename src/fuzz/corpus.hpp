@@ -1,0 +1,42 @@
+// Regression corpus: minimized failing (or once-failing) inputs stored as
+// small text files under tests/corpus/regressions/ and replayed by
+// test_fuzz_regressions. The format is deliberately hand-editable:
+//
+//   # free-form note lines (kept as the case's note)
+//   protocol: icmp
+//   via-router: 1          (optional, default 0)
+//   tos-zero-required: 1   (optional, default 0)
+//   full-outbound: 1       (optional, absent = none)
+//   bytes:
+//   45 00 00 1c 00 01 ...  (hex bytes, any whitespace/line breaks)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+
+namespace sage::fuzz {
+
+struct CorpusCase {
+  std::string name;  // file stem; load order is sorted by this
+  std::string note;  // leading '#' comment lines, joined
+  FuzzPacket packet;  // mutation is always kHandWritten
+};
+
+/// Parse one corpus file's text; nullopt (and *error) on malformed input.
+std::optional<CorpusCase> parse_corpus_case(const std::string& name,
+                                            const std::string& text,
+                                            std::string* error = nullptr);
+
+/// Render a case back to the file format (used when the fuzzer saves a
+/// newly minimized failure).
+std::string render_corpus_case(const CorpusCase& c);
+
+/// Load every "*.case" file in `dir`, sorted by filename so replay order
+/// is stable. Files that fail to parse are reported in *errors (the
+/// replay test fails on any).
+std::vector<CorpusCase> load_corpus_dir(const std::string& dir,
+                                        std::vector<std::string>* errors = nullptr);
+
+}  // namespace sage::fuzz

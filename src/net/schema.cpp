@@ -76,6 +76,15 @@ std::string field_kind_name(FieldKind kind) {
   return "?";
 }
 
+std::string read_status_name(ReadStatus status) {
+  switch (status) {
+    case ReadStatus::kOk: return "ok";
+    case ReadStatus::kUnknownField: return "unknown-field";
+    case ReadStatus::kShortRead: return "short-read";
+  }
+  return "?";
+}
+
 SchemaRegistry::SchemaRegistry() {
   // ---- ip (RFC 791, 20-byte base header) ---------------------------------
   {
@@ -423,12 +432,16 @@ bool SchemaRegistry::write_scalar(const FieldSpec& spec,
   return true;
 }
 
-std::optional<long> SchemaRegistry::read_wire(
-    std::string_view layer_name, std::string_view field_name,
-    std::span<const std::uint8_t> image) const {
+WireRead SchemaRegistry::read_wire(std::string_view layer_name,
+                                   std::string_view field_name,
+                                   std::span<const std::uint8_t> image) const {
   const FieldSpec* spec = field(layer_name, field_name);
-  if (spec == nullptr) return std::nullopt;
-  return read_scalar(*spec, image);
+  if (spec == nullptr || spec->kind != FieldKind::kScalar) {
+    return {ReadStatus::kUnknownField, 0};
+  }
+  const auto value = read_scalar(*spec, image);
+  if (!value) return {ReadStatus::kShortRead, 0};
+  return {ReadStatus::kOk, *value};
 }
 
 std::string SchemaRegistry::dump() const {
@@ -495,8 +508,8 @@ std::vector<std::string> SchemaRegistry::decode_layer(
   for (const auto& f : l->fields) {
     if (f.kind != FieldKind::kScalar) continue;
     const auto v = read_scalar(f, image);
-    if (!v) continue;
-    out.push_back(l->name + "." + f.name + " = " + std::to_string(*v));
+    out.push_back(l->name + "." + f.name + " = " +
+                  (v ? std::to_string(*v) : std::string("<short read>")));
   }
   return out;
 }

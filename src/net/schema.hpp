@@ -48,6 +48,30 @@ enum class FieldKind : std::uint8_t {
 
 std::string field_kind_name(FieldKind kind);
 
+/// Outcome of a wire read. kShortRead replaces the old silent behaviors
+/// (zero-fill in the exec envs, silently missing decode lines) for
+/// truncated packets: a field whose bit range extends past the image is
+/// reported as short, never fabricated.
+enum class ReadStatus : std::uint8_t {
+  kOk,
+  kUnknownField,  // no such layer/field, or not a wire scalar
+  kShortRead,     // image ends before the field's last bit
+};
+
+std::string read_status_name(ReadStatus status);
+
+/// read_wire result: an explicit status plus the value when kOk. The
+/// pointer-ish accessors keep existing `*reg.read_wire(...)` call sites
+/// working while making truncation observable.
+struct WireRead {
+  ReadStatus status = ReadStatus::kUnknownField;
+  long value = 0;
+
+  bool ok() const { return status == ReadStatus::kOk; }
+  explicit operator bool() const { return ok(); }
+  long operator*() const { return value; }
+};
+
 struct FieldSpec {
   std::string name;
   FieldKind kind = FieldKind::kScalar;
@@ -134,16 +158,19 @@ class SchemaRegistry {
                            long value);
 
   /// Read a named wire field straight out of a serialized header image
-  /// (schema-driven packet decode for the inspector and tools).
-  std::optional<long> read_wire(std::string_view layer, std::string_view field,
-                                std::span<const std::uint8_t> image) const;
+  /// (schema-driven packet decode for the inspector and tools). A
+  /// truncated image yields ReadStatus::kShortRead, not a zero.
+  WireRead read_wire(std::string_view layer, std::string_view field,
+                     std::span<const std::uint8_t> image) const;
 
   /// Human-readable table of every layer/field/protocol
   /// (sage_debug --dump-schema).
   std::string dump() const;
 
   /// Render "layer.field = value" lines for one layer of a captured
-  /// packet (wire scalars only).
+  /// packet (wire scalars only). Fields the image is too short to hold
+  /// render as "layer.field = <short read>" so truncation is visible in
+  /// decodes instead of silently dropping lines.
   std::vector<std::string> decode_layer(std::string_view layer,
                                         std::span<const std::uint8_t> image) const;
 

@@ -193,21 +193,43 @@ SchemaExecEnv SchemaExecEnv::icmp(std::span<const std::uint8_t> raw_incoming,
 
   auto& icmp_layer = env.wire_[0];
   icmp_layer.has_in = true;
-  icmp_layer.in_image.assign(icmp_layer.spec->header_bytes, 0);
 
   const auto ip = net::Ipv4Header::parse(raw_incoming);
   if (!ip) {
     env.valid_ = false;
+    icmp_layer.in_image.assign(icmp_layer.spec->header_bytes, 0);
     return env;
   }
   env.in_ip_ = *ip;
   bool in_has_icmp = false;
-  if (ip->protocol == static_cast<std::uint8_t>(net::IpProto::kIcmp) &&
-      raw_incoming.size() >= ip->header_length() + 8) {
+  const bool trigger_is_icmp =
+      ip->protocol == static_cast<std::uint8_t>(net::IpProto::kIcmp);
+  if (start_from_incoming && trigger_is_icmp) {
     const auto icmp_bytes = raw_incoming.subspan(ip->header_length());
-    icmp_layer.in_image.assign(icmp_bytes.begin(), icmp_bytes.begin() + 8);
-    icmp_layer.in_payload.assign(icmp_bytes.begin() + 8, icmp_bytes.end());
-    in_has_icmp = true;
+    if (icmp_bytes.size() >= 8) {
+      icmp_layer.in_image.assign(icmp_bytes.begin(), icmp_bytes.begin() + 8);
+      icmp_layer.in_payload.assign(icmp_bytes.begin() + 8, icmp_bytes.end());
+      in_has_icmp = true;
+    } else {
+      // Truncated ICMP message on a receiver path (reply-by-mutation):
+      // keep only the bytes that exist. Reads whose bit range falls past
+      // the end report a short read (nullopt) instead of fabricating
+      // zeros from a full-size blank image, so no reply is built from
+      // invented field values.
+      icmp_layer.in_image.assign(icmp_bytes.begin(), icmp_bytes.end());
+      env.input_truncated_ = true;
+    }
+  } else {
+    // Error-sender flows (any trigger) and non-ICMP receivers: RFC 792's
+    // field prose ("if code = 0, ...") describes the error message under
+    // construction, not the offending datagram, so the message view is a
+    // blank image. The offending datagram stays reachable through the ip
+    // layer and the header+64-bits excerpt (raw_incoming_).
+    icmp_layer.in_image.assign(icmp_layer.spec->header_bytes, 0);
+    if (trigger_is_icmp &&
+        raw_incoming.subspan(ip->header_length()).size() < 8) {
+      env.input_truncated_ = true;
+    }
   }
   if (const auto* d = env.ip_default("protocol")) {
     env.out_ip_.protocol = static_cast<std::uint8_t>(d->value);
@@ -307,11 +329,17 @@ std::optional<long> SchemaExecEnv::read_field(const codegen::FieldRef& ref,
     }
     case Binding::Kind::kPayloadScalar: {
       const LayerImages& L = wire_[b->layer_slot];
+      const bool from_incoming =
+          sel == codegen::PacketSel::kIncoming ? L.has_in : !L.has_out;
       const std::vector<std::uint8_t>& pl =
-          sel == codegen::PacketSel::kIncoming
-              ? (L.has_in ? L.in_payload : L.out_payload)
-              : (L.has_out ? L.out_payload : L.in_payload);
-      if (pl.size() < spec.payload_offset + 4) return 0;
+          from_incoming ? L.in_payload : L.out_payload;
+      if (pl.size() < spec.payload_offset + 4) {
+        // An outgoing block that has not been written yet reads as 0 (it
+        // is under construction); an incoming packet that ends before the
+        // field is a short read, not a zero.
+        if (from_incoming) return std::nullopt;
+        return 0;
+      }
       return static_cast<long>(
           util::get_be32({pl.data() + spec.payload_offset, 4}));
     }

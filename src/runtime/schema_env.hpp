@@ -79,6 +79,10 @@ class SchemaExecEnv : public ExecEnv {
   // -- per-run knobs (same surface the legacy envs had) --------------------
 
   bool valid() const { return valid_; }
+  /// ICMP: the incoming packet claimed to carry an ICMP message but ended
+  /// before the 8-byte ICMP header. Field reads over the missing bytes
+  /// return nullopt (short read) instead of the old silent zero-fill.
+  bool input_truncated() const { return input_truncated_; }
   void set_scenario(const std::string& name) { scenario_ = name; }
   void set_error_pointer(std::uint8_t pointer) { error_pointer_ = pointer; }
   void set_better_gateway(net::IpAddr gateway) { better_gateway_ = gateway; }
@@ -208,6 +212,7 @@ class SchemaExecEnv : public ExecEnv {
   net::Ipv4Header out_ip_;
   std::span<const std::uint8_t> raw_incoming_;
   bool valid_ = true;
+  bool input_truncated_ = false;
 
   net::IpAddr own_address_;
   net::IpAddr host_group_;

@@ -2,6 +2,7 @@
 
 #include "net/checksum.hpp"
 #include "net/icmp.hpp"
+#include "net/schema.hpp"
 #include "net/udp.hpp"
 #include "util/bytes.hpp"
 
@@ -9,6 +10,42 @@ namespace sage::sim {
 
 namespace {
 constexpr int kHopBudget = 16;
+
+/// Byte size of the ICMP payload-scalar block (the three 32-bit
+/// timestamps) as the schema declares it.
+std::size_t icmp_timestamp_block_bytes() {
+  static const std::size_t block = [] {
+    std::size_t bytes = 0;
+    const auto* layer = net::schema::SchemaRegistry::instance().layer("icmp");
+    if (layer != nullptr) {
+      for (const auto& f : layer->fields) {
+        if (f.kind == net::schema::FieldKind::kPayloadScalar) {
+          bytes = std::max<std::size_t>(bytes, f.payload_offset + 4);
+        }
+      }
+    }
+    return bytes;
+  }();
+  return block;
+}
+}
+
+bool icmp_request_well_formed(const net::IcmpMessage& icmp) {
+  switch (icmp.type) {
+    case net::IcmpType::kEcho:
+      // RFC 792 echo: "Code 0"; data is arbitrary.
+      return icmp.code == 0;
+    case net::IcmpType::kTimestamp:
+      // RFC 792 timestamp message: code 0, header + originate/receive/
+      // transmit.
+      return icmp.code == 0 &&
+             icmp.payload.size() == icmp_timestamp_block_bytes();
+    case net::IcmpType::kInformationRequest:
+      // Information messages: code 0, no data.
+      return icmp.code == 0 && icmp.payload.empty();
+    default:
+      return true;
+  }
 }
 
 const UdpSocket* Host::udp_socket(std::uint16_t port) const {
@@ -175,7 +212,7 @@ void Network::deliver_to_host(Host& host, std::vector<std::uint8_t> packet,
 
   if (hdr->protocol == static_cast<std::uint8_t>(net::IpProto::kIcmp)) {
     const auto icmp = net::IcmpMessage::parse(payload);
-    if (icmp && host.responder_ != nullptr) {
+    if (icmp && host.responder_ != nullptr && icmp_request_well_formed(*icmp)) {
       switch (icmp->type) {
         case net::IcmpType::kEcho:
           send_reply(host.name(), host.responder_->on_echo_request(ctx), hop_budget);
@@ -238,7 +275,7 @@ void Network::route_through_router(Router& r, std::vector<std::uint8_t> packet,
           packet.data() + hdr->header_length(),
           packet.size() - hdr->header_length());
       const auto icmp = net::IcmpMessage::parse(payload);
-      if (icmp) {
+      if (icmp && icmp_request_well_formed(*icmp)) {
         switch (icmp->type) {
           case net::IcmpType::kEcho:
             send_reply(r.name(), resp->on_echo_request(ctx), hop_budget);

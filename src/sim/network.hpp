@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "net/icmp.hpp"
 #include "net/ipv4.hpp"
 #include "net/pcap.hpp"
 #include "sim/responder.hpp"
@@ -190,5 +191,14 @@ class Network {
 /// 192.168.2.1/24, 172.64.3.1/24; "client" 10.0.1.100, "server1"
 /// 192.168.2.100, "server2" 172.64.3.100.
 Network make_appendix_a_network();
+
+/// The simulated kernel's input validation for ICMP requests: RFC 792
+/// gives echo/timestamp/information requests "Code 0", a timestamp
+/// request must carry exactly the three-timestamp block the schema
+/// declares, and an information request carries no data. Malformed
+/// requests are never handed to a responder (mirroring OS ICMP input
+/// checks), so reference and generated implementations always see the
+/// same, parseable inputs — the fuzzer relies on this shared gate.
+bool icmp_request_well_formed(const net::IcmpMessage& icmp);
 
 }  // namespace sage::sim

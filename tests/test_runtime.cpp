@@ -4,6 +4,7 @@
 
 #include "codegen/ir.hpp"
 #include "net/icmp.hpp"
+#include "net/ipv4.hpp"
 #include "runtime/interpreter.hpp"
 #include "runtime/schema_env.hpp"
 #include "sim/ping.hpp"
@@ -35,7 +36,8 @@ TEST(Interpreter, AssignAndReadScalar) {
 
 TEST(Interpreter, ConditionGatesBody) {
   const auto request = echo_request();
-  auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1));
+  auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1),
+                                 /*start_from_incoming=*/true);
   Interpreter interp;
   // in->icmp.type == 8 holds for an echo request.
   Stmt hit = Stmt::if_then(
@@ -65,7 +67,8 @@ TEST(Interpreter, UnknownFieldIsAnError) {
 
 TEST(Interpreter, BytesAssignmentCopiesPayload) {
   const auto request = echo_request();
-  auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1));
+  auto env = SchemaExecEnv::icmp(request, net::IpAddr(10, 0, 1, 1),
+                                 /*start_from_incoming=*/true);
   Interpreter interp;
   const auto result = interp.run(
       Stmt::assign({"icmp", "data"},
@@ -73,6 +76,29 @@ TEST(Interpreter, BytesAssignmentCopiesPayload) {
       env);
   EXPECT_TRUE(result.ok);
   EXPECT_EQ(env.out_icmp().payload, sim::PingClient::make_payload(56));
+}
+
+TEST(IcmpEnv, TruncatedRequestReadsShortNotZero) {
+  // Satellite pin for the short-read status: a 1-byte ICMP message on the
+  // receiver path exposes its one real byte and nothing else. The old
+  // zero-fill behavior answered identifier=0 here, and a reply could be
+  // built from invented field values.
+  net::Ipv4Header ip;
+  ip.src = net::IpAddr(10, 0, 1, 100);
+  ip.dst = net::IpAddr(10, 0, 1, 1);
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::kIcmp);
+  const std::vector<std::uint8_t> one_byte{8};
+  const auto packet = net::build_ipv4_packet(ip, one_byte);
+  auto env = SchemaExecEnv::icmp(packet, net::IpAddr(10, 0, 1, 1),
+                                 /*start_from_incoming=*/true);
+  EXPECT_TRUE(env.input_truncated());
+  const auto type = env.read_field({"icmp", "type"}, PacketSel::kIncoming);
+  ASSERT_TRUE(type.has_value());
+  EXPECT_EQ(*type, 8);
+  EXPECT_FALSE(
+      env.read_field({"icmp", "identifier"}, PacketSel::kIncoming).has_value());
+  EXPECT_FALSE(
+      env.read_field({"icmp", "checksum"}, PacketSel::kIncoming).has_value());
 }
 
 TEST(IcmpEnv, ScenarioSymbolComparison) {

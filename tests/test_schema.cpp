@@ -349,5 +349,39 @@ TEST(SchemaDecode, EchoRequestRendersKnownFields) {
   EXPECT_TRUE(has("icmp.code = 0"));
 }
 
+// ---- truncation (read_wire short-read status) ------------------------------
+
+TEST(SchemaShortRead, TruncatedImageReportsShortNotZero) {
+  // A 1-byte ICMP image holds the type and nothing else. Fields past the
+  // end must come back kShortRead — the old behavior (zero-fill) let a
+  // truncated packet impersonate "checksum = 0, identifier = 0".
+  const auto& reg = SchemaRegistry::instance();
+  const std::vector<std::uint8_t> one_byte{8};
+  const auto type = reg.read_wire("icmp", "type", one_byte);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, 8);
+  for (const auto* field : {"code", "checksum", "identifier", "sequence_number"}) {
+    const auto r = reg.read_wire("icmp", field, one_byte);
+    EXPECT_EQ(r.status, net::schema::ReadStatus::kShortRead) << field;
+  }
+  EXPECT_EQ(reg.read_wire("icmp", "bogus", one_byte).status,
+            net::schema::ReadStatus::kUnknownField);
+}
+
+TEST(SchemaShortRead, DecodeRendersShortReadMarkers) {
+  const auto& reg = SchemaRegistry::instance();
+  const std::vector<std::uint8_t> one_byte{8};
+  const auto lines = reg.decode_layer("icmp", one_byte);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0], "icmp.type = 8");
+  bool any_short = false;
+  for (const auto& line : lines) {
+    any_short |= line.find("<short read>") != std::string::npos;
+    EXPECT_EQ(line.find("= 0"), std::string::npos)
+        << "fabricated zero in: " << line;
+  }
+  EXPECT_TRUE(any_short);
+}
+
 }  // namespace
 }  // namespace sage

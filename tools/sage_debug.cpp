@@ -1,9 +1,11 @@
 // Diagnostic driver: run the pipeline over a corpus and print per-sentence
 // status, counts, and codegen results. Used to iterate on corpus/lexicon.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include "ccg/interner.hpp"
+#include "fuzz/differential.hpp"
 #include "ccg/parser.hpp"
 #include "codegen/generator.hpp"
 #include "core/batch.hpp"
@@ -108,13 +110,102 @@ void run(const char* name, const std::string& text, const std::string& proto,
   if (g_parse_stats) dump_parse_stats(text, proto, s);
 }
 
+// --fuzz <protocol>: run the schema-driven differential fuzzer instead
+// of the pipeline-diagnostic modes. Prints the deterministic verdict log
+// (same seed → byte-identical output on any --jobs) and exits nonzero on
+// any divergence or crash.
+int run_fuzz(int argc, char** argv, int i) {
+  fuzz::FuzzOptions options;
+  if (i >= argc) {
+    fprintf(stderr, "error: --fuzz requires a protocol (icmp|igmp|ntp|bfd|udp)\n");
+    return 2;
+  }
+  options.protocol = argv[i++];
+  const auto& known = fuzz::PacketGenerator::known_protocols();
+  if (std::find(known.begin(), known.end(), options.protocol) == known.end()) {
+    fprintf(stderr, "error: unknown fuzz protocol '%s' (expected icmp|igmp|ntp|bfd|udp)\n",
+            options.protocol.c_str());
+    return 2;
+  }
+  options.iterations = 1000;
+  bool quiet = false;
+  for (; i < argc; ++i) {
+    auto number = [&](const char* flag) -> std::optional<unsigned long> {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "error: %s requires a value\n", flag);
+        return std::nullopt;
+      }
+      char* end = nullptr;
+      const unsigned long v = strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        fprintf(stderr, "error: %s expects a number, got '%s'\n", flag, argv[i]);
+        return std::nullopt;
+      }
+      return v;
+    };
+    if (strcmp(argv[i], "--seed") == 0) {
+      const auto v = number("--seed");
+      if (!v) return 2;
+      options.seed = *v;
+    } else if (strcmp(argv[i], "--iters") == 0) {
+      const auto v = number("--iters");
+      if (!v) return 2;
+      options.iterations = *v;
+    } else if (strcmp(argv[i], "--jobs") == 0) {
+      const auto v = number("--jobs");
+      if (!v) return 2;
+      options.jobs = *v;
+    } else if (strcmp(argv[i], "--faults") == 0) {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "error: --faults requires a spec (e.g. 'loss=5,corrupt=10')\n");
+        return 2;
+      }
+      std::string error;
+      const auto plan = fuzz::FaultPlan::parse(argv[++i], &error);
+      if (!plan) {
+        fprintf(stderr, "error: bad --faults spec: %s\n", error.c_str());
+        return 2;
+      }
+      options.faults = *plan;
+    } else if (strcmp(argv[i], "--no-minimize") == 0) {
+      options.minimize = false;
+    } else if (strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;  // summary + failures only (bench/CI wrapper use)
+    } else {
+      fprintf(stderr, "error: unknown --fuzz option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const fuzz::DifferentialFuzzer fuzzer(options);
+  const fuzz::FuzzReport report = fuzzer.run();
+  if (!quiet) {
+    for (const auto& line : report.log) printf("%s\n", line.c_str());
+  }
+  printf("%s\n", report.summary().c_str());
+  for (const auto& failure : report.failures) {
+    printf("FAILURE %s: %s\n", fuzz::verdict_name(failure.verdict),
+           failure.detail.c_str());
+    if (!failure.minimized.empty()) {
+      printf("  minimized (%zu bytes):", failure.minimized.size());
+      for (const auto b : failure.minimized) printf(" %02x", b);
+      printf("\n");
+    }
+  }
+  return report.clean() ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
   // usage: sage_debug [icmp|icmp-rev|igmp|ntp|bfd] [-v] [--jobs N]
   //                   [--parse-stats] [--dump-schema]
+  //        sage_debug --fuzz <protocol> [--seed N] [--iters M] [--jobs N]
+  //                   [--faults SPEC] [--no-minimize] [--quiet]
   bool verbose = false;
   std::string which = "icmp";
   for (int i = 1; i < argc; ++i) {
-    if (strcmp(argv[i], "-v") == 0) {
+    if (strcmp(argv[i], "--fuzz") == 0) {
+      return run_fuzz(argc, argv, i + 1);
+    } else if (strcmp(argv[i], "-v") == 0) {
       verbose = true;
     } else if (strcmp(argv[i], "--parse-stats") == 0) {
       g_parse_stats = true;
