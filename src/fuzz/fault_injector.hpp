@@ -47,8 +47,18 @@ class FaultyNetwork {
   void send(const std::string& host, std::vector<std::uint8_t> packet,
             bool via_router = false);
 
-  /// Release every held (reordered/delayed) packet, oldest first.
+  /// Release every held (reordered/delayed) packet, oldest first. Under
+  /// the event kernel, delayed packets are released as real future-time
+  /// events: each is scheduled kDelayNs into the simulated future, spaced
+  /// kDelaySpacingNs apart so each release's cascade quiesces before the
+  /// next begins — which is exactly the reference kernel's sequential
+  /// release order, keeping verdict logs byte-stable across kernels.
   void flush();
+
+  /// Simulated-time penalty of a delay fault (event kernel).
+  static constexpr std::uint64_t kDelayNs = 1000000;  // 1ms
+  /// Spacing between consecutive delayed releases (event kernel).
+  static constexpr std::uint64_t kDelaySpacingNs = 1000;
 
  private:
   struct Held {

@@ -1,10 +1,25 @@
 // In-process network simulator standing in for the paper's Mininet
 // testbed (§6.1/§6.2 and Appendix A).
 //
-// Topology mirrors Appendix A: one router with three subnets
+// Two delivery kernels share one topology model:
+//
+//   * DeliveryMode::kEvent (default) — an event-queue kernel. Every hop
+//     is a timestamped event drained in deterministic (time, seq) order
+//     (sim/event_queue.hpp), node lookups go through hash indexes, and
+//     per-link latency/bandwidth (set_link) turn simulated time into a
+//     real dimension. This is what lets generated topologies of 1k+
+//     hosts/routers (sim/topology.hpp) run production-style soak
+//     traffic (sim/soak.hpp) efficiently.
+//   * DeliveryMode::kReference — the original synchronous recursive
+//     delivery, preserved verbatim (linear scans included) as the
+//     differential baseline, exactly like the parser's reference_mode.
+//     tests/test_sim_kernel.cpp pins capture logs byte-identical
+//     between the two kernels for every Appendix-A scenario.
+//
+// Topology mirrors Appendix A by default: one router with three subnets
 // (10.0.1.1/24, 192.168.2.1/24, 172.64.3.1/24), a client on the first and
-// servers on the others. Hosts and the router exchange raw IPv4 datagrams
-// synchronously; every transmission is recorded in a capture log that the
+// servers on the others. Hosts and the router exchange raw IPv4 datagrams;
+// every transmission is recorded in a capture log that the
 // PacketInspector (our tcpdump) later validates.
 #pragma once
 
@@ -13,20 +28,28 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/icmp.hpp"
 #include "net/ipv4.hpp"
 #include "net/pcap.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/responder.hpp"
 
 namespace sage::sim {
 
-/// One recorded transmission: the node that put the packet on the wire
-/// and the raw bytes (starting at the IP header).
+/// Which delivery kernel a Network runs on (see file comment).
+enum class DeliveryMode : std::uint8_t { kEvent, kReference };
+
+/// One recorded transmission: the node that put the packet on the wire,
+/// the raw bytes (starting at the IP header), and — under the event
+/// kernel — the simulated time the packet hit the wire (0 under the
+/// reference kernel, whose clock does not advance).
 struct CaptureEntry {
   std::string node;
   std::vector<std::uint8_t> packet;
+  std::uint64_t time_ns = 0;
 };
 
 /// A listening UDP port on a host (traceroute probes to closed ports are
@@ -37,6 +60,7 @@ struct UdpSocket {
 };
 
 class Network;
+class Router;
 
 /// End host: one interface, optional ICMP responder, UDP sockets.
 class Host {
@@ -65,6 +89,9 @@ class Host {
   net::IpAddr address_;
   int prefix_len_;
   IcmpResponder* responder_ = nullptr;
+  /// Gateway router cached by Network::ensure_index() so the event
+  /// kernel's per-packet egress decision is a pointer load, not a scan.
+  Router* gateway_ = nullptr;
   std::map<std::uint16_t, UdpSocket> udp_sockets_;
   std::vector<std::vector<std::uint8_t>> inbox_;
 };
@@ -116,6 +143,7 @@ class Router {
   void add_route(net::IpAddr network, int prefix_len, net::IpAddr next_hop) {
     routes_.push_back({network, prefix_len, next_hop});
   }
+  const std::vector<StaticRoute>& routes() const { return routes_; }
 
   /// True if `addr` is one of the router's own interface addresses.
   bool owns_address(net::IpAddr addr) const;
@@ -135,9 +163,14 @@ class Router {
   RouterBehavior behavior_;
 };
 
-/// The simulated network: one router, any number of hosts, a capture log.
+/// The simulated network: routers, any number of hosts, a capture log,
+/// and (in event mode) the timestamped event queue driving delivery.
 class Network {
  public:
+  explicit Network(DeliveryMode mode = DeliveryMode::kEvent) : mode_(mode) {}
+
+  DeliveryMode delivery_mode() const { return mode_; }
+
   Host& add_host(std::string name, net::IpAddr address, int prefix_len = 24);
   Router& add_router(std::string name);
 
@@ -150,13 +183,29 @@ class Network {
   Router* find_router_by_address(net::IpAddr addr);
   /// Router with an interface on `addr`'s subnet (the first match).
   Router* router_serving(net::IpAddr addr);
+  const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
+  const std::vector<std::unique_ptr<Router>>& routers() const { return routers_; }
 
-  /// Transmit `packet` from `host_name`. The packet is routed hop by hop
-  /// until delivered, dropped, or the hop budget is exhausted. Replies
-  /// generated along the way are routed too. Every transmission is
+  /// Configure the link serving `network/prefix_len`. Hops toward an
+  /// address in that subnet are scheduled `LinkConfig::delay_ns` into the
+  /// simulated future (longest configured prefix wins; unconfigured
+  /// subnets are ideal wires). Event mode only; the reference kernel has
+  /// no clock.
+  void set_link(net::IpAddr network, int prefix_len, LinkConfig config);
+
+  /// Transmit `packet` from `host_name` (or a router's name for
+  /// router-originated traffic). The packet is routed hop by hop until
+  /// delivered, dropped, or the hop budget is exhausted; replies
+  /// generated along the way are routed too, and in event mode the queue
+  /// is drained to quiescence before returning. Every transmission is
   /// appended to the capture log.
   void send_from_host(const std::string& host_name,
                       std::vector<std::uint8_t> packet);
+
+  /// Overload for callers that already hold the sending host (topology
+  /// generators and the soak driver do): skips the name lookup on the
+  /// event kernel's injection fast path.
+  void send_from_host(Host& host, std::vector<std::uint8_t> packet);
 
   /// Like send_from_host, but forces the first hop through the router even
   /// if the destination is on the sender's own subnet — the Appendix A
@@ -165,13 +214,74 @@ class Network {
   void send_from_host_via_router(const std::string& host_name,
                                  std::vector<std::uint8_t> packet);
 
+  /// Enqueue a transmission `delay_ns` into the simulated future WITHOUT
+  /// draining the queue — the injection point for traffic storms and the
+  /// fuzzer's delay faults (fuzz::FaultyNetwork schedules real
+  /// future-time events here instead of post-hoc reordering). Call run()
+  /// to deliver. Under the reference kernel the packet joins a FIFO
+  /// drained by run(), which matches the event kernel's order whenever
+  /// delays are scheduled nondecreasing.
+  void schedule_from_host(const std::string& host_name,
+                          std::vector<std::uint8_t> packet,
+                          std::uint64_t delay_ns, bool via_router = false);
+
+  /// Drain every pending event in (time, seq) order; returns the number
+  /// of events processed. now_ns() advances to the last event's time.
+  std::size_t run();
+
+  /// Current simulated time (event mode; the reference kernel stays at 0).
+  std::uint64_t now_ns() const { return now_ns_; }
+
+  /// Kernel events processed so far. Both kernels count the same unit —
+  /// one transmission activation (a node putting a packet on the wire,
+  /// a static-route handoff, or a forced injection) — so events/s is
+  /// comparable across kernels. On the event kernel a zero-delay hop may
+  /// be dispatched inline (cut-through) rather than through the queue,
+  /// but it still counts as one event.
+  std::size_t events_processed() const { return events_processed_; }
+
   const std::vector<CaptureEntry>& capture() const { return capture_; }
   void clear_capture() { capture_.clear(); }
+
+  /// Reset per-session endpoint state: capture log, host inboxes, and
+  /// received-UDP buffers. Topology, routes, links, clock, and counters
+  /// survive — this is what keeps a long soak's memory bounded while
+  /// keeping its sessions independent.
+  void clear_transient();
+
+  /// Rough accounting of the simulation's resident footprint (topology +
+  /// capture + queue), for the bounded-memory soak assertions.
+  std::size_t approximate_memory_bytes() const;
 
   /// Render the capture log as a pcap byte stream (LINKTYPE_RAW).
   std::vector<std::uint8_t> capture_to_pcap() const;
 
  private:
+  /// Who put a packet on the wire. Exactly one pointer is set; the event
+  /// kernel carries this instead of re-resolving node names per hop.
+  struct NodeRef {
+    Host* host = nullptr;
+    Router* router = nullptr;
+    const std::string& name() const {
+      return host != nullptr ? host->name() : router->name();
+    }
+  };
+
+  /// One scheduled hop.
+  struct Pending {
+    enum class Kind : std::uint8_t {
+      kTransmit,    // `from` put `packet` on the wire
+      kRouteVia,    // `packet` was handed to router `via` (static route)
+      kInjectVia,   // host injection forced through its gateway (redirect)
+    };
+    Kind kind = Kind::kTransmit;
+    NodeRef from;
+    Router* via = nullptr;
+    std::vector<std::uint8_t> packet;
+    int hop_budget = 0;
+  };
+
+  // --- reference kernel (the seed's synchronous path, unchanged) ---
   void transmit(const std::string& from_node, std::vector<std::uint8_t> packet,
                 int hop_budget);
   void deliver_to_host(Host& host, std::vector<std::uint8_t> packet,
@@ -182,15 +292,57 @@ class Network {
                   std::optional<std::vector<std::uint8_t>> reply,
                   int hop_budget);
 
+  // --- event kernel ---
+  void ensure_index();
+  NodeRef lookup_node(const std::string& name);
+  Router* gateway_of(const Host& host) { return host.gateway_; }
+  std::uint64_t hop_delay(const std::vector<std::uint8_t>& packet) const;
+  void schedule(Pending pending, std::uint64_t at_ns);
+  void process(Pending pending);
+  // `pre` is the already-parsed IP header when the caller has one (the
+  // cut-through path patches TTL in both packet and header copy instead
+  // of re-parsing every hop).
+  void ev_transmit(NodeRef from, std::vector<std::uint8_t> packet,
+                   int hop_budget, const net::Ipv4Header* pre = nullptr);
+  void ev_deliver(Host& host, std::vector<std::uint8_t> packet,
+                  int hop_budget, const net::Ipv4Header& hdr);
+  void ev_route(Router& r, std::vector<std::uint8_t> packet, int hop_budget,
+                const net::Ipv4Header* pre = nullptr);
+  void ev_reply(NodeRef from, std::optional<std::vector<std::uint8_t>> reply,
+                int hop_budget);
+
+  DeliveryMode mode_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<CaptureEntry> capture_;
+
+  // Event-kernel state.
+  EventQueue<Pending> queue_;
+  std::uint64_t now_ns_ = 0;
+  std::size_t events_processed_ = 0;
+  std::vector<std::pair<StaticRoute, LinkConfig>> links_;  // route fields reused as (subnet, prefix)
+
+  // Reference-kernel stand-in for the queue: schedule_from_host FIFO.
+  struct DeferredInjection {
+    std::string host;
+    std::vector<std::uint8_t> packet;
+    bool via_router = false;
+  };
+  std::vector<DeferredInjection> deferred_;
+
+  // Hash indexes over the topology, rebuilt when it grows (event mode).
+  std::unordered_map<std::string, NodeRef> node_by_name_;
+  std::unordered_map<std::uint32_t, Host*> host_by_addr_;
+  std::unordered_map<std::uint32_t, Router*> router_by_addr_;
+  std::size_t indexed_hosts_ = 0;
+  std::size_t indexed_routers_ = 0;
+  std::size_t indexed_interfaces_ = 0;
 };
 
 /// Build the Appendix A topology: router "r" with 10.0.1.1/24,
 /// 192.168.2.1/24, 172.64.3.1/24; "client" 10.0.1.100, "server1"
 /// 192.168.2.100, "server2" 172.64.3.100.
-Network make_appendix_a_network();
+Network make_appendix_a_network(DeliveryMode mode = DeliveryMode::kEvent);
 
 /// The simulated kernel's input validation for ICMP requests: RFC 792
 /// gives echo/timestamp/information requests "Code 0", a timestamp

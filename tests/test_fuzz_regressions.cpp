@@ -79,6 +79,45 @@ TEST(FuzzRegressions, KeyVerdictsPinBehavior) {
   }
 }
 
+TEST(FuzzRegressions, VerdictLogsAreByteStableAcrossDeliveryKernels) {
+  // The event-queue kernel swap must be invisible to the fuzzer: a
+  // delay-heavy campaign (delay faults are the path that changed — they
+  // are now real future-time events) and every corpus replay must
+  // produce byte-identical verdict logs and capture hashes on both
+  // kernels.
+  FuzzOptions options;
+  options.protocol = "icmp";
+  options.seed = 21;
+  options.iterations = 40;
+  options.minimize = false;
+  options.faults = *FaultPlan::parse("delay=40,dup=15,reorder=15");
+  options.delivery = sim::DeliveryMode::kEvent;
+  const FuzzReport event_report = DifferentialFuzzer(options).run();
+  options.delivery = sim::DeliveryMode::kReference;
+  const FuzzReport reference_report = DifferentialFuzzer(options).run();
+  EXPECT_EQ(event_report.log_hash, reference_report.log_hash);
+  ASSERT_EQ(event_report.log.size(), reference_report.log.size());
+  for (std::size_t i = 0; i < event_report.log.size(); ++i) {
+    EXPECT_EQ(event_report.log[i], reference_report.log[i]) << "iteration " << i;
+  }
+
+  for (const auto& c : corpus()) {
+    FuzzOptions replay_options;
+    replay_options.protocol = c.packet.protocol;
+    replay_options.minimize = false;
+    replay_options.faults = *FaultPlan::parse("delay=60");
+    replay_options.delivery = sim::DeliveryMode::kEvent;
+    const CaseResult ev =
+        DifferentialFuzzer(replay_options).run_case(c.packet, Rng(9));
+    replay_options.delivery = sim::DeliveryMode::kReference;
+    const CaseResult ref =
+        DifferentialFuzzer(replay_options).run_case(c.packet, Rng(9));
+    EXPECT_EQ(ev.verdict, ref.verdict) << c.name;
+    EXPECT_EQ(ev.capture_hash, ref.capture_hash) << c.name;
+    EXPECT_EQ(ev.detail, ref.detail) << c.name;
+  }
+}
+
 TEST(FuzzRegressions, BoundedCampaignPerProtocolStaysClean) {
   // Small enough for the ASan smoke preset, big enough to cross every
   // mutation class (test_fuzz pins taxonomy coverage at this scale).

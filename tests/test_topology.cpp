@@ -1,0 +1,184 @@
+// Topology-generator battery: seeded reproducibility, scale (16/256/1024
+// hosts), full pairwise reachability through the static-route tables, and
+// bounded memory under a 1k-host soak.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/ping.hpp"
+#include "sim/soak.hpp"
+#include "sim/topology.hpp"
+
+namespace sage::sim {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Structural fingerprint of a topology: every node name, address,
+/// interface, and route, in generation order. Equal fingerprints mean
+/// byte-identical wiring.
+std::uint64_t fingerprint(const Topology& topo) {
+  std::uint64_t h = kFnvOffset;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= kFnvPrime;
+    }
+  };
+  const auto mix_text = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= kFnvPrime;
+    }
+  };
+  for (const Host* host : topo.hosts) {
+    mix_text(host->name());
+    mix(host->address().value());
+    mix(static_cast<std::uint64_t>(host->prefix_len()));
+  }
+  for (const Router* r : topo.routers) {
+    mix_text(r->name());
+    for (const auto& ifc : r->interfaces()) {
+      mix(ifc.address.value());
+      mix(static_cast<std::uint64_t>(ifc.prefix_len));
+    }
+    for (const auto& route : r->routes()) {
+      mix(route.network.value());
+      mix(static_cast<std::uint64_t>(route.prefix_len));
+      mix(route.next_hop.value());
+    }
+  }
+  return h;
+}
+
+const std::vector<std::size_t>& scales() {
+  static const std::vector<std::size_t> sizes = {16, 256, 1024};
+  return sizes;
+}
+
+TEST(FatTreeSizing, SmallestEvenKThatFits) {
+  EXPECT_EQ(fat_tree_k(1), 2);
+  EXPECT_EQ(fat_tree_k(2), 2);
+  EXPECT_EQ(fat_tree_k(16), 4);
+  EXPECT_EQ(fat_tree_k(17), 6);
+  EXPECT_EQ(fat_tree_k(256), 12);
+  EXPECT_EQ(fat_tree_k(1024), 16);
+}
+
+TEST(TopologyGenerators, HostCountsAndNamesAtEveryScale) {
+  for (const auto kind :
+       {TopologyKind::kStar, TopologyKind::kFatTree, TopologyKind::kRandom}) {
+    for (const std::size_t n : scales()) {
+      TopologySpec spec;
+      spec.kind = kind;
+      spec.hosts = n;
+      spec.seed = 42;
+      const Topology topo = make_topology(spec);
+      ASSERT_EQ(topo.hosts.size(), n) << topology_kind_name(kind);
+      EXPECT_FALSE(topo.routers.empty());
+      EXPECT_EQ(topo.hosts[0]->name(), "h0");
+      EXPECT_EQ(topo.hosts[n - 1]->name(), "h" + std::to_string(n - 1));
+      // Host addresses are unique — the event kernel indexes on them.
+      std::vector<std::uint32_t> addrs;
+      addrs.reserve(n);
+      for (const Host* host : topo.hosts) addrs.push_back(host->address().value());
+      std::sort(addrs.begin(), addrs.end());
+      EXPECT_EQ(std::adjacent_find(addrs.begin(), addrs.end()), addrs.end())
+          << topology_kind_name(kind) << " duplicate host address at n=" << n;
+    }
+  }
+}
+
+TEST(TopologyGenerators, StarSubnetsFanOutOfOneCore) {
+  const Topology topo = make_star(256);
+  ASSERT_EQ(topo.routers.size(), 1u);
+  EXPECT_EQ(topo.routers[0]->interfaces().size(), 2u);  // 2 x 128 hosts
+  const Topology big = make_star(1024);
+  EXPECT_EQ(big.routers[0]->interfaces().size(), 8u);
+}
+
+TEST(TopologyGenerators, FatTreeTiersMatchK) {
+  const Topology topo = make_fat_tree(16);  // k=4
+  // k*(k/2) edges + k*(k/2) aggs + (k/2)^2 cores = 8 + 8 + 4.
+  EXPECT_EQ(topo.routers.size(), 20u);
+  const Topology big = make_fat_tree(1024);  // k=16
+  EXPECT_EQ(big.routers.size(), 128u + 128u + 64u);
+}
+
+TEST(TopologyGenerators, SeededReproducibility) {
+  for (const auto kind :
+       {TopologyKind::kStar, TopologyKind::kFatTree, TopologyKind::kRandom}) {
+    TopologySpec spec;
+    spec.kind = kind;
+    spec.hosts = 256;
+    spec.seed = 7;
+    EXPECT_EQ(fingerprint(make_topology(spec)), fingerprint(make_topology(spec)))
+        << topology_kind_name(kind) << " must rebuild identically";
+  }
+  // Different seeds must re-wire the random topology.
+  EXPECT_NE(fingerprint(make_random(256, 7)), fingerprint(make_random(256, 8)));
+}
+
+TEST(TopologyGenerators, FullPairwiseReachabilityAtEveryScale) {
+  for (const auto kind :
+       {TopologyKind::kStar, TopologyKind::kFatTree, TopologyKind::kRandom}) {
+    for (const std::size_t n : scales()) {
+      TopologySpec spec;
+      spec.kind = kind;
+      spec.hosts = n;
+      spec.seed = 23;
+      Topology topo = make_topology(spec);
+      EXPECT_EQ(unreachable_pairs(topo), 0u)
+          << topology_kind_name(kind) << " at " << n << " hosts";
+    }
+  }
+}
+
+TEST(TopologyGenerators, CrossPodPingActuallyDelivers) {
+  // Reachability-by-tables is backed by traffic: a ping between the two
+  // farthest fat-tree hosts crosses edge->agg->core->agg->edge and back.
+  Topology topo = make_fat_tree(256);
+  PingClient ping;
+  const PingResult result = ping.ping(topo.net, topo.hosts.front()->name(),
+                                      topo.hosts.back()->address());
+  EXPECT_TRUE(result.success) << "cross-pod echo failed";
+  const PingResult random_path = ping.ping(
+      topo.net, topo.hosts[100]->name(), topo.hosts[200]->address());
+  EXPECT_TRUE(random_path.success);
+}
+
+TEST(SoakScale, ThousandHostSoakStaysWithinMemoryBounds) {
+  SoakOptions options;
+  options.topology.kind = TopologyKind::kStar;
+  options.topology.hosts = 1024;
+  options.sessions = 32;
+  options.seed = 3;
+  options.jobs = 2;
+  const SoakReport report = run_soak(options);
+  EXPECT_EQ(report.sessions, 32u);
+  EXPECT_GT(report.events, 0u);
+  // Per-session endpoint state is wiped (clear_transient), so the
+  // footprint is the topology plus one session's capture — far below
+  // this ceiling; unbounded capture growth would blow straight past it.
+  EXPECT_LT(report.peak_memory_bytes, 8u << 20)
+      << "1k-host soak must stay bounded";
+}
+
+TEST(SoakScale, SixtyFourHostSoakClearsFiveThousandEvents) {
+  // The soak-smoke preset's workload: 64 hosts, enough sessions to push
+  // the kernel through >= 5k events.
+  SoakOptions options;
+  options.topology.kind = TopologyKind::kStar;
+  options.topology.hosts = 64;
+  options.sessions = 1400;
+  options.seed = 1;
+  options.jobs = 2;
+  const SoakReport report = run_soak(options);
+  EXPECT_GE(report.events, 5000u);
+  EXPECT_EQ(report.log.size(), 1400u);
+}
+
+}  // namespace
+}  // namespace sage::sim

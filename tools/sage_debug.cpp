@@ -12,6 +12,7 @@
 #include "core/sage.hpp"
 #include "net/schema.hpp"
 #include "corpus/rfc792.hpp"
+#include "sim/soak.hpp"
 #include "corpus/rfc1112.hpp"
 #include "corpus/rfc1059.hpp"
 #include "corpus/rfc5880.hpp"
@@ -195,16 +196,90 @@ int run_fuzz(int argc, char** argv, int i) {
   return report.clean() ? 0 : 1;
 }
 
+// --soak <topology>: run the traffic-mix soak driver on a generated
+// topology (star|fat-tree|random). Prints the deterministic per-session
+// log plus a one-line report whose digest is independent of --jobs.
+int run_soak(int argc, char** argv, int i) {
+  sim::SoakOptions options;
+  if (i >= argc) {
+    fprintf(stderr, "error: --soak requires a topology (star|fat-tree|random)\n");
+    return 2;
+  }
+  const std::string kind = argv[i++];
+  if (kind == "star") {
+    options.topology.kind = sim::TopologyKind::kStar;
+  } else if (kind == "fat-tree") {
+    options.topology.kind = sim::TopologyKind::kFatTree;
+  } else if (kind == "random") {
+    options.topology.kind = sim::TopologyKind::kRandom;
+  } else {
+    fprintf(stderr, "error: unknown topology '%s' (expected star|fat-tree|random)\n",
+            kind.c_str());
+    return 2;
+  }
+  bool quiet = false;
+  for (; i < argc; ++i) {
+    auto number = [&](const char* flag) -> std::optional<unsigned long> {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "error: %s requires a value\n", flag);
+        return std::nullopt;
+      }
+      char* end = nullptr;
+      const unsigned long v = strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        fprintf(stderr, "error: %s expects a number, got '%s'\n", flag, argv[i]);
+        return std::nullopt;
+      }
+      return v;
+    };
+    if (strcmp(argv[i], "--hosts") == 0) {
+      const auto v = number("--hosts");
+      if (!v) return 2;
+      options.topology.hosts = *v;
+    } else if (strcmp(argv[i], "--sessions") == 0) {
+      const auto v = number("--sessions");
+      if (!v) return 2;
+      options.sessions = *v;
+    } else if (strcmp(argv[i], "--seed") == 0) {
+      const auto v = number("--seed");
+      if (!v) return 2;
+      options.seed = *v;
+      options.topology.seed = *v;
+    } else if (strcmp(argv[i], "--jobs") == 0) {
+      const auto v = number("--jobs");
+      if (!v) return 2;
+      options.jobs = *v;
+    } else if (strcmp(argv[i], "--reference") == 0) {
+      options.topology.mode = sim::DeliveryMode::kReference;
+    } else if (strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;  // report line only (CI/bench wrapper use)
+    } else {
+      fprintf(stderr, "error: unknown --soak option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  const sim::SoakReport report = sim::run_soak(options);
+  if (!quiet) {
+    for (const auto& line : report.log) printf("%s\n", line.c_str());
+  }
+  printf("%s\n", report.summary().c_str());
+  return 0;
+}
+
 int main(int argc, char** argv) {
   // usage: sage_debug [icmp|icmp-rev|igmp|ntp|bfd] [-v] [--jobs N]
   //                   [--parse-stats] [--dump-schema]
   //        sage_debug --fuzz <protocol> [--seed N] [--iters M] [--jobs N]
   //                   [--faults SPEC] [--no-minimize] [--quiet]
+  //        sage_debug --soak <topology> [--hosts N] [--sessions M] [--seed N]
+  //                   [--jobs N] [--reference] [--quiet]
   bool verbose = false;
   std::string which = "icmp";
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--fuzz") == 0) {
       return run_fuzz(argc, argv, i + 1);
+    } else if (strcmp(argv[i], "--soak") == 0) {
+      return run_soak(argc, argv, i + 1);
     } else if (strcmp(argv[i], "-v") == 0) {
       verbose = true;
     } else if (strcmp(argv[i], "--parse-stats") == 0) {
