@@ -234,5 +234,20 @@ int main(int argc, char** argv) {
     std::fclose(json);
     benchutil::row("written", "BENCH_parser_hotpath.json");
   }
+
+  // Alloc gate: the arena-backed chart must keep the parser's steady-state
+  // heap traffic bounded. Fail loudly if a regression reintroduces
+  // per-edge/per-candidate allocations.
+  constexpr double kMaxAllocsPerPass = 5000.0;
+  if (prod.allocs_per_pass > kMaxAllocsPerPass) {
+    std::fprintf(stderr,
+                 "ALLOC GATE FAILED: %.0f allocs/pass exceeds the %.0f "
+                 "budget (chart arena regression?)\n",
+                 prod.allocs_per_pass, kMaxAllocsPerPass);
+    return 1;
+  }
+  std::snprintf(buf, sizeof buf, "%.0f allocs/pass <= %.0f budget",
+                prod.allocs_per_pass, kMaxAllocsPerPass);
+  benchutil::row("alloc gate", buf);
   return 0;
 }

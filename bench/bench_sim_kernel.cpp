@@ -114,7 +114,9 @@ Measurement measure(Topology& topo, Workload workload) {
 /// Replays one batch on both kernels and compares captures entry for
 /// entry. Returns true when every (node, packet) pair matches.
 bool captures_identical(std::size_t hosts, Workload workload) {
-  std::vector<CaptureEntry> captures[2];
+  // own_capture: the raw capture aliases each topology's arena, which
+  // dies at the end of the loop iteration.
+  std::vector<OwnedCaptureEntry> captures[2];
   for (int k = 0; k < 2; ++k) {
     const DeliveryMode mode =
         k == 0 ? DeliveryMode::kEvent : DeliveryMode::kReference;
@@ -123,7 +125,7 @@ bool captures_identical(std::size_t hosts, Workload workload) {
     for (auto& [src, packet] : batch) {
       topo.net.send_from_host(*topo.hosts[src], std::move(packet));
     }
-    captures[k] = topo.net.capture();
+    captures[k] = own_capture(topo.net.capture());
   }
   if (captures[0].size() != captures[1].size()) return false;
   for (std::size_t i = 0; i < captures[0].size(); ++i) {

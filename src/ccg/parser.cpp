@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <memory_resource>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "lf/logical_form.hpp"
+#include "util/arena.hpp"
 
 namespace sage::ccg {
 
@@ -38,20 +40,34 @@ struct ArenaNode {
 /// entries), so a linear scan over a contiguous array beats a hash map
 /// — no node allocations, no hashing, and probes stream one or two
 /// cache lines. Ascending positions per key come for free.
-using CellIndex = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+using CellIndex = std::pmr::vector<std::pair<std::uint32_t, std::uint32_t>>;
 
 /// A chart cell: its edges plus the dedup set and combinability indexes
 /// the production path probes. All index lists hold edge positions in
 /// insertion order (ascending), which is what keeps the indexed
 /// enumeration byte-identical to the original cross-product scan.
+///
+/// Allocator-aware: every vector bump-allocates from the per-thread
+/// chart arena (util::Arena as a pmr resource), so vector growth never
+/// touches the heap after the arena's chunks are warm. The arena's
+/// deallocate is a no-op — a growing vector abandons its old block,
+/// which reset() reclaims wholesale at the next parse.
 struct Cell {
-  std::vector<Edge> edges;
+  using allocator_type = std::pmr::polymorphic_allocator<std::byte>;
+  explicit Cell(allocator_type alloc)
+      : edges(alloc),
+        seen(alloc),
+        by_cat(alloc),
+        fwd_by_result(alloc),
+        bwd_by_arg(alloc) {}
+
+  std::pmr::vector<Edge> edges;
   /// Production dedup: (category interner id << 32) | term interner id,
   /// one entry per edge, linearly scanned (cells are small — see
   /// CellIndex). Equivalent to the reference mode's rendered-string key
   /// because rendering is injective on beta-normal terms — same
   /// structure, same id, same string.
-  std::vector<std::uint64_t> seen;
+  std::pmr::vector<std::uint64_t> seen;
   /// Edges keyed by exact category id (forward application targets,
   /// noun-compound partners).
   CellIndex by_cat;
@@ -72,10 +88,11 @@ std::string edge_key(const Edge& e) {
 class Chart {
  public:
   Chart(std::size_t n, std::size_t cap, std::vector<ArenaNode>* arena,
-        ParseStats* stats, bool reference_mode)
+        ParseStats* stats, bool reference_mode,
+        std::pmr::memory_resource* mr)
       : n_(n),
         cap_(cap),
-        cells_(n * n),
+        cells_(n * n, mr),  // uses-allocator: every Cell vector gets mr
         arena_(arena),
         stats_(stats),
         reference_mode_(reference_mode) {}
@@ -141,7 +158,7 @@ class Chart {
  private:
   std::size_t n_;
   std::size_t cap_;
-  std::vector<Cell> cells_;
+  std::pmr::vector<Cell> cells_;
   std::vector<ArenaNode>* arena_;
   ParseStats* stats_;
   bool reference_mode_;
@@ -342,9 +359,16 @@ ParseResult CcgParser::parse(const std::vector<nlp::Token>& tokens) const {
 
   VarGen vg;  // per-parse: derivations and dedup ids are deterministic
   std::vector<ArenaNode> arena;
+  // Per-thread chart arena: reset() rewinds it while keeping its chunks,
+  // so after the first few parses warmed the chunks, chart storage costs
+  // zero heap allocations per parse. Nothing that escapes parse() points
+  // into it — ParseResult deep-copies forms/derivations — so resetting
+  // at the next parse is safe.
+  static thread_local util::Arena chart_arena;
+  chart_arena.reset();
   Chart chart(n, options_.max_edges_per_cell,
               options_.record_derivations ? &arena : nullptr, &result.stats,
-              options_.reference_mode);
+              options_.reference_mode, &chart_arena);
 
   const auto reduce_or_drop = [&](TermPtr t) {
     ++result.stats.beta_reductions;
@@ -494,7 +518,8 @@ ParseResult CcgParser::parse(const std::vector<nlp::Token>& tokens) const {
     }
   };
 
-  std::vector<std::uint32_t> cand;  // scratch: candidate right-edge slots
+  // Scratch: candidate right-edge slots, bump-allocated like the cells.
+  std::pmr::vector<std::uint32_t> cand(&chart_arena);
   for (std::size_t span = 2; span <= n; ++span) {
     for (std::size_t start = 0; start + span <= n; ++start) {
       for (std::size_t left_span = 1; left_span < span; ++left_span) {
@@ -576,12 +601,20 @@ ParseResult CcgParser::parse(const std::vector<nlp::Token>& tokens) const {
   }
 
   // --- harvest full-span parses -------------------------------------------
-  std::unordered_set<std::string> seen_forms;
-  std::unordered_set<std::string> seen_fragments;
+  // Dedup sets live in the chart arena too: node and string storage is
+  // bump-allocated and reclaimed by the next parse's reset().
+  std::pmr::unordered_set<std::pmr::string> seen_forms(&chart_arena);
+  std::pmr::unordered_set<std::pmr::string> seen_fragments(&chart_arena);
+  std::string render;  // reused per-candidate render buffer
+  const auto render_key = [&](const lf::LogicalForm& form) {
+    render.clear();
+    form.append_to(render);
+    return std::pmr::string(render.begin(), render.end(), &chart_arena);
+  };
   for (const Edge& e : chart.cell(0, n).edges) {
     if (e.cat.get() == cat_S().get()) {
       if (auto form = term_to_logical_form(e.sem)) {
-        if (seen_forms.insert(form->to_string()).second) {
+        if (seen_forms.insert(render_key(*form)).second) {
           result.forms.push_back(std::move(*form));
           if (options_.record_derivations && e.id >= 0) {
             result.derivations.push_back(extract_derivation(arena, e.id));
@@ -590,13 +623,16 @@ ParseResult CcgParser::parse(const std::vector<nlp::Token>& tokens) const {
       }
     } else if (e.cat.get() == cat_NP().get() || e.cat.get() == cat_N().get()) {
       if (auto frag = term_to_logical_form(e.sem)) {
-        if (seen_fragments.insert(frag->to_string()).second) {
+        if (seen_fragments.insert(render_key(*frag)).second) {
           result.fragments.push_back(std::move(*frag));
         }
       }
     }
   }
   result.chart_edges = result.stats.edges_created;
+  result.stats.arena_bytes_reserved = chart_arena.bytes_reserved();
+  result.stats.arena_high_water = chart_arena.high_water();
+  result.stats.arena_resets = static_cast<std::size_t>(chart_arena.resets());
   return result;
 }
 

@@ -63,6 +63,13 @@ struct ParseStats {
   std::size_t index_probes = 0;     // cell-index lookups (production mode)
   std::size_t beta_reductions = 0;  // beta_reduce() calls
   std::size_t beta_steps = 0;       // total normal-order steps taken
+  // Chart-arena counters (util::Arena backing the chart cells). The
+  // arena is thread-local and retained across parses, so reserved bytes
+  // reach a steady state and further parses cost zero heap traffic for
+  // chart storage.
+  std::size_t arena_bytes_reserved = 0;  // chunk capacity held after this parse
+  std::size_t arena_high_water = 0;      // peak live bytes in any parse so far
+  std::size_t arena_resets = 0;          // lifetime resets on this thread
 };
 
 /// One node of a recorded derivation: the edge's category and semantics,

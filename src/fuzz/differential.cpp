@@ -368,11 +368,9 @@ std::string parser_mismatch(const FuzzPacket& pkt, bool* parsed) {
 /// `responder` on the router and both servers, the scenario knobs from the
 /// packet, and a fault wrapper seeded with `fault_rng`. Both sides get
 /// the same rng by value, so the injected weather is byte-identical.
-std::vector<sim::CaptureEntry> run_icmp_side(sim::IcmpResponder* responder,
-                                             const FuzzPacket& pkt,
-                                             const FaultPlan& faults,
-                                             Rng fault_rng,
-                                             sim::DeliveryMode delivery) {
+std::vector<sim::OwnedCaptureEntry> run_icmp_side(
+    sim::IcmpResponder* responder, const FuzzPacket& pkt,
+    const FaultPlan& faults, Rng fault_rng, sim::DeliveryMode delivery) {
   sim::Network net = sim::make_appendix_a_network(delivery);
   net.router()->set_responder(responder);
   net.find_host("server1")->set_responder(responder);
@@ -384,11 +382,13 @@ std::vector<sim::CaptureEntry> run_icmp_side(sim::IcmpResponder* responder,
   FaultyNetwork wire(net, faults, fault_rng);
   wire.send("client", pkt.bytes, pkt.via_router);
   wire.flush();
-  return net.capture();
+  // The capture views alias `net`'s arena, which dies with this frame —
+  // deep-copy them out before the network goes away.
+  return sim::own_capture(net.capture());
 }
 
-std::uint64_t hash_captures(const std::vector<sim::CaptureEntry>& a,
-                            const std::vector<sim::CaptureEntry>& b) {
+std::uint64_t hash_captures(const std::vector<sim::OwnedCaptureEntry>& a,
+                            const std::vector<sim::OwnedCaptureEntry>& b) {
   std::uint64_t h = kFnvOffset;
   for (const auto* side : {&a, &b}) {
     for (const auto& entry : *side) {
@@ -400,8 +400,9 @@ std::uint64_t hash_captures(const std::vector<sim::CaptureEntry>& a,
   return h;
 }
 
-std::string describe_capture_diff(const std::vector<sim::CaptureEntry>& gen,
-                                  const std::vector<sim::CaptureEntry>& ref) {
+std::string describe_capture_diff(
+    const std::vector<sim::OwnedCaptureEntry>& gen,
+    const std::vector<sim::OwnedCaptureEntry>& ref) {
   if (gen.size() != ref.size()) {
     return "capture length generated=" + std::to_string(gen.size()) +
            " reference=" + std::to_string(ref.size());
@@ -492,8 +493,8 @@ CaseResult DifferentialFuzzer::run_icmp_case(const FuzzPacket& packet,
   result.packet = packet;
 
   std::string crash_detail;
-  std::optional<std::vector<sim::CaptureEntry>> cap_gen;
-  std::optional<std::vector<sim::CaptureEntry>> cap_ref;
+  std::optional<std::vector<sim::OwnedCaptureEntry>> cap_gen;
+  std::optional<std::vector<sim::OwnedCaptureEntry>> cap_ref;
   try {
     runtime::GeneratedIcmpResponder generated;
     for (const auto& fn : core::canonical_icmp_run().functions) {
@@ -542,7 +543,7 @@ CaseResult DifferentialFuzzer::run_icmp_case(const FuzzPacket& packet,
   if (diff.empty()) {
     const bool replied = std::any_of(
         cap_gen->begin(), cap_gen->end(),
-        [](const sim::CaptureEntry& e) { return e.node != "client"; });
+        [](const sim::OwnedCaptureEntry& e) { return e.node != "client"; });
     result.verdict = replied ? Verdict::kAgreeBytes : Verdict::kAgreeSilent;
     return result;
   }

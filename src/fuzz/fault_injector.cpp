@@ -57,56 +57,61 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& spec,
 }
 
 void FaultyNetwork::put_on_wire(const std::string& host,
-                                std::vector<std::uint8_t> packet,
+                                std::span<const std::uint8_t> packet,
                                 bool via_router) {
   if (via_router) {
-    net_.send_from_host_via_router(host, std::move(packet));
+    net_.send_from_host_via_router(host, packet);
   } else {
-    net_.send_from_host(host, std::move(packet));
+    net_.send_from_host(host, packet);
   }
   if (swap_hold_) {
     Held held = std::move(*swap_hold_);
     swap_hold_.reset();
     // The held packet follows the one that overtook it.
-    put_on_wire(held.host, std::move(held.packet), held.via_router);
+    put_on_wire(held.host, held.packet, held.via_router);
   }
 }
 
 void FaultyNetwork::send(const std::string& host,
-                         std::vector<std::uint8_t> packet, bool via_router) {
+                         std::span<const std::uint8_t> packet,
+                         bool via_router) {
   // Knobs are drawn in a fixed order; identical plans and seeds on two
   // wrappers therefore transform identical traffic identically.
   if (plan_.loss > 0 && rng_.chance(plan_.loss)) return;
   if (plan_.corrupt > 0 && !packet.empty() && rng_.chance(plan_.corrupt)) {
-    const std::size_t pos = rng_.below(packet.size());
-    packet[pos] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+    // Corrupt in the reused scratch slab; the caller's bytes stay intact.
+    scratch_.assign(packet.begin(), packet.end());
+    const std::size_t pos = rng_.below(scratch_.size());
+    scratch_[pos] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+    packet = scratch_;
   }
   const bool duplicate = plan_.dup > 0 && rng_.chance(plan_.dup);
   if (plan_.delay > 0 && rng_.chance(plan_.delay)) {
-    delayed_.push_back({host, std::move(packet), via_router});
+    delayed_.push_back({host, {packet.begin(), packet.end()}, via_router});
     return;
   }
   if (plan_.reorder > 0 && rng_.chance(plan_.reorder)) {
     // Hold until the next transmission passes it (or flush).
     if (swap_hold_) {
       Held previous = std::move(*swap_hold_);
-      swap_hold_ = Held{host, std::move(packet), via_router};
-      put_on_wire(previous.host, std::move(previous.packet),
-                  previous.via_router);
+      swap_hold_ = Held{host, {packet.begin(), packet.end()}, via_router};
+      put_on_wire(previous.host, previous.packet, previous.via_router);
     } else {
-      swap_hold_ = Held{host, std::move(packet), via_router};
+      swap_hold_ = Held{host, {packet.begin(), packet.end()}, via_router};
     }
     return;
   }
+  // Duplication re-sends the same span — the network interns each copy
+  // into its arena; no temporary vector is built here.
   put_on_wire(host, packet, via_router);
-  if (duplicate) put_on_wire(host, std::move(packet), via_router);
+  if (duplicate) put_on_wire(host, packet, via_router);
 }
 
 void FaultyNetwork::flush() {
   if (swap_hold_) {
     Held held = std::move(*swap_hold_);
     swap_hold_.reset();
-    put_on_wire(held.host, std::move(held.packet), held.via_router);
+    put_on_wire(held.host, held.packet, held.via_router);
   }
   std::vector<Held> pending = std::move(delayed_);
   delayed_.clear();
@@ -117,16 +122,15 @@ void FaultyNetwork::flush() {
     // simulated clock reaches its release time. Strictly increasing
     // release times keep each cascade whole (see header).
     std::uint64_t at = kDelayNs;
-    for (auto& held : pending) {
-      net_.schedule_from_host(held.host, std::move(held.packet), at,
-                              held.via_router);
+    for (const auto& held : pending) {
+      net_.schedule_from_host(held.host, held.packet, at, held.via_router);
       at += kDelaySpacingNs;
     }
     net_.run();
     return;
   }
-  for (auto& held : pending) {
-    put_on_wire(held.host, std::move(held.packet), held.via_router);
+  for (const auto& held : pending) {
+    put_on_wire(held.host, held.packet, held.via_router);
   }
 }
 

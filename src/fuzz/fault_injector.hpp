@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,8 +44,10 @@ class FaultyNetwork {
       : net_(net), plan_(plan), rng_(rng) {}
 
   /// Send from `host`, subject to the plan. `via_router` forces the first
-  /// hop through the router (the Appendix A redirect setup).
-  void send(const std::string& host, std::vector<std::uint8_t> packet,
+  /// hop through the router (the Appendix A redirect setup). The caller
+  /// keeps ownership of `packet`; corruption happens in a reused scratch
+  /// slab, never by materializing a fresh vector per send.
+  void send(const std::string& host, std::span<const std::uint8_t> packet,
             bool via_router = false);
 
   /// Release every held (reordered/delayed) packet, oldest first. Under
@@ -61,20 +64,25 @@ class FaultyNetwork {
   static constexpr std::uint64_t kDelaySpacingNs = 1000;
 
  private:
+  /// Held packets own their bytes — they must survive until the packet
+  /// that overtakes them (reorder) or flush() (delay).
   struct Held {
     std::string host;
     std::vector<std::uint8_t> packet;
     bool via_router = false;
   };
 
-  void put_on_wire(const std::string& host, std::vector<std::uint8_t> packet,
-                   bool via_router);
+  void put_on_wire(const std::string& host,
+                   std::span<const std::uint8_t> packet, bool via_router);
 
   sim::Network& net_;
   FaultPlan plan_;
   Rng rng_;
   std::optional<Held> swap_hold_;  // reorder: goes out after the next send
   std::vector<Held> delayed_;      // delay: goes out at flush()
+  /// Corruption scratch slab: assign() reuses its capacity, so a long
+  /// fuzzing campaign corrupts thousands of packets with ~one allocation.
+  std::vector<std::uint8_t> scratch_;
 };
 
 }  // namespace sage::fuzz

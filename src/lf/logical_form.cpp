@@ -70,6 +70,8 @@ std::string LfNode::to_string() const {
   return out;
 }
 
+void LfNode::append_to(std::string& out) const { append_node(*this, out); }
+
 namespace {
 
 /// Tiny recursive-descent parser for the to_string grammar:

@@ -94,6 +94,10 @@ struct LfNode {
 
   /// Render as "@Is("checksum", @Num(0))".
   std::string to_string() const;
+
+  /// Append the to_string rendering to `out` — lets dedup loops reuse
+  /// one buffer instead of materializing a string per candidate.
+  void append_to(std::string& out) const;
 };
 
 /// A complete logical form for one sentence.

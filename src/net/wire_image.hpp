@@ -1,0 +1,80 @@
+// WireImage: a non-owning view of a serialized packet (wire format,
+// starting at whatever layer the context implies — usually the IP
+// header).
+//
+// The zero-copy packet path (docs/MEMORY.md) moves these instead of
+// std::vector<uint8_t>: the bytes live in a util::Arena owned by the
+// run (a sim::Network, a fuzzing case), every hop/capture/inbox entry
+// aliases the same immutable image, and the arena's reset() is the one
+// point where views die. A WireImage is two words — copy it freely.
+//
+// Ownership rule: whoever holds the arena decides the lifetime. Code
+// that needs bytes to outlive the run copies them out explicitly with
+// to_vector() (see sim::own_capture).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <ostream>
+#include <span>
+#include <vector>
+
+namespace sage::net {
+
+class WireImage {
+ public:
+  constexpr WireImage() = default;
+  constexpr WireImage(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  constexpr WireImage(std::span<const std::uint8_t> bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  WireImage(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  // A view of a temporary would dangle before the next expression.
+  WireImage(std::vector<std::uint8_t>&&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::uint8_t* begin() const { return data_; }
+  const std::uint8_t* end() const { return data_ + size_; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  std::span<const std::uint8_t> span() const { return {data_, size_}; }
+  operator std::span<const std::uint8_t>() const { return {data_, size_}; }
+
+  WireImage subview(std::size_t offset) const {
+    return {data_ + offset, size_ - offset};
+  }
+
+  /// Explicit copy out of the arena (lifetime escape hatch).
+  std::vector<std::uint8_t> to_vector() const {
+    return std::vector<std::uint8_t>(data_, data_ + size_);
+  }
+
+  friend bool operator==(const WireImage& a, const WireImage& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+  friend bool operator==(const WireImage& a,
+                         const std::vector<std::uint8_t>& b) {
+    return a == WireImage(b);
+  }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Hex dump for test failure messages.
+inline std::ostream& operator<<(std::ostream& os, const WireImage& img) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  os << "WireImage[" << img.size() << "]{";
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << kHex[img[i] >> 4] << kHex[img[i] & 0xf];
+  }
+  return os << '}';
+}
+
+}  // namespace sage::net

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "net/checksum.hpp"
+#include "util/arena.hpp"
 #include "util/bytes.hpp"
 #include "util/strings.hpp"
 #include "util/symbols.hpp"
@@ -11,6 +12,33 @@
 namespace sage::runtime {
 
 namespace schema = net::schema;
+
+namespace {
+
+/// Live SchemaExecEnv count on this thread (see EnvArenaScope).
+thread_local std::size_t g_env_depth = 0;
+
+util::Arena& env_arena() {
+  static thread_local util::Arena arena;
+  return arena;
+}
+
+}  // namespace
+
+std::pmr::memory_resource* SchemaExecEnv::image_arena() {
+  return &env_arena();
+}
+
+SchemaExecEnv::EnvArenaScope::EnvArenaScope() {
+  if (g_env_depth == 0) env_arena().reset();
+  ++g_env_depth;
+}
+
+SchemaExecEnv::EnvArenaScope::EnvArenaScope(const EnvArenaScope&) {
+  ++g_env_depth;
+}
+
+SchemaExecEnv::EnvArenaScope::~EnvArenaScope() { --g_env_depth; }
 
 namespace {
 
@@ -271,7 +299,8 @@ SchemaExecEnv SchemaExecEnv::ntp(net::IpAddr own_address,
   for (auto& L : env.wire_) {
     if (L.spec->name == "ntp") {
       L.has_in = true;
-      L.in_image = incoming.serialize();
+      const auto bytes = incoming.serialize();
+      L.in_image.assign(bytes.begin(), bytes.end());
     }
   }
   return env;
@@ -284,7 +313,8 @@ SchemaExecEnv SchemaExecEnv::bfd(net::BfdSessionState* state,
   if (packet != nullptr) {
     auto& L = env.wire_[0];
     L.has_in = true;
-    L.in_image = packet->serialize();
+    const auto bytes = packet->serialize();
+    L.in_image.assign(bytes.begin(), bytes.end());
   }
   return env;
 }
@@ -320,7 +350,7 @@ std::optional<long> SchemaExecEnv::read_field(const codegen::FieldRef& ref,
       // Honor the selector when both packets exist; environments that
       // only hold one side (IGMP/NTP senders) serve it for either
       // selector, matching the single-message view they model.
-      const std::vector<std::uint8_t>* img =
+      const std::pmr::vector<std::uint8_t>* img =
           sel == codegen::PacketSel::kIncoming
               ? (L.has_in ? &L.in_image : (L.has_out ? &L.out_image : nullptr))
               : (L.has_out ? &L.out_image : (L.has_in ? &L.in_image : nullptr));
@@ -331,7 +361,7 @@ std::optional<long> SchemaExecEnv::read_field(const codegen::FieldRef& ref,
       const LayerImages& L = wire_[b->layer_slot];
       const bool from_incoming =
           sel == codegen::PacketSel::kIncoming ? L.has_in : !L.has_out;
-      const std::vector<std::uint8_t>& pl =
+      const std::pmr::vector<std::uint8_t>& pl =
           from_incoming ? L.in_payload : L.out_payload;
       if (pl.size() < spec.payload_offset + 4) {
         // An outgoing block that has not been written yet reads as 0 (it
@@ -487,14 +517,16 @@ std::optional<std::vector<std::uint8_t>> SchemaExecEnv::read_bytes(
   const Binding* b = binding(ref);
   if (b == nullptr || b->kind != Binding::Kind::kBytes) return std::nullopt;
   const LayerImages& L = wire_[b->layer_slot];
-  return sel == codegen::PacketSel::kIncoming ? L.in_payload : L.out_payload;
+  const auto& payload =
+      sel == codegen::PacketSel::kIncoming ? L.in_payload : L.out_payload;
+  return std::vector<std::uint8_t>(payload.begin(), payload.end());
 }
 
 bool SchemaExecEnv::write_bytes(const codegen::FieldRef& ref,
                                 std::vector<std::uint8_t> value) {
   const Binding* b = binding(ref);
   if (b == nullptr || b->kind != Binding::Kind::kBytes) return false;
-  wire_[b->layer_slot].out_payload = std::move(value);
+  wire_[b->layer_slot].out_payload.assign(value.begin(), value.end());
   return true;
 }
 
@@ -503,7 +535,7 @@ bool SchemaExecEnv::write_bytes(const codegen::FieldRef& ref,
 std::vector<std::uint8_t> SchemaExecEnv::out_message_bytes(
     std::size_t layer_slot) const {
   const LayerImages& L = wire_[layer_slot];
-  std::vector<std::uint8_t> bytes = L.out_image;
+  std::vector<std::uint8_t> bytes(L.out_image.begin(), L.out_image.end());
   bytes.insert(bytes.end(), L.out_payload.begin(), L.out_payload.end());
   return bytes;
 }
@@ -567,7 +599,9 @@ std::optional<std::vector<std::uint8_t>> SchemaExecEnv::call_bytes(
     return net::original_datagram_excerpt(raw_incoming_);
   }
   if (fn == "copy_field") {
-    return wire_[0].in_payload;  // bare copy: the echoed data
+    // Bare copy: the echoed data (copied out of the arena image).
+    const auto& p = wire_[0].in_payload;
+    return std::vector<std::uint8_t>(p.begin(), p.end());
   }
   return std::nullopt;
 }
@@ -687,7 +721,8 @@ std::vector<std::uint8_t> SchemaExecEnv::finish(net::IpAddr destination) const {
   if (profile_ == Profile::kIgmp) {
     // The IGMP checksum is always computed at serialization time over
     // the 8-byte message, whatever the checksum field was set to.
-    auto bytes = wire_[0].out_image;
+    std::vector<std::uint8_t> bytes(wire_[0].out_image.begin(),
+                                    wire_[0].out_image.end());
     bytes[2] = 0;
     bytes[3] = 0;
     const std::uint16_t ck = net::internet_checksum(bytes);

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory_resource>
 #include <span>
 #include <string>
 #include <vector>
@@ -175,14 +176,38 @@ class SchemaExecEnv : public ExecEnv {
   };
 
   /// In/out serialized images (+ payloads) for one image-backed layer.
+  /// Allocator-aware: image storage bump-allocates from the per-thread
+  /// env arena (see image_arena / EnvArenaScope below), so building an
+  /// env and assembling its images costs zero heap traffic once the
+  /// arena's chunks are warm.
   struct LayerImages {
+    using allocator_type = std::pmr::polymorphic_allocator<std::byte>;
+    LayerImages() = default;
+    explicit LayerImages(allocator_type alloc)
+        : in_image(alloc),
+          out_image(alloc),
+          in_payload(alloc),
+          out_payload(alloc) {}
+    LayerImages(LayerImages&& other, allocator_type alloc)
+        : spec(other.spec),
+          has_in(other.has_in),
+          has_out(other.has_out),
+          in_image(std::move(other.in_image), alloc),
+          out_image(std::move(other.out_image), alloc),
+          in_payload(std::move(other.in_payload), alloc),
+          out_payload(std::move(other.out_payload), alloc) {}
+    LayerImages(LayerImages&&) = default;
+    LayerImages(const LayerImages&) = default;
+    LayerImages& operator=(LayerImages&&) = default;
+    LayerImages& operator=(const LayerImages&) = default;
+
     const net::schema::LayerSpec* spec = nullptr;
     bool has_in = false;
     bool has_out = false;
-    std::vector<std::uint8_t> in_image;
-    std::vector<std::uint8_t> out_image;
-    std::vector<std::uint8_t> in_payload;
-    std::vector<std::uint8_t> out_payload;
+    std::pmr::vector<std::uint8_t> in_image;
+    std::pmr::vector<std::uint8_t> out_image;
+    std::pmr::vector<std::uint8_t> in_payload;
+    std::pmr::vector<std::uint8_t> out_payload;
   };
 
   explicit SchemaExecEnv(const ProtocolBinding& pb);
@@ -202,9 +227,27 @@ class SchemaExecEnv : public ExecEnv {
   std::optional<long> icmp_call_scalar(const std::string& fn,
                                        const std::vector<long>& args);
 
+  /// The thread-local arena backing every env's layer images on this
+  /// thread (defined in schema_env.cpp).
+  static std::pmr::memory_resource* image_arena();
+
+  /// Depth guard for the image arena: the first env constructed on a
+  /// thread (no other env alive) resets the arena, reclaiming the
+  /// previous run's images while keeping the chunks. Overlapping envs —
+  /// the differential harness compares two at once — share the arena and
+  /// defer the reset until all of them are gone. Copies and moves of an
+  /// env count as live users.
+  struct EnvArenaScope {
+    EnvArenaScope();
+    EnvArenaScope(const EnvArenaScope&);
+    EnvArenaScope& operator=(const EnvArenaScope&) { return *this; }
+    ~EnvArenaScope();
+  };
+
   const ProtocolBinding* pb_;
   Profile profile_;
-  std::vector<LayerImages> wire_;
+  EnvArenaScope arena_scope_;  // must precede wire_: resets before allocs
+  std::pmr::vector<LayerImages> wire_{image_arena()};
   std::vector<long> state_slots_;
 
   // ICMP: the IP layer is struct-backed (finish_reply builds the header).

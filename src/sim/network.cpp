@@ -1,5 +1,7 @@
 #include "sim/network.hpp"
 
+#include <cstring>
+
 #include "net/checksum.hpp"
 #include "net/icmp.hpp"
 #include "net/schema.hpp"
@@ -135,7 +137,18 @@ void Network::set_link(net::IpAddr network, int prefix_len, LinkConfig config) {
   links_.push_back({StaticRoute{network, prefix_len, net::IpAddr{}}, config});
 }
 
-std::uint64_t Network::hop_delay(const std::vector<std::uint8_t>& packet) const {
+std::vector<OwnedCaptureEntry> own_capture(
+    const std::vector<CaptureEntry>& capture) {
+  std::vector<OwnedCaptureEntry> owned;
+  owned.reserve(capture.size());
+  for (const auto& entry : capture) {
+    owned.push_back(
+        OwnedCaptureEntry{entry.node, entry.packet.to_vector(), entry.time_ns});
+  }
+  return owned;
+}
+
+std::uint64_t Network::hop_delay(std::span<const std::uint8_t> packet) const {
   if (links_.empty() || packet.size() < 20) return 0;
   const net::IpAddr dst(util::get_be32({packet.data() + 16, 4}));
   const std::pair<StaticRoute, LinkConfig>* best = nullptr;
@@ -193,50 +206,54 @@ Network::NodeRef Network::lookup_node(const std::string& name) {
 }
 
 void Network::send_from_host(const std::string& host_name,
-                             std::vector<std::uint8_t> packet) {
+                             std::span<const std::uint8_t> packet) {
   if (mode_ == DeliveryMode::kReference) {
-    transmit(host_name, std::move(packet), kHopBudget);
+    transmit(host_name, {packet.begin(), packet.end()}, kHopBudget);
     return;
   }
   ensure_index();
+  const net::WireImage image = intern(packet);
   if (queue_.empty()) {
     // Injection fast path: nothing is scheduled, so the zero-delay part
     // of the cascade runs cut-through; any latency hops land in the
     // queue and are drained below.
-    ev_transmit(lookup_node(host_name), std::move(packet), kHopBudget);
+    ev_transmit(lookup_node(host_name), image, kHopBudget);
     if (!queue_.empty()) run();
     return;
   }
   queue_.push(now_ns_, Pending{Pending::Kind::kTransmit, lookup_node(host_name),
-                               nullptr, std::move(packet), kHopBudget});
+                               nullptr, image, kHopBudget});
   run();
 }
 
-void Network::send_from_host(Host& host, std::vector<std::uint8_t> packet) {
+void Network::send_from_host(Host& host, std::span<const std::uint8_t> packet) {
   if (mode_ == DeliveryMode::kReference) {
-    transmit(host.name(), std::move(packet), kHopBudget);
+    transmit(host.name(), {packet.begin(), packet.end()}, kHopBudget);
     return;
   }
   ensure_index();
+  const net::WireImage image = intern(packet);
   if (queue_.empty()) {
-    ev_transmit(NodeRef{&host, nullptr}, std::move(packet), kHopBudget);
+    ev_transmit(NodeRef{&host, nullptr}, image, kHopBudget);
     if (!queue_.empty()) run();
     return;
   }
   queue_.push(now_ns_, Pending{Pending::Kind::kTransmit, NodeRef{&host, nullptr},
-                               nullptr, std::move(packet), kHopBudget});
+                               nullptr, image, kHopBudget});
   run();
 }
 
 void Network::send_from_host_via_router(const std::string& host_name,
-                                        std::vector<std::uint8_t> packet) {
+                                        std::span<const std::uint8_t> packet) {
   if (mode_ == DeliveryMode::kReference) {
     ++events_processed_;
-    capture_.push_back(CaptureEntry{host_name, packet});
+    capture_.push_back(CaptureEntry{host_name, intern(packet)});
     Host* host = find_host(host_name);
     Router* r = host != nullptr ? router_serving(host->address()) : nullptr;
     if (r == nullptr) r = router();
-    if (r != nullptr) route_through_router(*r, std::move(packet), kHopBudget);
+    if (r != nullptr) {
+      route_through_router(*r, {packet.begin(), packet.end()}, kHopBudget);
+    }
     return;
   }
   ensure_index();
@@ -244,41 +261,42 @@ void Network::send_from_host_via_router(const std::string& host_name,
   Router* via = from.host != nullptr ? gateway_of(*from.host) : nullptr;
   if (via == nullptr) via = router();
   if (via == nullptr) return;
+  const net::WireImage image = intern(packet);
   if (queue_.empty()) {
     ++events_processed_;
-    capture_.push_back(CaptureEntry{from.name(), packet, now_ns_});
-    ev_route(*via, std::move(packet), kHopBudget);
+    capture_.push_back(CaptureEntry{from.name(), image, now_ns_});
+    ev_route(*via, image, kHopBudget);
     if (!queue_.empty()) run();
     return;
   }
-  queue_.push(now_ns_, Pending{Pending::Kind::kInjectVia, from, via,
-                               std::move(packet), kHopBudget});
+  queue_.push(now_ns_,
+              Pending{Pending::Kind::kInjectVia, from, via, image, kHopBudget});
   run();
 }
 
 void Network::schedule_from_host(const std::string& host_name,
-                                 std::vector<std::uint8_t> packet,
+                                 std::span<const std::uint8_t> packet,
                                  std::uint64_t delay_ns, bool via_router) {
   if (mode_ == DeliveryMode::kReference) {
     // No clock on the reference kernel: park in FIFO order; run() replays
     // injections sequentially, which matches the event kernel whenever
     // callers schedule with nondecreasing delays.
-    deferred_.push_back({host_name, std::move(packet), via_router});
+    deferred_.push_back({host_name, {packet.begin(), packet.end()}, via_router});
     return;
   }
   ensure_index();
   NodeRef from = lookup_node(host_name);
+  const net::WireImage image = intern(packet);
   if (via_router) {
     Router* via = from.host != nullptr ? gateway_of(*from.host) : nullptr;
     if (via == nullptr) via = router();
     if (via == nullptr) return;
     queue_.push(now_ns_ + delay_ns, Pending{Pending::Kind::kInjectVia, from,
-                                            via, std::move(packet), kHopBudget});
+                                            via, image, kHopBudget});
     return;
   }
   queue_.push(now_ns_ + delay_ns, Pending{Pending::Kind::kTransmit, from,
-                                          nullptr, std::move(packet),
-                                          kHopBudget});
+                                          nullptr, image, kHopBudget});
 }
 
 std::size_t Network::run() {
@@ -323,7 +341,7 @@ void Network::process(Pending pending) {
       ++events_processed_;
       capture_.push_back(
           CaptureEntry{pending.from.name(), pending.packet, now_ns_});
-      ev_route(*pending.via, std::move(pending.packet), pending.hop_budget);
+      ev_route(*pending.via, pending.packet, pending.hop_budget);
       return;
   }
 }
@@ -334,16 +352,19 @@ void Network::clear_transient() {
     h->inbox_.clear();
     for (auto& [port, socket] : h->udp_sockets_) socket.received.clear();
   }
+  // Every view into the arena is gone now — unless events are still
+  // queued (schedule_from_host before run()), whose images must survive.
+  if (queue_.empty()) arena_.reset();
 }
 
 std::size_t Network::approximate_memory_bytes() const {
-  std::size_t total = sizeof(Network);
+  std::size_t total = sizeof(Network) + arena_.bytes_reserved();
   for (const auto& h : hosts_) {
     total += sizeof(Host) + h->name().capacity();
-    for (const auto& p : h->inbox_) total += p.capacity();
+    total += h->inbox_.capacity() * sizeof(net::WireImage);
     for (const auto& [port, socket] : h->udp_sockets_) {
-      total += sizeof(UdpSocket);
-      for (const auto& p : socket.received) total += p.capacity();
+      total += sizeof(UdpSocket) +
+               socket.received.capacity() * sizeof(net::WireImage);
     }
   }
   for (const auto& r : routers_) {
@@ -352,8 +373,8 @@ std::size_t Network::approximate_memory_bytes() const {
     total += r->routes().capacity() * sizeof(StaticRoute);
   }
   for (const auto& entry : capture_) {
-    total += sizeof(CaptureEntry) + entry.node.capacity() +
-             entry.packet.capacity();
+    // Packet bytes live in the arena, already counted above.
+    total += sizeof(CaptureEntry) + entry.node.capacity();
   }
   total += queue_.size() * (sizeof(Pending) + 2 * sizeof(std::uint64_t));
   total += links_.capacity() * sizeof(std::pair<StaticRoute, LinkConfig>);
@@ -365,13 +386,38 @@ std::size_t Network::approximate_memory_bytes() const {
 }
 
 std::vector<std::uint8_t> Network::capture_to_pcap() const {
-  net::PcapWriter writer;
+  // Serialized in one pass with a single exact reservation — the packet
+  // bytes come straight out of the arena-backed capture views instead of
+  // being copied into intermediate PcapWriter records. The byte stream
+  // is identical to net::PcapWriter's (little-endian v2.4 header,
+  // LINKTYPE_RAW), which tests/test_sim_kernel.cpp pins via pcap hash
+  // goldens.
+  std::size_t total = 24;
+  for (const auto& entry : capture_) total += 16 + entry.packet.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(total);
+  const auto le32 = [&out](std::uint32_t v) {
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+  };
+  le32(0xa1b2c3d4);          // magic, little-endian writer
+  le32(4u << 16 | 2u);       // version 2.4 (major LE16, minor LE16)
+  le32(0);                   // thiszone
+  le32(0);                   // sigfigs
+  le32(65535);               // snaplen
+  le32(101);                 // LINKTYPE_RAW
   std::uint32_t t = 0;
   for (const auto& entry : capture_) {
-    writer.add_packet(entry.packet, t / 1000000, t % 1000000);
+    le32(t / 1000000);
+    le32(t % 1000000);
+    le32(static_cast<std::uint32_t>(entry.packet.size()));  // incl_len
+    le32(static_cast<std::uint32_t>(entry.packet.size()));  // orig_len
+    out.insert(out.end(), entry.packet.begin(), entry.packet.end());
     t += 1000;  // 1ms between transmissions keeps ordering visible
   }
-  return writer.to_bytes();
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -385,10 +431,16 @@ std::vector<std::uint8_t> Network::capture_to_pcap() const {
 // unfolds as a linear chain of events popped in schedule order, which is
 // exactly the reference recursion order — that is the structural
 // argument behind the byte-identical capture goldens.
+//
+// Packets are immutable arena images (net::WireImage): captures, inbox
+// entries, and queued events alias the same bytes, so a hop moves two
+// words. The one mutation — the forward path's TTL decrement — copies
+// on patch into a fresh arena image instead of touching bytes that
+// earlier captures already alias.
 // ---------------------------------------------------------------------------
 
-void Network::ev_transmit(NodeRef from, std::vector<std::uint8_t> packet,
-                          int hop_budget, const net::Ipv4Header* pre) {
+void Network::ev_transmit(NodeRef from, net::WireImage packet, int hop_budget,
+                          const net::Ipv4Header* pre) {
   if (hop_budget <= 0) return;  // loop protection
   ++events_processed_;
   capture_.push_back(CaptureEntry{from.name(), packet, now_ns_});
@@ -415,14 +467,14 @@ void Network::ev_transmit(NodeRef from, std::vector<std::uint8_t> packet,
          from_host->address().same_subnet(dst_host->address(),
                                           from_host->prefix_len()));
     if (direct) {
-      ev_deliver(*dst_host, std::move(packet), hop_budget, hdr);
+      ev_deliver(*dst_host, packet, hop_budget, hdr);
       return;
     }
   }
   if (from_host != nullptr) {
     Router* gateway = gateway_of(*from_host);
     if (gateway != nullptr) {
-      ev_route(*gateway, std::move(packet), hop_budget, &hdr);
+      ev_route(*gateway, packet, hop_budget, &hdr);
     }
     return;
   }
@@ -434,7 +486,7 @@ void Network::ev_transmit(NodeRef from, std::vector<std::uint8_t> packet,
     }
     // Router-originated traffic (ICMP errors/replies) for a non-attached
     // destination consults the router's own tables.
-    ev_route(*from_router, std::move(packet), hop_budget - 1, &hdr);
+    ev_route(*from_router, packet, hop_budget - 1, &hdr);
   }
 }
 
@@ -442,17 +494,20 @@ void Network::ev_reply(NodeRef from,
                        std::optional<std::vector<std::uint8_t>> reply,
                        int hop_budget) {
   if (!reply) return;
-  const std::uint64_t at = now_ns_ + hop_delay(*reply);
+  // Responders build replies as owned vectors; intern once here so the
+  // rest of the reply's journey aliases arena bytes.
+  const net::WireImage image = intern(*reply);
+  const std::uint64_t at = now_ns_ + hop_delay(image);
   if (at == now_ns_) {  // ideal wire: dispatch cut-through
-    ev_transmit(from, std::move(*reply), hop_budget - 1);
+    ev_transmit(from, image, hop_budget - 1);
     return;
   }
-  queue_.push(at, Pending{Pending::Kind::kTransmit, from, nullptr,
-                          std::move(*reply), hop_budget - 1});
+  queue_.push(at, Pending{Pending::Kind::kTransmit, from, nullptr, image,
+                          hop_budget - 1});
 }
 
-void Network::ev_deliver(Host& host, std::vector<std::uint8_t> packet,
-                         int hop_budget, const net::Ipv4Header& hdr) {
+void Network::ev_deliver(Host& host, net::WireImage packet, int hop_budget,
+                         const net::Ipv4Header& hdr) {
   const NodeRef self{&host, nullptr};
   const std::span<const std::uint8_t> payload(
       packet.data() + hdr.header_length(), packet.size() - hdr.header_length());
@@ -477,7 +532,7 @@ void Network::ev_deliver(Host& host, std::vector<std::uint8_t> packet,
           break;  // replies/errors go to the inbox below
       }
     }
-    host.inbox_.push_back(std::move(packet));
+    host.inbox_.push_back(packet);
     return;
   }
 
@@ -486,7 +541,9 @@ void Network::ev_deliver(Host& host, std::vector<std::uint8_t> packet,
     if (udp) {
       auto it = host.udp_sockets_.find(udp->dst_port);
       if (it != host.udp_sockets_.end()) {
-        it->second.received.emplace_back(payload.begin() + 8, payload.end());
+        // The payload view aliases the packet's arena image — receiving
+        // UDP data is a subview, not a copy.
+        it->second.received.push_back(net::WireImage(payload.subspan(8)));
         return;
       }
       // Closed port: RFC 792 destination unreachable, code 3.
@@ -498,11 +555,11 @@ void Network::ev_deliver(Host& host, std::vector<std::uint8_t> packet,
     }
   }
 
-  host.inbox_.push_back(std::move(packet));
+  host.inbox_.push_back(packet);
 }
 
-void Network::ev_route(Router& r, std::vector<std::uint8_t> packet,
-                       int hop_budget, const net::Ipv4Header* pre) {
+void Network::ev_route(Router& r, net::WireImage packet, int hop_budget,
+                       const net::Ipv4Header* pre) {
   if (hop_budget <= 0) return;
   std::optional<net::Ipv4Header> parsed;
   if (pre == nullptr) {
@@ -603,37 +660,42 @@ void Network::ev_route(Router& r, std::vector<std::uint8_t> packet,
 
   // Forward: decrement TTL and patch the header checksum incrementally
   // (RFC 1624), then put it on the egress subnet or hand it to the
-  // next-hop router of the matching static route.
-  const std::uint16_t old_ttl_proto = util::get_be16({packet.data() + 8, 2});
-  packet[8] = static_cast<std::uint8_t>(hdr.ttl - 1);
-  const std::uint16_t new_ttl_proto = util::get_be16({packet.data() + 8, 2});
-  const std::uint16_t old_ck = util::get_be16({packet.data() + 10, 2});
-  util::put_be16({packet.data() + 10, 2},
+  // next-hop router of the matching static route. In-flight images are
+  // immutable (earlier captures alias these bytes), so the patch copies
+  // into a fresh arena image — a bump allocation, not a heap round trip.
+  std::uint8_t* fwd_bytes = arena_.allocate(packet.size(), 1);
+  std::memcpy(fwd_bytes, packet.data(), packet.size());
+  const std::uint16_t old_ttl_proto = util::get_be16({fwd_bytes + 8, 2});
+  fwd_bytes[8] = static_cast<std::uint8_t>(hdr.ttl - 1);
+  const std::uint16_t new_ttl_proto = util::get_be16({fwd_bytes + 8, 2});
+  const std::uint16_t old_ck = util::get_be16({fwd_bytes + 10, 2});
+  util::put_be16({fwd_bytes + 10, 2},
                  net::incremental_checksum_update(old_ck, old_ttl_proto,
                                                   new_ttl_proto));
+  const net::WireImage patched(fwd_bytes, packet.size());
   net::Ipv4Header fwd = hdr;
   fwd.ttl = hdr.ttl - 1;
-  const std::uint64_t at = now_ns_ + hop_delay(packet);
+  const std::uint64_t at = now_ns_ + hop_delay(patched);
   if (route != nullptr) {
     ++events_processed_;
-    capture_.push_back(CaptureEntry{r.name(), packet, now_ns_});
+    capture_.push_back(CaptureEntry{r.name(), patched, now_ns_});
     const auto next_it = router_by_addr_.find(route->next_hop.value());
     if (next_it != router_by_addr_.end()) {
       if (at == now_ns_) {  // ideal wire: hand off cut-through
-        ev_route(*next_it->second, std::move(packet), hop_budget - 1, &fwd);
+        ev_route(*next_it->second, patched, hop_budget - 1, &fwd);
         return;
       }
       queue_.push(at, Pending{Pending::Kind::kRouteVia, self, next_it->second,
-                              std::move(packet), hop_budget - 1});
+                              patched, hop_budget - 1});
     }
     return;
   }
   if (at == now_ns_) {  // ideal wire: transmit cut-through
-    ev_transmit(self, std::move(packet), hop_budget - 1, &fwd);
+    ev_transmit(self, patched, hop_budget - 1, &fwd);
     return;
   }
-  queue_.push(at, Pending{Pending::Kind::kTransmit, self, nullptr,
-                          std::move(packet), hop_budget - 1});
+  queue_.push(at, Pending{Pending::Kind::kTransmit, self, nullptr, patched,
+                          hop_budget - 1});
 }
 
 // ---------------------------------------------------------------------------
@@ -641,14 +703,16 @@ void Network::ev_route(Router& r, std::vector<std::uint8_t> packet,
 // preserved unchanged (linear name scans included) as the differential
 // baseline for the event kernel — the same role reference_mode plays for
 // the parser. Only events_processed_ bookkeeping was added so the
-// benchmark can compare like units across kernels.
+// benchmark can compare like units across kernels, and — since capture/
+// inbox/UDP storage is now view-based — bytes are interned into the run
+// arena at exactly the pushes that used to copy vectors.
 // ---------------------------------------------------------------------------
 
 void Network::transmit(const std::string& from_node,
                        std::vector<std::uint8_t> packet, int hop_budget) {
   if (hop_budget <= 0) return;  // loop protection
   ++events_processed_;
-  capture_.push_back(CaptureEntry{from_node, packet});
+  capture_.push_back(CaptureEntry{from_node, intern(packet)});
 
   const auto hdr = net::Ipv4Header::parse(packet);
   if (!hdr) return;
@@ -725,7 +789,7 @@ void Network::deliver_to_host(Host& host, std::vector<std::uint8_t> packet,
           break;  // replies/errors go to the inbox below
       }
     }
-    host.inbox_.push_back(std::move(packet));
+    host.inbox_.push_back(intern(packet));
     return;
   }
 
@@ -734,7 +798,7 @@ void Network::deliver_to_host(Host& host, std::vector<std::uint8_t> packet,
     if (udp) {
       auto it = host.udp_sockets_.find(udp->dst_port);
       if (it != host.udp_sockets_.end()) {
-        it->second.received.emplace_back(payload.begin() + 8, payload.end());
+        it->second.received.push_back(intern(payload.subspan(8)));
         return;
       }
       // Closed port: RFC 792 destination unreachable, code 3.
@@ -747,7 +811,7 @@ void Network::deliver_to_host(Host& host, std::vector<std::uint8_t> packet,
     }
   }
 
-  host.inbox_.push_back(std::move(packet));
+  host.inbox_.push_back(intern(packet));
 }
 
 void Network::route_through_router(Router& r, std::vector<std::uint8_t> packet,
@@ -851,7 +915,7 @@ void Network::route_through_router(Router& r, std::vector<std::uint8_t> packet,
                                                   new_ttl_proto));
   if (route != nullptr) {
     ++events_processed_;
-    capture_.push_back(CaptureEntry{r.name(), packet});
+    capture_.push_back(CaptureEntry{r.name(), intern(packet)});
     if (Router* next = find_router_by_address(route->next_hop)) {
       route_through_router(*next, std::move(packet), hop_budget - 1);
     }

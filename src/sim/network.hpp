@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,8 +35,10 @@
 #include "net/icmp.hpp"
 #include "net/ipv4.hpp"
 #include "net/pcap.hpp"
+#include "net/wire_image.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/responder.hpp"
+#include "util/arena.hpp"
 
 namespace sage::sim {
 
@@ -46,17 +49,34 @@ enum class DeliveryMode : std::uint8_t { kEvent, kReference };
 /// the raw bytes (starting at the IP header), and — under the event
 /// kernel — the simulated time the packet hit the wire (0 under the
 /// reference kernel, whose clock does not advance).
+///
+/// `packet` is a view into the owning Network's run arena: valid until
+/// that Network's clear_transient() or destruction (docs/MEMORY.md).
+/// Copy entries out with own_capture() if they must outlive the run.
 struct CaptureEntry {
+  std::string node;
+  net::WireImage packet;
+  std::uint64_t time_ns = 0;
+};
+
+/// A deep copy of a CaptureEntry with no arena dependency, for call
+/// sites that keep captures after the Network (or its arena epoch) is
+/// gone — the differential fuzzer's per-case captures, cross-kernel
+/// comparisons in benches/tests.
+struct OwnedCaptureEntry {
   std::string node;
   std::vector<std::uint8_t> packet;
   std::uint64_t time_ns = 0;
 };
 
+std::vector<OwnedCaptureEntry> own_capture(
+    const std::vector<CaptureEntry>& capture);
+
 /// A listening UDP port on a host (traceroute probes to closed ports are
-/// what elicit port-unreachable).
+/// what elicit port-unreachable). Payload views share the run arena.
 struct UdpSocket {
   std::uint16_t port = 0;
-  std::vector<std::vector<std::uint8_t>> received;  // raw UDP payloads
+  std::vector<net::WireImage> received;  // raw UDP payloads
 };
 
 class Network;
@@ -81,7 +101,9 @@ class Host {
 
   /// Packets addressed to this host that were not consumed by a protocol
   /// handler (e.g. ICMP replies waiting for a client to read them).
-  std::vector<std::vector<std::uint8_t>>& inbox() { return inbox_; }
+  /// Entries view the owning Network's run arena; copy with to_vector()
+  /// to keep bytes past clear_transient().
+  std::vector<net::WireImage>& inbox() { return inbox_; }
 
  private:
   friend class Network;
@@ -93,7 +115,7 @@ class Host {
   /// kernel's per-packet egress decision is a pointer load, not a scan.
   Router* gateway_ = nullptr;
   std::map<std::uint16_t, UdpSocket> udp_sockets_;
-  std::vector<std::vector<std::uint8_t>> inbox_;
+  std::vector<net::WireImage> inbox_;
 };
 
 /// A router interface: its own address and the prefix it serves.
@@ -194,25 +216,26 @@ class Network {
   void set_link(net::IpAddr network, int prefix_len, LinkConfig config);
 
   /// Transmit `packet` from `host_name` (or a router's name for
-  /// router-originated traffic). The packet is routed hop by hop until
+  /// router-originated traffic). The bytes are interned into the run
+  /// arena once at injection; the packet is then routed hop by hop until
   /// delivered, dropped, or the hop budget is exhausted; replies
   /// generated along the way are routed too, and in event mode the queue
   /// is drained to quiescence before returning. Every transmission is
   /// appended to the capture log.
   void send_from_host(const std::string& host_name,
-                      std::vector<std::uint8_t> packet);
+                      std::span<const std::uint8_t> packet);
 
   /// Overload for callers that already hold the sending host (topology
   /// generators and the soak driver do): skips the name lookup on the
   /// event kernel's injection fast path.
-  void send_from_host(Host& host, std::vector<std::uint8_t> packet);
+  void send_from_host(Host& host, std::span<const std::uint8_t> packet);
 
   /// Like send_from_host, but forces the first hop through the router even
   /// if the destination is on the sender's own subnet — the Appendix A
   /// Redirect scenario, where the client's routing table wrongly points at
   /// the router.
   void send_from_host_via_router(const std::string& host_name,
-                                 std::vector<std::uint8_t> packet);
+                                 std::span<const std::uint8_t> packet);
 
   /// Enqueue a transmission `delay_ns` into the simulated future WITHOUT
   /// draining the queue — the injection point for traffic storms and the
@@ -222,7 +245,7 @@ class Network {
   /// drained by run(), which matches the event kernel's order whenever
   /// delays are scheduled nondecreasing.
   void schedule_from_host(const std::string& host_name,
-                          std::vector<std::uint8_t> packet,
+                          std::span<const std::uint8_t> packet,
                           std::uint64_t delay_ns, bool via_router = false);
 
   /// Drain every pending event in (time, seq) order; returns the number
@@ -241,13 +264,20 @@ class Network {
   std::size_t events_processed() const { return events_processed_; }
 
   const std::vector<CaptureEntry>& capture() const { return capture_; }
+  /// Forget capture entries. The arena is NOT rewound (inbox/UDP/queue
+  /// views may still be live); use clear_transient() to reclaim bytes.
   void clear_capture() { capture_.clear(); }
 
-  /// Reset per-session endpoint state: capture log, host inboxes, and
-  /// received-UDP buffers. Topology, routes, links, clock, and counters
-  /// survive — this is what keeps a long soak's memory bounded while
-  /// keeping its sessions independent.
+  /// Reset per-session endpoint state: capture log, host inboxes,
+  /// received-UDP buffers, and — when no events are pending — the run
+  /// arena all the packet views point into. Topology, routes, links,
+  /// clock, and counters survive — this is what keeps a long soak's
+  /// memory bounded while keeping its sessions independent.
   void clear_transient();
+
+  /// The run arena backing every in-flight/captured packet image. Read
+  /// access for memory accounting and the zero-copy smoke assertions.
+  const util::Arena& arena() const { return arena_; }
 
   /// Rough accounting of the simulation's resident footprint (topology +
   /// capture + queue), for the bounded-memory soak assertions.
@@ -267,7 +297,8 @@ class Network {
     }
   };
 
-  /// One scheduled hop.
+  /// One scheduled hop. `packet` views the run arena (immutable once
+  /// interned), so queued events and the capture log share bytes.
   struct Pending {
     enum class Kind : std::uint8_t {
       kTransmit,    // `from` put `packet` on the wire
@@ -277,11 +308,19 @@ class Network {
     Kind kind = Kind::kTransmit;
     NodeRef from;
     Router* via = nullptr;
-    std::vector<std::uint8_t> packet;
+    net::WireImage packet;
     int hop_budget = 0;
   };
 
-  // --- reference kernel (the seed's synchronous path, unchanged) ---
+  /// Copy caller/responder bytes into the run arena; the returned view
+  /// is the canonical in-flight image every downstream stage aliases.
+  net::WireImage intern(std::span<const std::uint8_t> bytes) {
+    return net::WireImage(arena_.intern(bytes));
+  }
+
+  // --- reference kernel (the seed's synchronous path, structurally
+  // unchanged; packets stay owned vectors and are interned only at the
+  // boundary pushes into capture/inbox/UDP storage) ---
   void transmit(const std::string& from_node, std::vector<std::uint8_t> packet,
                 int hop_budget);
   void deliver_to_host(Host& host, std::vector<std::uint8_t> packet,
@@ -292,21 +331,21 @@ class Network {
                   std::optional<std::vector<std::uint8_t>> reply,
                   int hop_budget);
 
-  // --- event kernel ---
+  // --- event kernel (arena-backed images, no per-hop copies) ---
   void ensure_index();
   NodeRef lookup_node(const std::string& name);
   Router* gateway_of(const Host& host) { return host.gateway_; }
-  std::uint64_t hop_delay(const std::vector<std::uint8_t>& packet) const;
+  std::uint64_t hop_delay(std::span<const std::uint8_t> packet) const;
   void schedule(Pending pending, std::uint64_t at_ns);
   void process(Pending pending);
   // `pre` is the already-parsed IP header when the caller has one (the
-  // cut-through path patches TTL in both packet and header copy instead
-  // of re-parsing every hop).
-  void ev_transmit(NodeRef from, std::vector<std::uint8_t> packet,
-                   int hop_budget, const net::Ipv4Header* pre = nullptr);
-  void ev_deliver(Host& host, std::vector<std::uint8_t> packet,
-                  int hop_budget, const net::Ipv4Header& hdr);
-  void ev_route(Router& r, std::vector<std::uint8_t> packet, int hop_budget,
+  // cut-through path forwards a freshly patched image plus its header
+  // copy instead of re-parsing every hop).
+  void ev_transmit(NodeRef from, net::WireImage packet, int hop_budget,
+                   const net::Ipv4Header* pre = nullptr);
+  void ev_deliver(Host& host, net::WireImage packet, int hop_budget,
+                  const net::Ipv4Header& hdr);
+  void ev_route(Router& r, net::WireImage packet, int hop_budget,
                 const net::Ipv4Header* pre = nullptr);
   void ev_reply(NodeRef from, std::optional<std::vector<std::uint8_t>> reply,
                 int hop_budget);
@@ -314,6 +353,10 @@ class Network {
   DeliveryMode mode_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Router>> routers_;
+  /// Per-run bump arena holding every packet image in flight or captured
+  /// this run. Rewound by clear_transient() once the queue is drained;
+  /// chunks are retained, so steady-state sessions allocate nothing.
+  util::Arena arena_;
   std::vector<CaptureEntry> capture_;
 
   // Event-kernel state.

@@ -116,7 +116,7 @@ PingResult PingClient::ping(Network& network, const std::string& client_host,
     out.detail.push_back("no reply received");
     return out;
   }
-  out.reply = client->inbox().back();
+  out.reply = client->inbox().back().to_vector();
 
   const auto ip = net::Ipv4Header::parse(out.reply);
   if (!ip) {

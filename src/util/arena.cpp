@@ -1,0 +1,49 @@
+#include "util/arena.hpp"
+
+namespace sage::util {
+
+std::uint8_t* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Try the retained chunks after the active one (a reset() rewound them;
+  // geometric growth means later chunks are the big ones).
+  while (active_ + 1 < chunks_.size()) {
+    ++active_;
+    Chunk& c = chunks_[active_];
+    const std::size_t aligned = c.aligned_offset(align);
+    if (aligned + bytes <= c.size) {
+      c.used = aligned + bytes;
+      bytes_allocated_ += bytes;
+      if (bytes_allocated_ > high_water_) high_water_ = bytes_allocated_;
+      return c.data.get() + aligned;
+    }
+  }
+  std::size_t want =
+      chunks_.empty() ? first_chunk_bytes_ : chunks_.back().size * 2;
+  // Room for the worst-case alignment skew: operator new[] only
+  // guarantees max_align_t on the chunk base.
+  if (want < bytes + align) want = bytes + align;
+  chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(want), want, 0});
+  bytes_reserved_ += want;
+  active_ = chunks_.size() - 1;
+  Chunk& c = chunks_.back();
+  const std::size_t aligned = c.aligned_offset(align);
+  c.used = aligned + bytes;
+  bytes_allocated_ += bytes;
+  if (bytes_allocated_ > high_water_) high_water_ = bytes_allocated_;
+  return c.data.get() + aligned;
+}
+
+void Arena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  active_ = 0;
+  bytes_allocated_ = 0;
+  ++resets_;
+}
+
+void Arena::release() {
+  chunks_.clear();
+  active_ = 0;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+}  // namespace sage::util

@@ -1,0 +1,123 @@
+// Per-run bump allocator backing the zero-copy packet path (ROADMAP
+// item 4, docs/MEMORY.md).
+//
+// An Arena hands out pointers into monotonically-filled chunks and never
+// frees individual allocations; reset() rewinds every chunk to empty
+// while *retaining* the memory, so a steady-state run (one simulator
+// session, one parse, one exec-env evaluation) costs zero heap traffic
+// after its first pass warmed the chunks. Counters expose the contract:
+// bytes_allocated (live since the last reset), high_water (max ever
+// live), bytes_reserved (chunk capacity held), and resets.
+//
+// The arena is also a std::pmr::memory_resource whose deallocate is a
+// no-op, so std::pmr containers (the parser's chart cells, the runtime
+// env's layer images) can bump-allocate through it directly.
+//
+// Not thread-safe: one arena per owner (per Network, per worker thread).
+// Movable — chunk storage is heap-allocated, so spans handed out before
+// a move stay valid after it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <memory_resource>
+#include <span>
+#include <vector>
+
+namespace sage::util {
+
+class Arena : public std::pmr::memory_resource {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t first_chunk_bytes = kDefaultChunkBytes)
+      : first_chunk_bytes_(first_chunk_bytes ? first_chunk_bytes : 64) {}
+
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` with `align`ment (never freed individually).
+  std::uint8_t* allocate(std::size_t bytes,
+                         std::size_t align = alignof(std::max_align_t));
+
+  /// Copy `bytes` into the arena and return the stable interned view —
+  /// the primitive behind WireImage interning on the packet path.
+  std::span<const std::uint8_t> intern(std::span<const std::uint8_t> bytes);
+
+  /// Rewind every chunk to empty, retaining the reserved memory. All
+  /// previously returned pointers/views become invalid.
+  void reset();
+
+  /// Release the reserved chunks too (back to a fresh arena).
+  void release();
+
+  /// Bytes handed out since the last reset().
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Max bytes_allocated() ever observed (survives resets).
+  std::size_t high_water() const { return high_water_; }
+  /// Total chunk capacity currently held.
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::uint64_t resets() const { return resets_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+
+    /// Next offset whose *address* (not just offset) is `align`ed —
+    /// operator new[] only guarantees max_align_t on the chunk base.
+    std::size_t aligned_offset(std::size_t align) const {
+      const auto base = reinterpret_cast<std::uintptr_t>(data.get());
+      const auto mask = static_cast<std::uintptr_t>(align - 1);
+      return static_cast<std::size_t>(((base + used + mask) & ~mask) - base);
+    }
+  };
+
+  void* do_allocate(std::size_t bytes, std::size_t align) override {
+    return allocate(bytes, align);
+  }
+  void do_deallocate(void*, std::size_t, std::size_t) override {}
+  bool do_is_equal(
+      const std::pmr::memory_resource& other) const noexcept override {
+    return this == &other;
+  }
+
+  std::uint8_t* allocate_slow(std::size_t bytes, std::size_t align);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // chunks_[active_] is the bump target
+  std::size_t first_chunk_bytes_;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+inline std::uint8_t* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (active_ < chunks_.size()) {
+    Chunk& c = chunks_[active_];
+    const std::size_t aligned = c.aligned_offset(align);
+    if (aligned + bytes <= c.size) {
+      c.used = aligned + bytes;
+      bytes_allocated_ += bytes;
+      if (bytes_allocated_ > high_water_) high_water_ = bytes_allocated_;
+      return c.data.get() + aligned;
+    }
+  }
+  return allocate_slow(bytes, align);
+}
+
+inline std::span<const std::uint8_t> Arena::intern(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return {};
+  std::uint8_t* dst = allocate(bytes.size(), 1);
+  __builtin_memcpy(dst, bytes.data(), bytes.size());
+  return {dst, bytes.size()};
+}
+
+}  // namespace sage::util

@@ -1,0 +1,209 @@
+// util::Arena + net::WireImage: the allocation layer under the
+// zero-copy packet path (docs/MEMORY.md). These tests pin the contract
+// the simulator, parser chart, and exec-env rely on: stable pointers
+// until reset, alignment on demand, geometric chunk growth, counter
+// accounting that survives resets, and safe concurrent use of
+// *distinct* per-worker arenas (an arena itself is single-owner).
+#include <algorithm>
+#include <cstring>
+#include <memory_resource>
+#include <numeric>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/wire_image.hpp"
+#include "util/arena.hpp"
+
+namespace sage {
+namespace {
+
+TEST(Arena, AllocationsAreDisjointAndStable) {
+  util::Arena arena;
+  std::vector<std::uint8_t*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    std::uint8_t* p = arena.allocate(16);
+    std::memset(p, i, 16);
+    ptrs.push_back(p);
+  }
+  // Every block still holds its fill pattern: no overlap, no move.
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      ASSERT_EQ(ptrs[i][j], static_cast<std::uint8_t>(i));
+    }
+  }
+}
+
+TEST(Arena, RespectsAlignment) {
+  util::Arena arena;
+  for (std::size_t align : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                            std::size_t{8}, std::size_t{16}, std::size_t{64}}) {
+    // Odd-size allocation first so the bump offset is misaligned.
+    (void)arena.allocate(3, 1);
+    std::uint8_t* p = arena.allocate(8, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(Arena, ChunksGrowGeometrically) {
+  util::Arena arena(/*first_chunk_bytes=*/128);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  (void)arena.allocate(64);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.bytes_reserved(), 128u);
+  // Overflow the first chunk: a second, larger chunk appears.
+  (void)arena.allocate(128);
+  EXPECT_EQ(arena.chunk_count(), 2u);
+  EXPECT_GT(arena.bytes_reserved(), 128u);
+  // An allocation larger than any chunk still succeeds.
+  std::uint8_t* big = arena.allocate(1 << 20);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xab, 1 << 20);
+  EXPECT_GE(arena.bytes_reserved(), (1u << 20));
+}
+
+TEST(Arena, ResetRetainsChunksAndReusesThem) {
+  util::Arena arena;
+  for (int i = 0; i < 1000; ++i) (void)arena.allocate(256);
+  const std::size_t reserved = arena.bytes_reserved();
+  const std::size_t chunks = arena.chunk_count();
+  ASSERT_GT(reserved, 0u);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved) << "reset must retain memory";
+  EXPECT_EQ(arena.chunk_count(), chunks);
+  EXPECT_EQ(arena.resets(), 1u);
+
+  // Steady state: the same workload fits in the retained chunks, so no
+  // new reservation happens.
+  for (int i = 0; i < 1000; ++i) (void)arena.allocate(256);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+
+  arena.release();
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+}
+
+TEST(Arena, HighWaterSurvivesResets) {
+  util::Arena arena;
+  (void)arena.allocate(10000);
+  EXPECT_GE(arena.high_water(), 10000u);
+  arena.reset();
+  (void)arena.allocate(16);
+  // A smaller pass after reset must not lower the peak.
+  EXPECT_GE(arena.high_water(), 10000u);
+  EXPECT_EQ(arena.bytes_allocated(), 16u);
+}
+
+TEST(Arena, InternCopiesAndIsStableAcrossSourceDeath) {
+  util::Arena arena;
+  std::span<const std::uint8_t> view;
+  {
+    std::vector<std::uint8_t> src(97);
+    std::iota(src.begin(), src.end(), std::uint8_t{1});
+    view = arena.intern(src);
+    // Source dies here; the interned view must not alias it.
+  }
+  ASSERT_EQ(view.size(), 97u);
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view[i], static_cast<std::uint8_t>(i + 1));
+  }
+  EXPECT_TRUE(arena.intern({}).empty());
+}
+
+TEST(Arena, WorksAsPmrMemoryResource) {
+  util::Arena arena;
+  const std::size_t before = arena.bytes_allocated();
+  std::pmr::vector<std::uint32_t> v(&arena);
+  for (std::uint32_t i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_GT(arena.bytes_allocated(), before);
+  for (std::uint32_t i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i);
+  // do_is_equal is pointer identity: two arenas never compare equal.
+  util::Arena other;
+  EXPECT_TRUE(arena.is_equal(arena));
+  EXPECT_FALSE(arena.is_equal(other));
+}
+
+TEST(Arena, MovePreservesOutstandingViews) {
+  util::Arena arena;
+  const std::uint8_t bytes[] = {0xde, 0xad, 0xbe, 0xef};
+  const auto view = arena.intern(bytes);
+  util::Arena moved = std::move(arena);
+  EXPECT_EQ(net::WireImage(view), net::WireImage(bytes, 4));
+  EXPECT_GE(moved.bytes_allocated(), 4u);
+}
+
+// One arena per worker is the concurrency contract (the soak driver
+// gives each job its own Network and therefore its own arena). Hammer
+// distinct arenas from many threads; TSan (ctest -L concurrency in a
+// -DSAGE_SANITIZE=thread tree) proves there is no hidden shared state.
+TEST(Arena, ConcurrentPerWorkerArenas) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> workers;
+  std::vector<std::uint64_t> checksums(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &checksums] {
+      util::Arena arena(/*first_chunk_bytes=*/512);
+      std::mt19937 rng(0xC0FFEE + t);
+      std::uint64_t sum = 0;
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::span<const std::uint8_t>> views;
+        for (int i = 0; i < 200; ++i) {
+          std::vector<std::uint8_t> payload(1 + rng() % 300);
+          for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+          views.push_back(arena.intern(payload));
+        }
+        for (const auto& v : views) {
+          for (std::uint8_t b : v) sum += b;
+        }
+        arena.reset();
+      }
+      checksums[t] = sum;
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Seeded per-thread workloads: same seed, same checksum, every run.
+  for (int t = 0; t < kThreads; ++t) {
+    util::Arena arena(/*first_chunk_bytes=*/512);
+    std::mt19937 rng(0xC0FFEE + t);
+    std::uint64_t sum = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (int i = 0; i < 200; ++i) {
+        std::vector<std::uint8_t> payload(1 + rng() % 300);
+        for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+        for (std::uint8_t b : arena.intern(payload)) sum += b;
+      }
+      arena.reset();
+    }
+    EXPECT_EQ(checksums[t], sum) << "thread " << t;
+  }
+}
+
+TEST(WireImage, ViewSemantics) {
+  const std::vector<std::uint8_t> bytes = {1, 2, 3, 4, 5};
+  const net::WireImage img(bytes);
+  EXPECT_EQ(img.size(), 5u);
+  EXPECT_EQ(img[0], 1u);
+  EXPECT_TRUE(img == bytes);
+  EXPECT_EQ(img.subview(2).size(), 3u);
+  EXPECT_EQ(img.subview(2)[0], 3u);
+  EXPECT_EQ(img.to_vector(), bytes);
+
+  const net::WireImage empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty == net::WireImage());
+
+  // Implicit span conversion feeds the schema decode path.
+  std::span<const std::uint8_t> s = img;
+  EXPECT_EQ(s.data(), bytes.data());
+  EXPECT_EQ(s.size(), 5u);
+}
+
+}  // namespace
+}  // namespace sage

@@ -126,7 +126,7 @@ TEST(FaultyNetwork, SameRngSameWeather) {
                                                    opts));
     }
     wire.flush();
-    return net.capture();
+    return sim::own_capture(net.capture());
   };
   const auto a = run_once();
   const auto b = run_once();
@@ -247,7 +247,7 @@ TEST(DifferentialOracle, KnownBadResponderProducesDivergentCaptures) {
     FaultyNetwork wire(net, FaultPlan{}, Rng(1));
     wire.send("client", request);
     wire.flush();
-    return net.capture();
+    return sim::own_capture(net.capture());
   };
   sim::ReferenceIcmpResponder reference;
   eval::FaultyIcmpResponder faulty({eval::Fault::kTruncatedReply});

@@ -118,6 +118,39 @@ TEST(FuzzRegressions, VerdictLogsAreByteStableAcrossDeliveryKernels) {
   }
 }
 
+TEST(FuzzRegressions, VerdictLogHashesPinnedAcrossZeroCopyRefactor) {
+  // Golden verdict-log hashes recorded BEFORE the arena/span packet
+  // path landed (sage_debug --fuzz icmp --seed 7 --iters 200, with and
+  // without the standard fault mix). The refactor is a representation
+  // change only — fault decisions draw from the same rng stream in the
+  // same order, corruption happens in a scratch slab instead of a fresh
+  // vector, captures alias the run arena — so these hashes must never
+  // move. If one does, packet bytes or fault ordering changed.
+  FuzzOptions options;
+  options.protocol = "icmp";
+  options.seed = 7;
+  options.iterations = 200;
+  options.minimize = false;
+
+  const FuzzReport plain = DifferentialFuzzer(options).run();
+  EXPECT_TRUE(plain.clean()) << plain.summary();
+  EXPECT_EQ(plain.log_hash, 0x977c831ef2574809ULL);
+
+  options.faults =
+      *FaultPlan::parse("loss=5,dup=10,reorder=20,delay=10,corrupt=5");
+  const FuzzReport faulted = DifferentialFuzzer(options).run();
+  EXPECT_TRUE(faulted.clean()) << faulted.summary();
+  EXPECT_EQ(faulted.log_hash, 0xe45da0b06eb80274ULL);
+
+  // The same campaign fanned over 8 workers and run on the synchronous
+  // reference kernel lands on the identical log, byte for byte.
+  options.jobs = 8;
+  EXPECT_EQ(DifferentialFuzzer(options).run().log_hash, 0xe45da0b06eb80274ULL);
+  options.jobs = 1;
+  options.delivery = sim::DeliveryMode::kReference;
+  EXPECT_EQ(DifferentialFuzzer(options).run().log_hash, 0xe45da0b06eb80274ULL);
+}
+
 TEST(FuzzRegressions, BoundedCampaignPerProtocolStaysClean) {
   // Small enough for the ASan smoke preset, big enough to cross every
   // mutation class (test_fuzz pins taxonomy coverage at this scale).

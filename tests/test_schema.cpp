@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <random>
 
 #include "codegen/ir.hpp"
 #include "net/bfd.hpp"
@@ -14,9 +15,11 @@
 #include "net/ntp.hpp"
 #include "net/schema.hpp"
 #include "net/udp.hpp"
+#include "net/wire_image.hpp"
 #include "runtime/schema_env.hpp"
 #include "sim/inspector.hpp"
 #include "sim/ping.hpp"
+#include "util/arena.hpp"
 #include "util/symbols.hpp"
 
 namespace sage {
@@ -366,6 +369,54 @@ TEST(SchemaShortRead, TruncatedImageReportsShortNotZero) {
   }
   EXPECT_EQ(reg.read_wire("icmp", "bogus", one_byte).status,
             net::schema::ReadStatus::kUnknownField);
+}
+
+// ---- span/vector decode equivalence (zero-copy packet path) ----------------
+//
+// The arena/span refactor made every decode site accept spans — the
+// simulator hands the inspector WireImage views straight into arena
+// chunks instead of copied vectors. Property: for random layer images
+// (truncated, exact, and overlong), decoding through an arena-backed
+// span is indistinguishable from decoding the owning vector, field by
+// field and line by line.
+
+TEST(SchemaSpanDecode, MatchesVectorDecodeOnRandomImages) {
+  const auto& reg = SchemaRegistry::instance();
+  util::Arena arena;
+  std::mt19937 rng(0x5A9E0007);
+  for (const auto& proto : reg.protocols()) {
+    for (const auto& layer_name : proto.layers) {
+      const auto* layer = reg.layer(layer_name);
+      ASSERT_NE(layer, nullptr) << proto.protocol << "/" << layer_name;
+      if (layer->header_bytes == 0) continue;  // state-only, no wire image
+      for (int iter = 0; iter < 1000; ++iter) {
+        // Sweep truncated through overlong images so short-read
+        // handling is covered, not just the happy path.
+        const std::size_t len = rng() % (layer->header_bytes + 32);
+        std::vector<std::uint8_t> vec(len);
+        for (auto& b : vec) b = static_cast<std::uint8_t>(rng());
+
+        const net::WireImage img(arena.intern(vec));
+        ASSERT_TRUE(img == vec);
+
+        for (const auto& field : layer->fields) {
+          if (field.kind != net::schema::FieldKind::kScalar) continue;
+          const auto via_span = reg.read_wire(layer->name, field.name, img);
+          const auto via_vec = reg.read_wire(layer->name, field.name, vec);
+          ASSERT_EQ(via_span.status, via_vec.status)
+              << layer->name << "." << field.name << " len=" << len;
+          ASSERT_EQ(via_span.value, via_vec.value)
+              << layer->name << "." << field.name << " len=" << len;
+        }
+        ASSERT_EQ(reg.decode_layer(layer->name, img.span()),
+                  reg.decode_layer(layer->name, vec))
+            << layer->name << " len=" << len;
+      }
+      // One run's worth of images dies here, exactly as a Network's
+      // per-run arena would; the next layer starts on reused chunks.
+      arena.reset();
+    }
+  }
 }
 
 TEST(SchemaShortRead, DecodeRendersShortReadMarkers) {

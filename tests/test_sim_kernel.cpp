@@ -271,6 +271,39 @@ TEST(AppendixAGoldens, BothKernelsMatchPreRefactorPcapHashes) {
   }
 }
 
+TEST(AppendixAGoldens, PooledCaptureBuffersStayGoldenAcrossArenaReuse) {
+  // The capture log and pcap stream draw their packet bytes from the
+  // Network's run arena. Replaying a scenario on the same Network after
+  // clear_transient() must land on the identical pcap from *reused*
+  // chunks — same bytes, zero new reservation — or the pool leaks or
+  // cross-contaminates runs.
+  ReferenceIcmpResponder responder;
+  Network net = make_appendix_a_network(DeliveryMode::kEvent);
+  net.router()->set_responder(&responder);
+  net.find_host("server1")->set_responder(&responder);
+  net.find_host("server2")->set_responder(&responder);
+
+  const auto drive = [&net] {
+    PingClient ping;
+    ping.ping(net, "client", net::IpAddr(192, 168, 2, 100));
+    TracerouteClient tr;
+    tr.trace(net, "client", net::IpAddr(192, 168, 2, 100));
+  };
+
+  drive();
+  const auto first = net.capture_to_pcap();
+  const std::size_t reserved = net.arena().bytes_reserved();
+  ASSERT_GT(reserved, 0u);
+
+  for (int run = 0; run < 5; ++run) {
+    net.clear_transient();  // rewinds the arena: capture views die here
+    drive();
+    EXPECT_EQ(net.capture_to_pcap(), first) << "run " << run;
+    EXPECT_EQ(net.arena().bytes_reserved(), reserved)
+        << "run " << run << " grew the pool";
+  }
+}
+
 // --- event-kernel time & scheduling semantics ------------------------------
 
 TEST(EventKernel, LinkLatencyAdvancesSimulatedTime) {

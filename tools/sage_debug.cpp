@@ -48,6 +48,12 @@ void dump_parse_stats(const std::string& text, const std::string& proto,
     total.index_probes += r.stats.index_probes;
     total.beta_reductions += r.stats.beta_reductions;
     total.beta_steps += r.stats.beta_steps;
+    // Chart-arena counters are cumulative per thread; keep the last
+    // parse's view (reserved/high-water are monotone, resets counts all
+    // parses so far on this thread).
+    total.arena_bytes_reserved = r.stats.arena_bytes_reserved;
+    total.arena_high_water = r.stats.arena_high_water;
+    total.arena_resets = r.stats.arena_resets;
     ++parses;
   }
   printf("--- parse stats (%zu cold parses) ---\n", parses);
@@ -59,6 +65,9 @@ void dump_parse_stats(const std::string& text, const std::string& proto,
   printf("beta steps      : %zu\n", total.beta_steps);
   printf("interned categories : %zu\n", ccg::category_interner_size());
   printf("interned terms      : %zu\n", ccg::term_interner_size());
+  printf("chart arena reserved   : %zu bytes\n", total.arena_bytes_reserved);
+  printf("chart arena high-water : %zu bytes\n", total.arena_high_water);
+  printf("chart arena resets     : %zu\n", total.arena_resets);
   const auto schema = codegen::schema_resolution_stats();
   printf("schema field refs resolved   : %zu\n", schema.resolved);
   printf("schema field refs unresolved : %zu\n", schema.unresolved);
