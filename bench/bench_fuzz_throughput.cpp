@@ -163,6 +163,7 @@ int main() {
     std::fprintf(json, "}\n");
     std::fclose(json);
     benchutil::row("written", "BENCH_fuzz_throughput.json");
+    benchutil::commit_scorecard("BENCH_fuzz_throughput.json");
   }
   return all_ok ? 0 : 1;
 }

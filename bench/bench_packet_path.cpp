@@ -335,6 +335,7 @@ int main() {
     std::fprintf(json, "}\n");
     std::fclose(json);
     benchutil::row("written", "BENCH_packet_path.json");
+    benchutil::commit_scorecard("BENCH_packet_path.json");
   }
 
   bool ok = true;

@@ -233,6 +233,7 @@ int main(int argc, char** argv) {
     std::fprintf(json, "}\n");
     std::fclose(json);
     benchutil::row("written", "BENCH_parser_hotpath.json");
+    benchutil::commit_scorecard("BENCH_parser_hotpath.json");
   }
 
   // Alloc gate: the arena-backed chart must keep the parser's steady-state

@@ -177,6 +177,7 @@ int main() {
                  kPackets, baseline_pps, indexed_pps, speedup);
     std::fclose(json);
     benchutil::row("written", "BENCH_responder.json");
+    benchutil::commit_scorecard("BENCH_responder.json");
   }
   return speedup >= 1.5 ? 0 : 1;
 }

@@ -1,0 +1,281 @@
+// Handler execution throughput: tree-walking interpreter vs the
+// threaded-code VM (runtime/vm).
+//
+// The pipeline generates the RFC 792 handlers once; each is compiled to
+// a flat vm::Program. Two measurements over the generated echo receiver:
+//
+//   handler-exec  — the gated number. One SchemaExecEnv is built from a
+//                   raw echo request and the handler body is executed
+//                   repeatedly on it (the handler is idempotent: every
+//                   run rewrites the same outgoing fields from the same
+//                   incoming image). This isolates dispatch + field
+//                   access, the part the VM rewrites; target >= 5x.
+//   full-respond  — reported for context, not gated: environment
+//                   construction + execution + reply serialization per
+//                   packet, the bench_responder.cpp workload. Env setup
+//                   and serialization are backend-independent, so the
+//                   end-to-end ratio is necessarily smaller.
+//
+// Gates, all required for exit 0:
+//   * every generated function produces byte-identical replies and
+//     identical error lists on both backends;
+//   * protocol_run_signature() of the canonical ICMP run is unchanged
+//     by compiling and executing programs;
+//   * handler-exec speedup >= 5x.
+//
+// Results go to BENCH_vm_exec.json; EXPERIMENTS.md records the
+// reference run.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "codegen/ir.hpp"
+#include "core/batch.hpp"
+#include "core/generated_icmp.hpp"
+#include "net/ipv4.hpp"
+#include "runtime/interpreter.hpp"
+#include "runtime/schema_env.hpp"
+#include "runtime/vm/exec.hpp"
+#include "runtime/vm/program.hpp"
+#include "sim/ping.hpp"
+
+namespace {
+
+using namespace sage;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+runtime::SchemaExecEnv make_env(std::span<const std::uint8_t> request,
+                                net::IpAddr own) {
+  auto env =
+      runtime::SchemaExecEnv::icmp(request, own, /*start_from_incoming=*/true);
+  env.set_scenario("echo");
+  return env;
+}
+
+/// Gated workload: repeated execution of the handler body against one
+/// live environment. Returns runs/s.
+double measure_tree_exec(const runtime::Interpreter& interp,
+                         const codegen::Stmt& body, runtime::SchemaExecEnv& env,
+                         std::size_t runs) {
+  std::size_t sink = 0;
+  const double start = now_ms();
+  for (std::size_t i = 0; i < runs; ++i) {
+    sink += interp.run(body, env).ok ? 1 : 0;
+  }
+  const double elapsed = now_ms() - start;
+  if (sink != runs) std::printf("(tree handler reported errors?)\n");
+  return static_cast<double>(runs) / (elapsed / 1000.0);
+}
+
+double measure_vm_exec(const runtime::vm::Program& program,
+                       runtime::SchemaExecEnv& env, std::size_t runs) {
+  std::size_t sink = 0;
+  const double start = now_ms();
+  for (std::size_t i = 0; i < runs; ++i) {
+    sink += runtime::vm::execute(program, env).ok ? 1 : 0;
+  }
+  const double elapsed = now_ms() - start;
+  if (sink != runs) std::printf("(vm handler reported errors?)\n");
+  return static_cast<double>(runs) / (elapsed / 1000.0);
+}
+
+/// Context workload: full respond path per packet, as a deployed
+/// responder would run it. Returns packets/s.
+template <typename RunOnce>
+double measure_full_path(std::span<const std::uint8_t> request,
+                         net::IpAddr own, std::size_t packets,
+                         RunOnce&& run_once) {
+  std::size_t sink = 0;
+  const double start = now_ms();
+  for (std::size_t i = 0; i < packets; ++i) {
+    auto env = make_env(request, own);
+    run_once(env);
+    sink += env.finish_reply().size();
+  }
+  const double elapsed = now_ms() - start;
+  if (sink == 0) std::printf("(empty replies?)\n");
+  return static_cast<double>(packets) / (elapsed / 1000.0);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::title("VM handler execution",
+                   "tree-walking interpreter vs threaded-code programs");
+
+  const auto& run = core::canonical_icmp_run();
+  const std::string sig_before = core::protocol_run_signature(run);
+
+  const codegen::GeneratedFunction* echo = nullptr;
+  for (const auto& fn : run.functions) {
+    if (fn.name.find("echo") != std::string::npos && fn.role == "receiver") {
+      echo = &fn;
+    }
+  }
+  if (echo == nullptr) {
+    std::printf("no generated echo receiver found (functions=%zu)\n",
+                run.functions.size());
+    return 1;
+  }
+  benchutil::row("generated handler", echo->name);
+  benchutil::row("dispatcher", runtime::vm::have_computed_goto()
+                                   ? "computed goto"
+                                   : "portable switch");
+
+  const auto own = net::IpAddr(10, 0, 1, 1);
+  const auto request = sim::PingClient::make_echo_request(
+      net::IpAddr(10, 0, 1, 100), own, {});
+  const runtime::Interpreter interp;
+
+  // Equivalence gate: every generated function must agree across
+  // backends — same success bit, same error list, byte-identical reply.
+  std::size_t compiled = 0;
+  for (const auto& fn : run.functions) {
+    auto program = runtime::vm::compile(fn);
+    if (!program.has_value()) {
+      std::printf("FAIL: %s did not compile to a program\n", fn.name.c_str());
+      return 1;
+    }
+    ++compiled;
+    auto tree_env = make_env(request, own);
+    auto vm_env = make_env(request, own);
+    const auto tree_result = interp.run(fn.body, tree_env);
+    const auto vm_result = runtime::vm::execute(*program, vm_env);
+    if (tree_result.ok != vm_result.ok ||
+        tree_result.errors != vm_result.errors ||
+        tree_env.finish_reply() != vm_env.finish_reply()) {
+      std::printf("FAIL: backends disagree on %s\n", fn.name.c_str());
+      return 1;
+    }
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%zu functions byte-identical", compiled);
+  benchutil::row("equivalence", buf);
+
+  const auto program = runtime::vm::compile(*echo);
+  if (!program.has_value()) return 1;
+  std::snprintf(buf, sizeof buf, "%zu insns, %zu bytes, stack %u",
+                program->code().size(), program->program_bytes(),
+                program->max_stack());
+  benchutil::row("compiled program", buf);
+
+  // SAGE_BENCH_VM_TRACE=1 dumps the program listing and a one-run op
+  // histogram — for eyeballing what the gate actually measures.
+  if (std::getenv("SAGE_BENCH_VM_TRACE") != nullptr) {
+    std::printf("%s\n", program->disassemble().c_str());
+    runtime::vm::reset_op_counts();
+    runtime::vm::set_op_counting(true);
+    auto env = make_env(request, own);
+    runtime::vm::execute(*program, env);
+    runtime::vm::set_op_counting(false);
+    const auto counts = runtime::vm::op_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] != 0) {
+        std::printf("  %-16s %llu\n",
+                    runtime::vm::op_name(static_cast<runtime::vm::Op>(i)),
+                    static_cast<unsigned long long>(counts[i]));
+      }
+    }
+    // Empty-body program: measures the per-run fixed cost of execute().
+    codegen::GeneratedFunction empty_fn;
+    empty_fn.name = "empty";
+    empty_fn.protocol = "ICMP";
+    empty_fn.body = codegen::Stmt::seq({});
+    if (auto empty = runtime::vm::compile(empty_fn)) {
+      auto henv = make_env(request, own);
+      const double halt_pps = measure_vm_exec(*empty, henv, 2000000);
+      std::printf("  halt-only: %.0f runs/s (%.1f ns fixed)\n", halt_pps,
+                  1e9 / halt_pps);
+    }
+  }
+
+  constexpr std::size_t kWarmup = 20000;
+  constexpr std::size_t kPackets = 200000;
+  constexpr int kTrials = 5;
+
+  auto tree_env = make_env(request, own);
+  auto vm_env = make_env(request, own);
+  measure_tree_exec(interp, echo->body, tree_env, kWarmup);
+  measure_vm_exec(*program, vm_env, kWarmup);
+  // Interleaved best-of-N: peak throughput per backend, so a noisy
+  // neighbor in one trial cannot skew the ratio.
+  double tree_pps = 0.0;
+  double threaded_pps = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    tree_pps = std::max(
+        tree_pps, measure_tree_exec(interp, echo->body, tree_env, kPackets));
+    threaded_pps =
+        std::max(threaded_pps, measure_vm_exec(*program, vm_env, kPackets));
+  }
+  const double speedup = threaded_pps / tree_pps;
+
+  std::snprintf(buf, sizeof buf, "%.0f runs/s", tree_pps);
+  benchutil::row("handler exec, tree backend", buf);
+  std::snprintf(buf, sizeof buf, "%.0f runs/s", threaded_pps);
+  benchutil::row("handler exec, threaded backend", buf);
+  std::snprintf(buf, sizeof buf, "%.2fx (target >= 5x)", speedup);
+  benchutil::row("handler-exec speedup", buf);
+
+  // Context: the full respond path (env build + exec + serialization).
+  constexpr std::size_t kFullPackets = 50000;
+  double full_tree_pps = 0.0;
+  double full_vm_pps = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    full_tree_pps = std::max(
+        full_tree_pps,
+        measure_full_path(request, own, kFullPackets,
+                          [&](runtime::SchemaExecEnv& env) {
+                            interp.run(echo->body, env);
+                          }));
+    full_vm_pps = std::max(
+        full_vm_pps,
+        measure_full_path(request, own, kFullPackets,
+                          [&](runtime::SchemaExecEnv& env) {
+                            runtime::vm::execute(*program, env);
+                          }));
+  }
+  std::snprintf(buf, sizeof buf, "%.0f packets/s", full_tree_pps);
+  benchutil::row("full respond path, tree backend", buf);
+  std::snprintf(buf, sizeof buf, "%.0f packets/s (not gated)", full_vm_pps);
+  benchutil::row("full respond path, threaded backend", buf);
+
+  const bool sig_stable =
+      core::protocol_run_signature(core::canonical_icmp_run()) == sig_before;
+  benchutil::row("protocol_run_signature",
+                 sig_stable ? "unchanged" : "CHANGED (fail)");
+
+  FILE* json = std::fopen("BENCH_vm_exec.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"runs\": %zu,\n"
+                 "  \"dispatcher\": \"%s\",\n"
+                 "  \"functions_verified\": %zu,\n"
+                 "  \"handler_exec_tree_pps\": %.1f,\n"
+                 "  \"handler_exec_threaded_pps\": %.1f,\n"
+                 "  \"handler_exec_speedup\": %.3f,\n"
+                 "  \"full_path_tree_pps\": %.1f,\n"
+                 "  \"full_path_threaded_pps\": %.1f,\n"
+                 "  \"full_path_speedup\": %.3f,\n"
+                 "  \"signature_stable\": %s\n"
+                 "}\n",
+                 kPackets,
+                 runtime::vm::have_computed_goto() ? "computed-goto" : "switch",
+                 compiled, tree_pps, threaded_pps, speedup, full_tree_pps,
+                 full_vm_pps, full_vm_pps / full_tree_pps,
+                 sig_stable ? "true" : "false");
+    std::fclose(json);
+    benchutil::row("written", "BENCH_vm_exec.json");
+    benchutil::commit_scorecard("BENCH_vm_exec.json");
+  }
+  return (speedup >= 5.0 && sig_stable) ? 0 : 1;
+}

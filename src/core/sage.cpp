@@ -318,6 +318,7 @@ ProtocolRun Sage::process_impl(const std::string& rfc_text,
     run.cache.misses = after.misses - before.misses;
     run.cache.evictions = after.evictions - before.evictions;
   }
+  run.exec = codegen::exec_stats();
   return run;
 }
 

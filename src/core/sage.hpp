@@ -20,6 +20,7 @@
 #include "codegen/context.hpp"
 #include "codegen/generator.hpp"
 #include "codegen/handlers.hpp"
+#include "codegen/lowering.hpp"
 #include "disambig/winnower.hpp"
 #include "nlp/chunker.hpp"
 #include "nlp/term_dictionary.hpp"
@@ -76,6 +77,12 @@ struct ProtocolRun {
   /// evictions that happened while it executed). Zero when the cache is
   /// disabled.
   ccg::ParseCacheStats cache;
+  /// Generated-code execution counters at the end of this run
+  /// (codegen/lowering.hpp). Process-wide monotonic totals — programs
+  /// compiled, VM ops retired, tree statements stepped — snapshotted
+  /// here so callers (sage_debug --parse-stats) can report backend
+  /// activity without reaching into the runtime.
+  codegen::ExecStats exec;
 
   std::size_t count(SentenceStatus status) const;
 };

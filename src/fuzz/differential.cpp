@@ -496,7 +496,7 @@ CaseResult DifferentialFuzzer::run_icmp_case(const FuzzPacket& packet,
   std::optional<std::vector<sim::OwnedCaptureEntry>> cap_gen;
   std::optional<std::vector<sim::OwnedCaptureEntry>> cap_ref;
   try {
-    runtime::GeneratedIcmpResponder generated;
+    runtime::GeneratedIcmpResponder generated(options_.backend);
     for (const auto& fn : core::canonical_icmp_run().functions) {
       generated.add_function(fn);
     }

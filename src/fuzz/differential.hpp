@@ -26,6 +26,7 @@
 
 #include "fuzz/fault_injector.hpp"
 #include "fuzz/generator.hpp"
+#include "runtime/vm/exec.hpp"
 
 namespace sage::fuzz {
 
@@ -59,6 +60,10 @@ struct FuzzOptions {
   /// (tests/test_fuzz_regressions.cpp), so this is a pure execution
   /// knob, mirroring the parser's reference_mode.
   sim::DeliveryMode delivery = sim::DeliveryMode::kEvent;
+  /// Which backend the generated responder executes on. Another pure
+  /// execution knob: verdict logs are pinned byte-identical across
+  /// kThreaded and kTree (tests/test_fuzz_regressions.cpp).
+  runtime::vm::ExecBackend backend = runtime::vm::ExecBackend::kThreaded;
 };
 
 struct FuzzReport {

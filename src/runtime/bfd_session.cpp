@@ -2,6 +2,16 @@
 
 namespace sage::runtime {
 
+BfdSession::BfdSession(net::IpAddr address, std::uint32_t discriminator,
+                       const codegen::GeneratedFunction* reception,
+                       vm::ExecBackend backend)
+    : address_(address), reception_(reception) {
+  state_.local_discr = discriminator;
+  if (backend == vm::ExecBackend::kThreaded && reception_ != nullptr) {
+    program_ = vm::compile(*reception_);
+  }
+}
+
 std::vector<std::uint8_t> BfdSession::make_control_packet(
     net::IpAddr peer) const {
   net::BfdControlPacket packet;
@@ -42,7 +52,9 @@ bool BfdSession::receive(std::span<const std::uint8_t> raw_packet) {
   if (!packet) return false;
 
   auto env = SchemaExecEnv::bfd(&state_, &*packet);
-  const auto result = interpreter_.run(reception_->body, env);
+  const ExecResult result = program_.has_value()
+                                ? vm::execute(*program_, env)
+                                : interpreter_.run(reception_->body, env);
   return result.ok;
 }
 

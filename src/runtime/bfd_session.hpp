@@ -17,18 +17,19 @@
 #include "net/udp.hpp"
 #include "runtime/schema_env.hpp"
 #include "runtime/interpreter.hpp"
+#include "runtime/vm/exec.hpp"
+#include "runtime/vm/program.hpp"
 
 namespace sage::runtime {
 
 class BfdSession {
  public:
   /// `reception` is the generated §6.8.6 function; it must outlive the
-  /// session.
+  /// session. On the threaded backend (the default) the function is
+  /// compiled to flat code once, here.
   BfdSession(net::IpAddr address, std::uint32_t discriminator,
-             const codegen::GeneratedFunction* reception)
-      : address_(address), reception_(reception) {
-    state_.local_discr = discriminator;
-  }
+             const codegen::GeneratedFunction* reception,
+             vm::ExecBackend backend = vm::ExecBackend::kThreaded);
 
   net::IpAddr address() const { return address_; }
   const net::BfdSessionState& state() const { return state_; }
@@ -44,6 +45,7 @@ class BfdSession {
   net::IpAddr address_;
   net::BfdSessionState state_;
   const codegen::GeneratedFunction* reception_;
+  std::optional<vm::Program> program_;  // compiled form (threaded backend)
   Interpreter interpreter_;
 };
 

@@ -15,7 +15,12 @@ std::string fn_name(const std::string& message, const std::string& role) {
 }  // namespace
 
 void GeneratedIcmpResponder::add_function(codegen::GeneratedFunction fn) {
-  functions_[fn.name] = std::move(fn);
+  Entry entry;
+  if (backend_ == vm::ExecBackend::kThreaded) {
+    entry.program = vm::compile(fn);
+  }
+  entry.fn = std::move(fn);
+  functions_[entry.fn.name] = std::move(entry);
 }
 
 std::optional<std::vector<std::uint8_t>> GeneratedIcmpResponder::run(
@@ -37,7 +42,11 @@ std::optional<std::vector<std::uint8_t>> GeneratedIcmpResponder::run(
   env.set_scenario(scenario);
   if (setup) setup(env);
 
-  const auto result = interpreter_.run(it->second.body, env);
+  const Entry& entry = it->second;
+  const ExecResult result =
+      entry.program.has_value()
+          ? vm::execute(*entry.program, env)
+          : interpreter_.run(entry.fn.body, env);
   if (!result.ok) {
     last_errors_ = result.errors;
     return std::nullopt;

@@ -4,10 +4,15 @@
 // The Mininet-equivalent router/host calls the sim::IcmpResponder
 // interface; this implementation dispatches each event to the generated
 // packet-handling function for the corresponding RFC 792 message and
-// role, executes it through the static-framework interpreter, and
-// returns the reply packet the generated code constructed. Nothing here
-// hard-codes protocol behaviour — if the generated code is wrong or a
-// function is missing, the interop tests fail.
+// role, and returns the reply packet the generated code constructed.
+// Nothing here hard-codes protocol behaviour — if the generated code is
+// wrong or a function is missing, the interop tests fail.
+//
+// Each registered function executes on one of two backends
+// (vm::ExecBackend): the threaded-code VM (default — the function is
+// compiled once at registration, runtime/vm) or the tree-walking
+// reference interpreter. Both produce byte-identical replies and
+// identical diagnostics; tests/test_vm_differential.cpp enforces it.
 #pragma once
 
 #include <functional>
@@ -19,14 +24,24 @@
 #include "codegen/ir.hpp"
 #include "runtime/schema_env.hpp"
 #include "runtime/interpreter.hpp"
+#include "runtime/vm/exec.hpp"
+#include "runtime/vm/program.hpp"
 #include "sim/responder.hpp"
 
 namespace sage::runtime {
 
 class GeneratedIcmpResponder : public sim::IcmpResponder {
  public:
+  explicit GeneratedIcmpResponder(
+      vm::ExecBackend backend = vm::ExecBackend::kThreaded)
+      : backend_(backend) {}
+
   /// Register a generated function (keyed by its context-derived name).
+  /// On the threaded backend this is where the one-time compilation to
+  /// flat code happens.
   void add_function(codegen::GeneratedFunction fn);
+
+  vm::ExecBackend backend() const { return backend_; }
 
   bool has_function(const std::string& name) const {
     return functions_.count(name) != 0;
@@ -55,6 +70,13 @@ class GeneratedIcmpResponder : public sim::IcmpResponder {
       const sim::ResponderContext& ctx, net::IpAddr gateway) override;
 
  private:
+  /// One registered handler: the IR tree (reference backend, and the
+  /// fallback when a program exceeds VM limits) plus its compiled form.
+  struct Entry {
+    codegen::GeneratedFunction fn;
+    std::optional<vm::Program> program;
+  };
+
   /// Run `function_name` in an env configured by `setup`; nullopt if the
   /// function is missing or execution failed.
   std::optional<std::vector<std::uint8_t>> run(
@@ -62,7 +84,8 @@ class GeneratedIcmpResponder : public sim::IcmpResponder {
       bool start_from_incoming, const std::string& scenario,
       const std::function<void(SchemaExecEnv&)>& setup = nullptr);
 
-  std::map<std::string, codegen::GeneratedFunction> functions_;
+  vm::ExecBackend backend_;
+  std::map<std::string, Entry> functions_;
   Interpreter interpreter_;
   std::vector<std::string> last_errors_;
 };

@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "codegen/lowering.hpp"
+
 namespace sage::runtime {
 
 using codegen::Cond;
@@ -90,7 +92,11 @@ bool Interpreter::test(const Cond& cond, ExecEnv& env,
 
 ExecResult Interpreter::run(const Stmt& stmt, ExecEnv& env) const {
   ExecResult result;
+  std::size_t executed = 0;  // kIf/kAssign/kCall steps, for ExecStats
   const std::function<void(const Stmt&)> exec = [&](const Stmt& s) {
+    if (s.kind != Stmt::Kind::kComment && s.kind != Stmt::Kind::kSeq) {
+      ++executed;
+    }
     switch (s.kind) {
       case Stmt::Kind::kComment:
         break;
@@ -156,6 +162,7 @@ ExecResult Interpreter::run(const Stmt& stmt, ExecEnv& env) const {
     }
   };
   exec(stmt);
+  codegen::note_tree_execution(executed);
   return result;
 }
 

@@ -164,6 +164,7 @@ const SchemaExecEnv::ProtocolBinding& SchemaExecEnv::binding_for(
 
 SchemaExecEnv::SchemaExecEnv(const ProtocolBinding& pb)
     : pb_(&pb), profile_(pb.profile) {
+  scenario_value_ = util::symbol_value(scenario_);
   wire_.resize(pb.wire_layers.size());
   for (std::size_t i = 0; i < wire_.size(); ++i) {
     const auto* layer = pb.wire_layers[i];
@@ -676,11 +677,18 @@ bool SchemaExecEnv::call_effect(const std::string& fn,
   return false;
 }
 
+void SchemaExecEnv::set_scenario(const std::string& name) {
+  scenario_ = name;
+  // Cached so the threaded backend's kPushScenario is a plain load (the
+  // tree's resolve_symbol reads the same cache).
+  scenario_value_ = util::symbol_value(scenario_);
+}
+
 long SchemaExecEnv::resolve_symbol(const std::string& name) {
   const std::string lower = util::to_lower(name);
   if (pb_->schema != nullptr) {
     if (pb_->schema->scenario_symbol && lower == "scenario") {
-      return util::symbol_value(scenario_);
+      return scenario_value_;
     }
     for (const auto& s : pb_->schema->symbols) {
       if (s.name == lower) return s.value;

@@ -40,6 +40,10 @@
 
 namespace sage::runtime {
 
+namespace vm {
+struct EnvAccess;
+}  // namespace vm
+
 class SchemaExecEnv : public ExecEnv {
  public:
   // -- factories (one per protocol environment) ----------------------------
@@ -84,7 +88,7 @@ class SchemaExecEnv : public ExecEnv {
   /// before the 8-byte ICMP header. Field reads over the missing bytes
   /// return nullopt (short read) instead of the old silent zero-fill.
   bool input_truncated() const { return input_truncated_; }
-  void set_scenario(const std::string& name) { scenario_ = name; }
+  void set_scenario(const std::string& name);
   void set_error_pointer(std::uint8_t pointer) { error_pointer_ = pointer; }
   void set_better_gateway(net::IpAddr gateway) { better_gateway_ = gateway; }
   void set_clock(std::uint32_t now) { clock_ = now; }
@@ -138,6 +142,11 @@ class SchemaExecEnv : public ExecEnv {
   long resolve_symbol(const std::string& name) override;
 
  private:
+  /// The threaded-code backend (runtime/vm) reads the binding tables at
+  /// program-compile time and the layer images / slots at execution
+  /// time, through this one bridge.
+  friend struct vm::EnvAccess;
+
   /// The handful of genuinely protocol-specific behaviors (framework
   /// functions, finalization); field access never consults this.
   enum class Profile : std::uint8_t { kIcmp, kIgmp, kNtp, kBfd, kStateMachine };
@@ -262,6 +271,7 @@ class SchemaExecEnv : public ExecEnv {
   net::BfdSessionState* bfd_state_ = nullptr;
 
   std::string scenario_;
+  long scenario_value_ = 0;  // util::symbol_value(scenario_), kept in sync
   std::uint8_t error_pointer_ = 0;
   net::IpAddr better_gateway_;
   std::uint32_t clock_ = 0;  // ICMP: ms since midnight UT; NTP: seconds

@@ -151,6 +151,36 @@ TEST(FuzzRegressions, VerdictLogHashesPinnedAcrossZeroCopyRefactor) {
   EXPECT_EQ(DifferentialFuzzer(options).run().log_hash, 0xe45da0b06eb80274ULL);
 }
 
+TEST(FuzzRegressions, VerdictLogHashesPinnedAcrossExecBackends) {
+  // The threaded-code VM is a pure execution-backend swap: the generated
+  // responder must behave byte-for-byte like the tree interpreter it
+  // replaced. Re-run the zero-copy golden campaigns on BOTH backends and
+  // demand the same pre-VM hashes. If either hash moves, the VM changed
+  // observable behaviour (reply bytes, error ordering, or silence).
+  FuzzOptions options;
+  options.protocol = "icmp";
+  options.seed = 7;
+  options.iterations = 200;
+  options.minimize = false;
+
+  for (const auto backend :
+       {runtime::vm::ExecBackend::kTree, runtime::vm::ExecBackend::kThreaded}) {
+    options.backend = backend;
+    options.faults = FaultPlan{};
+    const FuzzReport plain = DifferentialFuzzer(options).run();
+    EXPECT_TRUE(plain.clean()) << plain.summary();
+    EXPECT_EQ(plain.log_hash, 0x977c831ef2574809ULL)
+        << "backend " << static_cast<int>(backend);
+
+    options.faults =
+        *FaultPlan::parse("loss=5,dup=10,reorder=20,delay=10,corrupt=5");
+    const FuzzReport faulted = DifferentialFuzzer(options).run();
+    EXPECT_TRUE(faulted.clean()) << faulted.summary();
+    EXPECT_EQ(faulted.log_hash, 0xe45da0b06eb80274ULL)
+        << "backend " << static_cast<int>(backend);
+  }
+}
+
 TEST(FuzzRegressions, BoundedCampaignPerProtocolStaysClean) {
   // Small enough for the ASan smoke preset, big enough to cross every
   // mutation class (test_fuzz pins taxonomy coverage at this scale).

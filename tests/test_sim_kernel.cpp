@@ -19,9 +19,13 @@
 #include <functional>
 #include <vector>
 
+#include "core/sage.hpp"
+#include "corpus/rfc792.hpp"
 #include "fuzz/fault_injector.hpp"
 #include "net/icmp.hpp"
 #include "net/udp.hpp"
+#include "runtime/generated_responder.hpp"
+#include "runtime/vm/exec.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/ping.hpp"
@@ -268,6 +272,48 @@ TEST(AppendixAGoldens, BothKernelsMatchPreRefactorPcapHashes) {
     EXPECT_EQ(fnv(run_scenario(scenario, DeliveryMode::kReference)),
               scenario.seed_pcap_hash)
         << scenario.name << " (reference kernel)";
+  }
+}
+
+/// The SAGE-generated ICMP functions, compiled once per suite (the
+/// pipeline is deterministic; see tests/test_e2e.cpp for the same
+/// memoization).
+const core::ProtocolRun& generated_icmp_run() {
+  static const core::ProtocolRun run = [] {
+    core::Sage sage;
+    sage.annotate_non_actionable(corpus::icmp_non_actionable_annotations());
+    return sage.process(corpus::rfc792_revised(), "ICMP");
+  }();
+  return run;
+}
+
+std::vector<std::uint8_t> run_scenario_generated(
+    const Scenario& scenario, runtime::vm::ExecBackend backend) {
+  runtime::GeneratedIcmpResponder responder(backend);
+  for (const auto& fn : generated_icmp_run().functions) {
+    responder.add_function(fn);
+  }
+  Network net = make_appendix_a_network(DeliveryMode::kEvent);
+  net.router()->set_responder(&responder);
+  net.find_host("server1")->set_responder(&responder);
+  net.find_host("server2")->set_responder(&responder);
+  scenario.drive(net);
+  return net.capture_to_pcap();
+}
+
+TEST(AppendixAGoldens, GeneratedResponderPcapsIdenticalAcrossExecBackends) {
+  // The threaded-code VM replaced the tree interpreter as the generated
+  // responder's default backend. Every Appendix-A scenario driven
+  // through the *generated* code must capture byte-identically on both
+  // backends — reply bytes, silence, and ordering all included. This is
+  // the simulator-level twin of the fuzz verdict-log pin.
+  for (const auto& scenario : scenarios()) {
+    const auto tree =
+        run_scenario_generated(scenario, runtime::vm::ExecBackend::kTree);
+    const auto threaded =
+        run_scenario_generated(scenario, runtime::vm::ExecBackend::kThreaded);
+    EXPECT_EQ(fnv(tree), fnv(threaded)) << scenario.name;
+    EXPECT_EQ(tree, threaded) << scenario.name;
   }
 }
 

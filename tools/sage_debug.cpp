@@ -19,6 +19,9 @@
 #include "nlp/chunker.hpp"
 #include "nlp/tokenizer.hpp"
 #include "rfc/preprocessor.hpp"
+#include "runtime/generated_responder.hpp"
+#include "runtime/vm/exec.hpp"
+#include "sim/ping.hpp"
 using namespace sage;
 
 // --jobs N routes the run through the parallel batch executor (N worker
@@ -28,8 +31,57 @@ std::size_t g_jobs = 0;
 
 // --parse-stats re-parses the corpus cold (no cache) and dumps the
 // chart-parser instrumentation: per-stage counters from
-// ccg::ParseStats plus the process-wide interner sizes.
+// ccg::ParseStats plus the process-wide interner sizes, the generated-
+// code execution counters, and (on the threaded backend) per-op
+// retirement counts.
 bool g_parse_stats = false;
+
+// --exec-backend tree|threaded picks which backend executes the
+// generated handlers this tool runs (default: threaded).
+runtime::vm::ExecBackend g_backend = runtime::vm::ExecBackend::kThreaded;
+
+const char* backend_name(runtime::vm::ExecBackend b) {
+  return b == runtime::vm::ExecBackend::kThreaded ? "threaded" : "tree";
+}
+
+void dump_exec_stats() {
+  const codegen::ExecStats exec = codegen::exec_stats();
+  printf("--- exec stats (backend=%s, dispatcher=%s) ---\n",
+         backend_name(g_backend),
+         runtime::vm::have_computed_goto() ? "computed-goto" : "switch");
+  printf("programs compiled : %zu\n", exec.programs_compiled);
+  printf("program bytes     : %zu\n", exec.program_bytes);
+  printf("vm ops executed   : %zu\n", exec.ops_executed);
+  printf("vm slow-path ops  : %zu\n", exec.slow_path_entries);
+  printf("tree stmts run    : %zu\n", exec.tree_stmts_executed);
+  const auto counts = runtime::vm::op_counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    printf("  %-16s : %llu\n",
+           runtime::vm::op_name(static_cast<runtime::vm::Op>(i)),
+           static_cast<unsigned long long>(counts[i]));
+  }
+}
+
+// Exercise the generated ICMP handlers on the selected backend (one
+// event per message kind) so the exec counters above reflect real
+// executions of this corpus' code.
+void exercise_icmp_backend(const core::ProtocolRun& run) {
+  if (run.functions.empty()) return;
+  runtime::GeneratedIcmpResponder responder(g_backend);
+  for (const auto& fn : run.functions) responder.add_function(fn);
+  const auto own = net::IpAddr(10, 0, 1, 1);
+  const auto peer = net::IpAddr(10, 0, 1, 100);
+  const auto request =
+      sim::PingClient::make_echo_request(peer, own, {0xde, 0xad, 0xbe, 0xef});
+  const sim::ResponderContext ctx{own, request};
+  responder.on_echo_request(ctx);
+  responder.on_timestamp_request(ctx);
+  responder.on_destination_unreachable(ctx, 3);
+  responder.on_time_exceeded(ctx);
+  responder.on_parameter_problem(ctx, 20);
+  responder.on_redirect(ctx, net::IpAddr(10, 0, 2, 1));
+}
 
 void dump_parse_stats(const std::string& text, const std::string& proto,
                       const core::Sage& s) {
@@ -117,7 +169,16 @@ void run(const char* name, const std::string& text, const std::string& proto,
   if (verbose) {
     for (auto& f : run.functions) printf("---- %s\n%s\n", f.name.c_str(), f.c_source.c_str());
   }
-  if (g_parse_stats) dump_parse_stats(text, proto, s);
+  if (g_parse_stats) {
+    runtime::vm::reset_op_counts();
+    runtime::vm::set_op_counting(true);
+  }
+  if (proto == "ICMP") exercise_icmp_backend(run);
+  if (g_parse_stats) {
+    runtime::vm::set_op_counting(false);
+    dump_parse_stats(text, proto, s);
+    dump_exec_stats();
+  }
 }
 
 // --fuzz <protocol>: run the schema-driven differential fuzzer instead
@@ -179,6 +240,21 @@ int run_fuzz(int argc, char** argv, int i) {
       options.faults = *plan;
     } else if (strcmp(argv[i], "--no-minimize") == 0) {
       options.minimize = false;
+    } else if (strcmp(argv[i], "--exec-backend") == 0) {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "error: --exec-backend requires tree|threaded\n");
+        return 2;
+      }
+      const std::string b = argv[++i];
+      if (b == "tree") {
+        options.backend = runtime::vm::ExecBackend::kTree;
+      } else if (b == "threaded") {
+        options.backend = runtime::vm::ExecBackend::kThreaded;
+      } else {
+        fprintf(stderr, "error: unknown backend '%s' (expected tree|threaded)\n",
+                b.c_str());
+        return 2;
+      }
     } else if (strcmp(argv[i], "--quiet") == 0) {
       quiet = true;  // summary + failures only (bench/CI wrapper use)
     } else {
@@ -277,9 +353,10 @@ int run_soak(int argc, char** argv, int i) {
 
 int main(int argc, char** argv) {
   // usage: sage_debug [icmp|icmp-rev|igmp|ntp|bfd] [-v] [--jobs N]
-  //                   [--parse-stats] [--dump-schema]
+  //                   [--parse-stats] [--dump-schema] [--exec-backend B]
   //        sage_debug --fuzz <protocol> [--seed N] [--iters M] [--jobs N]
-  //                   [--faults SPEC] [--no-minimize] [--quiet]
+  //                   [--faults SPEC] [--no-minimize] [--exec-backend B]
+  //                   [--quiet]
   //        sage_debug --soak <topology> [--hosts N] [--sessions M] [--seed N]
   //                   [--jobs N] [--reference] [--quiet]
   bool verbose = false;
@@ -296,6 +373,21 @@ int main(int argc, char** argv) {
     } else if (strcmp(argv[i], "--dump-schema") == 0) {
       fputs(net::schema::SchemaRegistry::instance().dump().c_str(), stdout);
       return 0;
+    } else if (strcmp(argv[i], "--exec-backend") == 0) {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "error: --exec-backend requires tree|threaded\n");
+        return 2;
+      }
+      const std::string b = argv[++i];
+      if (b == "tree") {
+        g_backend = runtime::vm::ExecBackend::kTree;
+      } else if (b == "threaded") {
+        g_backend = runtime::vm::ExecBackend::kThreaded;
+      } else {
+        fprintf(stderr, "error: unknown backend '%s' (expected tree|threaded)\n",
+                b.c_str());
+        return 2;
+      }
     } else if (strcmp(argv[i], "--jobs") == 0) {
       if (i + 1 >= argc) {
         fprintf(stderr, "error: --jobs requires a value\n");
