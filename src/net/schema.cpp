@@ -264,6 +264,32 @@ SchemaRegistry::SchemaRegistry() {
     add_layer(std::move(bgp));
   }
 
+  // ---- serve (sage_serve request/response framing) -----------------------
+  // The service daemon's own wire protocol, registered here so the frame
+  // codec (src/serve/frame.cpp) encodes and decodes through the same
+  // read_wire/write_scalar/decode_layer machinery every other protocol
+  // uses — the service boundary is differential-testable like any
+  // protocol under test (docs/SERVICE.md).
+  {
+    LayerSpec serve;
+    serve.name = "serve";
+    serve.header_bytes = 20;
+    serve.has_payload = true;
+    serve.fields = {
+        scalar("magic", 0, 16),           // 0x5347 "SG"
+        scalar("version", 16, 8),         // wire version, currently 1
+        scalar("kind", 24, 8),            // serve::FrameKind
+        scalar("job_id", 32, 32),         // client-assigned, echoed back
+        scalar("status", 64, 8),          // serve::JobStatus (responses)
+        scalar("flags", 72, 8),           // bit 0: session-cache hit
+        scalar("time_micros", 80, 32),    // server-side job wall time
+        scalar("payload_length", 112, 32),
+        scalar("reserved", 144, 16),      // must encode as zero
+        bytes("payload"),
+    };
+    add_layer(std::move(serve));
+  }
+
   // ---- protocol entries ---------------------------------------------------
   protocols_ = {
       {"ICMP",
@@ -296,6 +322,21 @@ SchemaRegistry::SchemaRegistry() {
        /*scenario_symbol=*/false},
       {"TCP", {"tcp"}, {}, {}, /*scenario_symbol=*/false},
       {"BGP", {"bgp"}, {}, {}, /*scenario_symbol=*/false},
+      // The service daemon's framing. Symbols encode the FrameKind values
+      // so a decoded `serve.kind` can be named straight from the table.
+      {"SERVE",
+       {"serve"},
+       {{"serve", "magic", 0x5347}, {"serve", "version", 1}},
+       {{"parse", 1},
+        {"codegen", 2},
+        {"interop", 3},
+        {"fuzz", 4},
+        {"stats", 5},
+        {"goodbye", 6},
+        {"result", 17},
+        {"stats-result", 18},
+        {"error", 19}},
+       /*scenario_symbol=*/false},
   };
 }
 

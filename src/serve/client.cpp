@@ -1,0 +1,145 @@
+#include "serve/client.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace sage::serve {
+
+Client::Client(std::unique_ptr<Transport> transport)
+    : transport_(std::move(transport)) {}
+
+Client::~Client() {
+  if (connected_) {
+    Frame goodbye;
+    goodbye.kind = FrameKind::kGoodbye;
+    goodbye.job_id = next_job_id_++;
+    const std::vector<std::uint8_t> image = encode_frame(goodbye);
+    transport_->write_all(image.data(), image.size());
+  }
+  transport_->close();
+}
+
+Frame Client::make_request(FrameKind kind, std::string payload) {
+  Frame frame;
+  frame.kind = kind;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+bool Client::read_frame(Frame* out) {
+  std::uint8_t header[kHeaderBytes];
+  if (transport_->read_exact(header, kHeaderBytes) != kHeaderBytes) {
+    return false;
+  }
+  std::size_t payload_length = 0;
+  if (decode_header({header, kHeaderBytes}, out, &payload_length) !=
+      DecodeStatus::kOk) {
+    return false;
+  }
+  if (payload_length > 0) {
+    out->payload.resize(payload_length);
+    if (transport_->read_exact(
+            reinterpret_cast<std::uint8_t*>(out->payload.data()),
+            payload_length) != payload_length) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Frame> Client::submit(const std::vector<Frame>& requests) {
+  std::vector<Frame> responses(requests.size());
+  std::map<std::uint32_t, std::size_t> slot_for_job;
+  auto lost = [&](std::size_t slot) {
+    Frame dead;
+    dead.kind = FrameKind::kError;
+    dead.status = JobStatus::kBadFrame;
+    dead.payload = "connection lost";
+    responses[slot] = dead;
+  };
+  if (!connected_) {
+    for (std::size_t i = 0; i < requests.size(); ++i) lost(i);
+    return responses;
+  }
+
+  // Burst phase: assign ids, send everything before reading anything.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Frame request = requests[i];
+    request.job_id = next_job_id_++;
+    slot_for_job[request.job_id] = i;
+    const std::vector<std::uint8_t> image = encode_frame(request);
+    if (!transport_->write_all(image.data(), image.size())) {
+      connected_ = false;
+      break;
+    }
+  }
+
+  // Gather phase: responses arrive in completion order; route by id.
+  // Responses without a client-known id (e.g. a kBadFrame reply echoing
+  // a garbage id) fill the first unanswered slot so errors surface.
+  std::size_t answered = 0;
+  while (connected_ && answered < slot_for_job.size()) {
+    Frame response;
+    if (!read_frame(&response)) {
+      connected_ = false;
+      break;
+    }
+    auto it = slot_for_job.find(response.job_id);
+    if (it == slot_for_job.end()) {
+      for (auto& [id, slot] : slot_for_job) {
+        if (responses[slot].kind == FrameKind::kError &&
+            responses[slot].payload.empty() && responses[slot].job_id == 0) {
+          response.job_id = id;
+          responses[slot] = response;
+          ++answered;
+          break;
+        }
+      }
+      continue;
+    }
+    responses[it->second] = response;
+    ++answered;
+  }
+  if (!connected_) {
+    for (auto& [id, slot] : slot_for_job) {
+      if (responses[slot].kind == FrameKind::kError &&
+          responses[slot].payload.empty() && responses[slot].job_id == 0) {
+        lost(slot);
+      }
+    }
+    for (std::size_t i = slot_for_job.size(); i < requests.size(); ++i) {
+      lost(i);
+    }
+  }
+  return responses;
+}
+
+Frame Client::submit_one(FrameKind kind, std::string payload) {
+  return submit({make_request(kind, std::move(payload))}).front();
+}
+
+Frame Client::parse(const std::string& corpus) {
+  return submit_one(FrameKind::kParseRequest, corpus);
+}
+
+Frame Client::codegen(const std::string& corpus) {
+  return submit_one(FrameKind::kCodegenRequest, corpus);
+}
+
+Frame Client::interop(const std::string& corpus) {
+  return submit_one(FrameKind::kInteropRequest, corpus);
+}
+
+Frame Client::fuzz(const std::string& protocol, std::uint64_t seed,
+                   std::size_t iterations) {
+  std::ostringstream payload;
+  payload << "proto=" << protocol << " seed=" << seed
+          << " iters=" << iterations;
+  return submit_one(FrameKind::kFuzzRequest, payload.str());
+}
+
+Frame Client::stats() {
+  return submit_one(FrameKind::kStatsRequest, "");
+}
+
+}  // namespace sage::serve

@@ -1,0 +1,70 @@
+// Blocking batch client for the serve wire protocol.
+//
+// A Client owns one connection (any Transport — loopback in tests, TCP
+// against a running sage_serve daemon) and provides the request shapes
+// the daemon understands. Batches are submitted as a burst of frames
+// with client-assigned job ids, then responses — which the server
+// streams back in completion order — are reassembled into request
+// order by job id. One Client is single-threaded by design; concurrency
+// tests open N Clients.
+//
+// The same class backs tests/test_serve*.cpp, `sage_debug
+// --serve-client`, the soak driver (serve/soak.hpp), and the warm half
+// of bench_serve_throughput.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/frame.hpp"
+#include "serve/transport.hpp"
+
+namespace sage::serve {
+
+class Client {
+ public:
+  explicit Client(std::unique_ptr<Transport> transport);
+  /// Sends kGoodbye (when the connection is still healthy) and closes.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Submit every request as one burst and block until each has a
+  /// response. Requests get job ids 1..n in order; the returned vector
+  /// is indexed like `requests` regardless of server completion order.
+  /// A transport failure mid-batch yields synthesized kError frames
+  /// (status kBadFrame, payload "connection lost") for missing slots
+  /// and marks the connection dead.
+  std::vector<Frame> submit(const std::vector<Frame>& requests);
+
+  /// Convenience wrappers building the request payloads the server
+  /// documents in docs/SERVICE.md.
+  Frame parse(const std::string& corpus);
+  Frame codegen(const std::string& corpus);
+  Frame interop(const std::string& corpus);
+  Frame fuzz(const std::string& protocol, std::uint64_t seed,
+             std::size_t iterations);
+  Frame stats();
+
+  /// False once a transport error was observed; further submits fail
+  /// fast with synthesized errors.
+  bool connected() const { return connected_; }
+
+  /// Build a request frame without sending it (batch assembly).
+  static Frame make_request(FrameKind kind, std::string payload);
+
+ private:
+  Frame submit_one(FrameKind kind, std::string payload);
+  /// Read one complete frame; false on EOF/truncation.
+  bool read_frame(Frame* out);
+
+  std::unique_ptr<Transport> transport_;
+  std::uint32_t next_job_id_ = 1;
+  bool connected_ = true;
+};
+
+}  // namespace sage::serve

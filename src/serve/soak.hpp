@@ -1,0 +1,78 @@
+// Serve soak driver: thousands of mixed-protocol jobs against one
+// in-process server, proving the tentpole's three claims (ISSUE PR 9):
+//
+//   * determinism — the digest over every response's result_digest() is
+//     byte-identical across --jobs 1/2/8 and any client count, because
+//     each response's (kind, status, payload) is a pure function of the
+//     request and the job list is generated deterministically from the
+//     seed (Date/rng never consulted at run time),
+//   * cache behaviour — after the first touch of each corpus the
+//     pipeline cache answers every pipeline job (hits == pipeline jobs
+//     minus first touches; the report carries the observed rates),
+//   * bounded memory — StatsSnapshot is sampled every `stats_every`
+//     jobs; the simulator arena high-water must stop growing once the
+//     fuzz warm-up is past (steady state), which the report records as
+//     warmup vs final peaks.
+//
+// Run it via `sage_debug --serve-soak` or the small pinned configuration
+// in tests/test_serve_concurrency.cpp; docs/SERVICE.md documents the
+// invocation used for the 5000-job acceptance run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/frame.hpp"
+#include "serve/stats.hpp"
+
+namespace sage::serve {
+
+struct SoakOptions {
+  std::size_t total_jobs = 5000;
+  std::size_t clients = 4;
+  /// Server worker threads (0 = hardware concurrency).
+  std::size_t server_jobs = 0;
+  std::uint64_t seed = 1;
+  /// Client-side batch size per submit burst.
+  std::size_t batch = 32;
+  /// Sample a StatsSnapshot every this many completed jobs.
+  std::size_t stats_every = 500;
+  /// Iteration count given to each fuzz job (kept small; the mix is
+  /// mostly pipeline jobs).
+  std::size_t fuzz_iters = 25;
+};
+
+struct SoakReport {
+  SoakOptions options;
+  std::size_t jobs_ok = 0;
+  std::size_t jobs_failed = 0;
+  /// FNV fold of every job's result_digest() in job-list order — THE
+  /// determinism digest (invariant across server jobs / client count).
+  std::uint64_t digest = 0;
+  /// Pipeline-cache rates observed at the end of the run.
+  std::uint64_t pipeline_hits = 0;
+  std::uint64_t pipeline_misses = 0;
+  ccg::ParseCacheStats parse_cache;
+  /// Arena peaks: after the first stats sample vs at the end. Equal
+  /// values (once warm) are the bounded-memory signal.
+  std::uint64_t arena_peak_warm = 0;
+  std::uint64_t arena_peak_final = 0;
+  std::uint64_t clear_refusals = 0;
+  /// Stats samples taken along the way (per options.stats_every).
+  std::vector<StatsSnapshot> samples;
+
+  /// One-line summary ("serve-soak jobs=... digest=0x..."); the digest
+  /// line tests and the acceptance run compare.
+  std::string summary() const;
+};
+
+/// Deterministic request mix for `options` (exposed so tests can replay
+/// the exact list directly against Server::execute for an oracle).
+std::vector<Frame> soak_job_list(const SoakOptions& options);
+
+/// Run the soak: one in-process Server, `clients` loopback connections
+/// on their own threads, the job list split round-robin.
+SoakReport run_serve_soak(const SoakOptions& options);
+
+}  // namespace sage::serve

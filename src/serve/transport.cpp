@@ -1,0 +1,196 @@
+#include "serve/transport.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace sage::serve {
+
+namespace {
+
+// ---- loopback pipe ---------------------------------------------------------
+
+/// One direction of the loopback pair: a byte queue with EOF marking.
+/// `closed` means no further writes will arrive; readers drain what is
+/// buffered, then see EOF.
+struct ByteQueue {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::uint8_t> bytes;
+  bool closed = false;
+
+  std::size_t read_exact(std::uint8_t* dst, std::size_t n) {
+    std::unique_lock lock(mutex);
+    std::size_t got = 0;
+    while (got < n) {
+      cv.wait(lock, [&] { return !bytes.empty() || closed; });
+      while (got < n && !bytes.empty()) {
+        dst[got++] = bytes.front();
+        bytes.pop_front();
+      }
+      if (got < n && bytes.empty() && closed) break;  // EOF mid-read
+    }
+    return got;
+  }
+
+  bool write_all(const std::uint8_t* src, std::size_t n) {
+    std::lock_guard lock(mutex);
+    if (closed) return false;
+    bytes.insert(bytes.end(), src, src + n);
+    cv.notify_all();
+    return true;
+  }
+
+  void close() {
+    std::lock_guard lock(mutex);
+    closed = true;
+    cv.notify_all();
+  }
+};
+
+struct LoopbackShared {
+  ByteQueue a_to_b;
+  ByteQueue b_to_a;
+};
+
+class LoopbackEnd : public Transport {
+ public:
+  LoopbackEnd(std::shared_ptr<LoopbackShared> shared, bool is_a)
+      : shared_(std::move(shared)), is_a_(is_a) {}
+  ~LoopbackEnd() override { close(); }
+
+  std::size_t read_exact(std::uint8_t* dst, std::size_t n) override {
+    return read_queue().read_exact(dst, n);
+  }
+  bool write_all(const std::uint8_t* src, std::size_t n) override {
+    return write_queue().write_all(src, n);
+  }
+  void close_write() override { write_queue().close(); }
+  void close() override {
+    write_queue().close();
+    read_queue().close();
+  }
+
+ private:
+  ByteQueue& read_queue() { return is_a_ ? shared_->b_to_a : shared_->a_to_b; }
+  ByteQueue& write_queue() { return is_a_ ? shared_->a_to_b : shared_->b_to_a; }
+
+  std::shared_ptr<LoopbackShared> shared_;
+  bool is_a_;
+};
+
+// ---- TCP -------------------------------------------------------------------
+
+class SocketTransport : public Transport {
+ public:
+  explicit SocketTransport(int fd) : fd_(fd) {
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  ~SocketTransport() override { close(); }
+
+  std::size_t read_exact(std::uint8_t* dst, std::size_t n) override {
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd_, dst + got, n - got, 0);
+      if (r <= 0) break;  // 0: peer closed; <0: error — EOF either way
+      got += static_cast<std::size_t>(r);
+    }
+    return got;
+  }
+
+  bool write_all(const std::uint8_t* src, std::size_t n) override {
+    std::size_t sent = 0;
+    while (sent < n) {
+      const ssize_t w = ::send(fd_, src + sent, n - sent, MSG_NOSIGNAL);
+      if (w <= 0) return false;
+      sent += static_cast<std::size_t>(w);
+    }
+    return true;
+  }
+
+  void close_write() override { ::shutdown(fd_, SHUT_WR); }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair() {
+  auto shared = std::make_shared<LoopbackShared>();
+  return {std::make_unique<LoopbackEnd>(shared, true),
+          std::make_unique<LoopbackEnd>(shared, false)};
+}
+
+SocketAcceptor::SocketAcceptor(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("serve: socket() failed");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd_, 64) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve: bind/listen on 127.0.0.1:" +
+                             std::to_string(port) + " failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+SocketAcceptor::~SocketAcceptor() { close(); }
+
+std::unique_ptr<Transport> SocketAcceptor::accept() {
+  if (fd_ < 0) return nullptr;
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) return nullptr;  // acceptor closed under us
+  return std::make_unique<SocketTransport>(conn);
+}
+
+void SocketAcceptor::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<Transport> connect_socket(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("serve: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw std::runtime_error("serve: connect to 127.0.0.1:" +
+                             std::to_string(port) + " failed");
+  }
+  return std::make_unique<SocketTransport>(fd);
+}
+
+}  // namespace sage::serve

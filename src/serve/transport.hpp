@@ -1,0 +1,81 @@
+// Byte-stream transports for the serve wire protocol.
+//
+// Two implementations behind one interface:
+//
+//   * make_loopback_pair() — an in-process pipe: two byte queues under a
+//     mutex/cv, no file descriptors, no ports. This is what makes the
+//     FULL request path (framing, dispatch, sharding, streaming) unit-
+//     testable and TSan-checkable without binding sockets; the tests,
+//     the soak driver, and bench_serve_throughput all run over it.
+//   * SocketAcceptor / connect_socket() — real TCP on 127.0.0.1 for the
+//     sage_serve daemon. Same frame bytes; the server code cannot tell
+//     the two apart.
+//
+// A transport is a dumb ordered byte stream: framing lives one layer up
+// (serve/frame.hpp). read_exact/write_all are the only I/O primitives
+// the server and client use, so transport errors surface in exactly two
+// places.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace sage::serve {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Read exactly `n` bytes into `dst`, blocking as needed. Returns the
+  /// byte count actually read: `n` on success, 0 when the peer closed
+  /// before the first byte (clean EOF), or a short count when the peer
+  /// closed mid-read (a truncated frame, from the reader's view).
+  virtual std::size_t read_exact(std::uint8_t* dst, std::size_t n) = 0;
+
+  /// Write all `n` bytes; false when the peer is gone.
+  virtual bool write_all(const std::uint8_t* src, std::size_t n) = 0;
+
+  /// Half-close: signal EOF to the peer's reads while still being able
+  /// to read their remaining bytes.
+  virtual void close_write() = 0;
+
+  /// Full close; wakes any blocked reader on the other end.
+  virtual void close() = 0;
+};
+
+/// Connected in-process pair: bytes written to one end are read from the
+/// other. Both ends are safe to use from different threads (one reader +
+/// one writer per end).
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair();
+
+/// Listening TCP socket on 127.0.0.1 (`port` 0 picks an ephemeral port).
+/// Throws std::runtime_error when the bind fails.
+class SocketAcceptor {
+ public:
+  explicit SocketAcceptor(std::uint16_t port = 0);
+  ~SocketAcceptor();
+
+  SocketAcceptor(const SocketAcceptor&) = delete;
+  SocketAcceptor& operator=(const SocketAcceptor&) = delete;
+
+  /// The bound port (useful after an ephemeral bind).
+  std::uint16_t port() const { return port_; }
+
+  /// Block for the next connection; nullptr once close() was called.
+  std::unique_ptr<Transport> accept();
+
+  /// Unblocks a pending accept() and refuses further connections.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to a SocketAcceptor (or a running sage_serve daemon) on
+/// 127.0.0.1:`port`. Throws std::runtime_error on failure.
+std::unique_ptr<Transport> connect_socket(std::uint16_t port);
+
+}  // namespace sage::serve

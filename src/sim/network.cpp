@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <atomic>
 #include <cstring>
 
 #include "net/checksum.hpp"
@@ -346,15 +347,48 @@ void Network::process(Pending pending) {
   }
 }
 
+namespace {
+
+// Process-wide memory-stability counters behind transient_clear_refusals
+// / peak_arena_high_water (relaxed: monotone totals, no ordering needed).
+std::atomic<std::uint64_t> g_transient_clear_refusals{0};
+std::atomic<std::uint64_t> g_peak_arena_high_water{0};
+
+void note_arena_high_water(std::size_t high_water) {
+  std::uint64_t prev = g_peak_arena_high_water.load(std::memory_order_relaxed);
+  while (prev < high_water &&
+         !g_peak_arena_high_water.compare_exchange_weak(
+             prev, high_water, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Network::~Network() { note_arena_high_water(arena_.high_water()); }
+
+std::uint64_t Network::total_transient_clear_refusals() {
+  return g_transient_clear_refusals.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Network::peak_arena_high_water() {
+  return g_peak_arena_high_water.load(std::memory_order_relaxed);
+}
+
 void Network::clear_transient() {
   capture_.clear();
   for (auto& h : hosts_) {
     h->inbox_.clear();
     for (auto& [port, socket] : h->udp_sockets_) socket.received.clear();
   }
+  note_arena_high_water(arena_.high_water());
   // Every view into the arena is gone now — unless events are still
   // queued (schedule_from_host before run()), whose images must survive.
-  if (queue_.empty()) arena_.reset();
+  if (queue_.empty()) {
+    arena_.reset();
+  } else {
+    ++transient_clear_refusals_;
+    g_transient_clear_refusals.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::size_t Network::approximate_memory_bytes() const {

@@ -190,6 +190,10 @@ class Router {
 class Network {
  public:
   explicit Network(DeliveryMode mode = DeliveryMode::kEvent) : mode_(mode) {}
+  ~Network();
+
+  Network(Network&&) noexcept = default;
+  Network& operator=(Network&&) noexcept = default;
 
   DeliveryMode delivery_mode() const { return mode_; }
 
@@ -274,6 +278,21 @@ class Network {
   /// clock, and counters survive — this is what keeps a long soak's
   /// memory bounded while keeping its sessions independent.
   void clear_transient();
+
+  /// clear_transient() calls that could NOT rewind the arena because
+  /// events were still queued (the refusal path above). A growing count
+  /// in a steady-state workload means packet memory is not being
+  /// reclaimed between sessions — serve::StatsSnapshot surfaces the
+  /// process-wide total so soak drivers can gate on it.
+  std::size_t transient_clear_refusals() const {
+    return transient_clear_refusals_;
+  }
+  static std::uint64_t total_transient_clear_refusals();
+
+  /// Largest run-arena high-water ever observed across every Network in
+  /// the process (sampled at clear_transient() and destruction). A
+  /// bounded-memory workload plateaus here after warmup.
+  static std::uint64_t peak_arena_high_water();
 
   /// The run arena backing every in-flight/captured packet image. Read
   /// access for memory accounting and the zero-copy smoke assertions.
@@ -363,6 +382,7 @@ class Network {
   EventQueue<Pending> queue_;
   std::uint64_t now_ns_ = 0;
   std::size_t events_processed_ = 0;
+  std::size_t transient_clear_refusals_ = 0;
   std::vector<std::pair<StaticRoute, LinkConfig>> links_;  // route fields reused as (subnet, prefix)
 
   // Reference-kernel stand-in for the queue: schedule_from_host FIFO.

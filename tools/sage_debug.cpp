@@ -21,6 +21,11 @@
 #include "rfc/preprocessor.hpp"
 #include "runtime/generated_responder.hpp"
 #include "runtime/vm/exec.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/soak.hpp"
+#include "serve/stats.hpp"
+#include "serve/transport.hpp"
 #include "sim/ping.hpp"
 using namespace sage;
 
@@ -178,7 +183,169 @@ void run(const char* name, const std::string& text, const std::string& proto,
     runtime::vm::set_op_counting(false);
     dump_parse_stats(text, proto, s);
     dump_exec_stats();
+    // The machine-readable snapshot (serve/stats.hpp): the same counters
+    // a running sage_serve answers to a kStatsRequest, here for the
+    // one-shot CLI so scripts never scrape the printf tables above.
+    printf("--- stats snapshot ---\n%s",
+           serve::StatsSnapshot::capture(s.parse_cache().get())
+               .to_json()
+               .c_str());
   }
+}
+
+// --serve-client [--port N] <job>...: submit jobs to a sage_serve
+// daemon (with --port) or to an in-process server over the loopback
+// transport (without). Job specs: parse:<corpus>, codegen:<corpus>,
+// interop:<corpus>, fuzz:<proto>:<seed>:<iters>, stats.
+int run_serve_client(int argc, char** argv, int i) {
+  std::uint16_t port = 0;
+  bool use_tcp = false;
+  std::vector<serve::Frame> requests;
+  for (; i < argc; ++i) {
+    if (strcmp(argv[i], "--port") == 0) {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "error: --port requires a value\n");
+        return 2;
+      }
+      port = static_cast<std::uint16_t>(strtoul(argv[++i], nullptr, 10));
+      use_tcp = true;
+      continue;
+    }
+    std::string spec = argv[i];
+    const auto colon = spec.find(':');
+    const std::string verb = spec.substr(0, colon);
+    const std::string rest =
+        colon == std::string::npos ? "" : spec.substr(colon + 1);
+    if (verb == "parse") {
+      requests.push_back(
+          serve::Client::make_request(serve::FrameKind::kParseRequest, rest));
+    } else if (verb == "codegen") {
+      requests.push_back(
+          serve::Client::make_request(serve::FrameKind::kCodegenRequest, rest));
+    } else if (verb == "interop") {
+      requests.push_back(
+          serve::Client::make_request(serve::FrameKind::kInteropRequest, rest));
+    } else if (verb == "fuzz") {
+      std::string proto = rest, seed = "1", iters = "100";
+      const auto c1 = rest.find(':');
+      if (c1 != std::string::npos) {
+        proto = rest.substr(0, c1);
+        const auto c2 = rest.find(':', c1 + 1);
+        seed = rest.substr(c1 + 1, c2 == std::string::npos
+                                       ? std::string::npos
+                                       : c2 - c1 - 1);
+        if (c2 != std::string::npos) iters = rest.substr(c2 + 1);
+      }
+      requests.push_back(serve::Client::make_request(
+          serve::FrameKind::kFuzzRequest,
+          "proto=" + proto + " seed=" + seed + " iters=" + iters));
+    } else if (verb == "stats") {
+      requests.push_back(
+          serve::Client::make_request(serve::FrameKind::kStatsRequest, ""));
+    } else {
+      fprintf(stderr,
+              "error: unknown job spec '%s' (expected parse:<corpus>, "
+              "codegen:<corpus>, interop:<corpus>, "
+              "fuzz:<proto>:<seed>:<iters>, stats)\n",
+              spec.c_str());
+      return 2;
+    }
+  }
+  if (requests.empty()) {
+    fprintf(stderr, "error: --serve-client needs at least one job spec\n");
+    return 2;
+  }
+
+  std::optional<serve::Server> local_server;
+  std::unique_ptr<serve::Transport> transport;
+  if (use_tcp) {
+    transport = serve::connect_socket(port);
+  } else {
+    local_server.emplace();
+    auto [client_end, server_end] = serve::make_loopback_pair();
+    local_server->serve_connection_async(std::move(server_end));
+    transport = std::move(client_end);
+  }
+  serve::Client client(std::move(transport));
+  const std::vector<serve::Frame> responses = client.submit(requests);
+  bool all_ok = true;
+  for (std::size_t k = 0; k < responses.size(); ++k) {
+    const serve::Frame& r = responses[k];
+    printf("[%zu] %s status=%s cache=%s time=%uus digest=%s\n%s", k,
+           serve::frame_kind_name(r.kind),
+           serve::job_status_name(r.status), r.cache_hit() ? "hit" : "miss",
+           r.time_micros, serve::hex64(serve::result_digest(r)).c_str(),
+           r.payload.c_str());
+    if (!r.payload.empty() && r.payload.back() != '\n') printf("\n");
+    if (r.status != serve::JobStatus::kOk) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}
+
+// --serve-soak: the serve acceptance driver (docs/SERVICE.md). Replays
+// a deterministic mixed-protocol job list against an in-process server
+// and prints per-sample stats plus the digest summary line.
+int run_serve_soak(int argc, char** argv, int i) {
+  serve::SoakOptions options;
+  bool quiet = false;
+  for (; i < argc; ++i) {
+    auto number = [&](const char* flag) -> std::optional<unsigned long> {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "error: %s requires a value\n", flag);
+        return std::nullopt;
+      }
+      char* end = nullptr;
+      const unsigned long v = strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        fprintf(stderr, "error: %s expects a number, got '%s'\n", flag,
+                argv[i]);
+        return std::nullopt;
+      }
+      return v;
+    };
+    if (strcmp(argv[i], "--jobs") == 0) {
+      const auto v = number("--jobs");
+      if (!v) return 2;
+      options.server_jobs = *v;
+    } else if (strcmp(argv[i], "--total") == 0) {
+      const auto v = number("--total");
+      if (!v) return 2;
+      options.total_jobs = *v;
+    } else if (strcmp(argv[i], "--clients") == 0) {
+      const auto v = number("--clients");
+      if (!v) return 2;
+      options.clients = *v;
+    } else if (strcmp(argv[i], "--seed") == 0) {
+      const auto v = number("--seed");
+      if (!v) return 2;
+      options.seed = *v;
+    } else if (strcmp(argv[i], "--stats-every") == 0) {
+      const auto v = number("--stats-every");
+      if (!v) return 2;
+      options.stats_every = *v;
+    } else if (strcmp(argv[i], "--fuzz-iters") == 0) {
+      const auto v = number("--fuzz-iters");
+      if (!v) return 2;
+      options.fuzz_iters = *v;
+    } else if (strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;  // summary line only
+    } else {
+      fprintf(stderr, "error: unknown --serve-soak option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  const serve::SoakReport report = serve::run_serve_soak(options);
+  if (!quiet) {
+    for (std::size_t s = 0; s < report.samples.size(); ++s) {
+      const serve::StatsSnapshot& snap = report.samples[s];
+      printf("sample %zu: jobs_ok=%llu arena_peak=%llu refusals=%llu\n", s,
+             static_cast<unsigned long long>(snap.jobs_ok),
+             static_cast<unsigned long long>(snap.sim_peak_arena_high_water),
+             static_cast<unsigned long long>(snap.sim_clear_refusals));
+    }
+  }
+  printf("%s\n", report.summary().c_str());
+  return report.jobs_failed == 0 ? 0 : 1;
 }
 
 // --fuzz <protocol>: run the schema-driven differential fuzzer instead
@@ -359,6 +526,9 @@ int main(int argc, char** argv) {
   //                   [--quiet]
   //        sage_debug --soak <topology> [--hosts N] [--sessions M] [--seed N]
   //                   [--jobs N] [--reference] [--quiet]
+  //        sage_debug --serve-client [--port N] <job>...
+  //        sage_debug --serve-soak [--total N] [--clients N] [--jobs N]
+  //                   [--seed N] [--stats-every N] [--fuzz-iters N] [--quiet]
   bool verbose = false;
   std::string which = "icmp";
   for (int i = 1; i < argc; ++i) {
@@ -366,6 +536,10 @@ int main(int argc, char** argv) {
       return run_fuzz(argc, argv, i + 1);
     } else if (strcmp(argv[i], "--soak") == 0) {
       return run_soak(argc, argv, i + 1);
+    } else if (strcmp(argv[i], "--serve-client") == 0) {
+      return run_serve_client(argc, argv, i + 1);
+    } else if (strcmp(argv[i], "--serve-soak") == 0) {
+      return run_serve_soak(argc, argv, i + 1);
     } else if (strcmp(argv[i], "-v") == 0) {
       verbose = true;
     } else if (strcmp(argv[i], "--parse-stats") == 0) {
