@@ -53,6 +53,19 @@ std::optional<FieldRef> StaticContext::field(
   return it->second.front();
 }
 
+std::optional<FieldRef> StaticContext::field(
+    std::string_view phrase,
+    std::span<const std::string> preferred_layers) const {
+  const auto it = fields_.find(util::to_lower(phrase));
+  if (it == fields_.end() || it->second.empty()) return std::nullopt;
+  for (const auto& layer : preferred_layers) {
+    for (const auto& ref : it->second) {
+      if (ref.layer == layer) return ref;
+    }
+  }
+  return it->second.front();
+}
+
 std::optional<std::string> StaticContext::function(
     std::string_view phrase) const {
   const auto it = functions_.find(util::to_lower(phrase));
@@ -94,6 +107,35 @@ StaticContext StaticContext::standard() {
   ctx.add_field("unused", {"icmp", "unused"});
   ctx.add_field("checksum field", {"icmp", "checksum"});
   ctx.add_field("icmp message", {"icmp", "message"});
+
+  // ---- IPv6 layer (ICMPv6 lower-layer knowledge, RFC 8200) ----------------
+  ctx.add_field("source address", {"ip6", "src"});
+  ctx.add_field("destination address", {"ip6", "dst"});
+  ctx.add_field("source and destination addresses", {"ip6", "addresses"});
+  ctx.add_field("hop limit", {"ip6", "hop_limit"});
+  ctx.add_field("ipv6 header", {"ip6", "header"});
+
+  // ---- ICMPv6 fields (RFC 4443) -------------------------------------------
+  ctx.add_field("type", {"icmp6", "type"});
+  ctx.add_field("code", {"icmp6", "code"});
+  ctx.add_field("checksum", {"icmp6", "checksum"});
+  ctx.add_field("checksum field", {"icmp6", "checksum"});
+  ctx.add_field("identifier", {"icmp6", "identifier"});
+  ctx.add_field("sequence number", {"icmp6", "sequence_number"});
+  ctx.add_field("pointer", {"icmp6", "pointer"});
+  ctx.add_field("mtu", {"icmp6", "mtu"});
+  ctx.add_field("unused", {"icmp6", "unused"});
+  ctx.add_field("data", {"icmp6", "data"});
+  ctx.add_field("icmpv6 message", {"icmp6", "message"});
+  ctx.add_field("invoking packet", {"icmp6", "data"});
+
+  // ---- DHCP option fields (RFC 2132, TLV-located) -------------------------
+  ctx.add_field("subnet mask", {"dhcp", "subnet_mask"});
+  ctx.add_field("requested ip address", {"dhcp", "requested_ip"});
+  ctx.add_field("lease time", {"dhcp", "lease_time"});
+  ctx.add_field("message type", {"dhcp", "message_type"});
+  ctx.add_field("server identifier", {"dhcp", "server_identifier"});
+  ctx.add_field("transaction id", {"dhcp", "xid"});
 
   // ---- IGMP fields (§6.3) -------------------------------------------------
   ctx.add_field("version", {"igmp", "version"});
@@ -182,6 +224,9 @@ StaticContext StaticContext::standard() {
   ctx.add_function("timeout", "timeout");
   // OS/event services the RFC text references but never defines (§5.1):
   ctx.add_function("better gateway", "better_gateway");
+  // The router service RFC 4443's Packet Too Big rewrite references: the
+  // MTU of the next-hop link, served by the framework deterministically.
+  ctx.add_function("link mtu", "link_mtu");
   ctx.add_function("octet", "error_octet");
   ctx.add_function("current time", "current_time");
   ctx.add_function("time the sender last touched the message", "current_time");
@@ -196,6 +241,19 @@ std::optional<FieldRef> ResolutionContext::resolve_field(
   const std::string key = util::to_lower(util::trim(phrase));
   const std::string layer = layer_for_protocol(dynamic_.protocol);
 
+  // Layer preference order: the protocol's own layer first, then the
+  // rest of its schema-bound layers. A multi-layer protocol like ICMPv6
+  // resolves "source address" to ip6.src, not whichever layer registered
+  // the phrase first; protocols outside the registry keep the
+  // single-layer behavior.
+  std::vector<std::string> preference{layer};
+  if (const auto* schema =
+          net::schema::SchemaRegistry::instance().protocol(dynamic_.protocol)) {
+    for (const auto& bound : schema->layers) {
+      if (bound != layer) preference.push_back(bound);
+    }
+  }
+
   // Dynamic context first (§5.2): a bare reference to the field being
   // described ("type", or an empty phrase meaning "this field") resolves
   // through the document structure.
@@ -206,7 +264,7 @@ std::optional<FieldRef> ResolutionContext::resolve_field(
       // The group tells us which layer's field is being described
       // ("IP Fields" vs "ICMP Fields").
       if (auto from_static = statics_->field(key.empty() ? field_key : key,
-                                             layer)) {
+                                             preference)) {
         return from_static;
       }
       return FieldRef{layer, util::to_snake_case(dynamic_.field)};
@@ -214,7 +272,7 @@ std::optional<FieldRef> ResolutionContext::resolve_field(
   }
 
   // Then the static context.
-  return statics_->field(key, layer);
+  return statics_->field(key, preference);
 }
 
 std::optional<std::string> ResolutionContext::resolve_function(

@@ -14,6 +14,7 @@
 
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -52,6 +53,15 @@ class StaticContext {
   /// nullopt when the phrase is unknown.
   std::optional<FieldRef> field(std::string_view phrase,
                                 std::string_view preferred_layer = "") const;
+
+  /// Multi-layer tie-break: the first layer in `preferred_layers` that
+  /// has a ref for the phrase wins. Protocols whose schema binds several
+  /// layers (ICMPv6 over ip6) resolve "source address" to their own
+  /// network layer instead of whichever protocol registered the phrase
+  /// first.
+  std::optional<FieldRef> field(
+      std::string_view phrase,
+      std::span<const std::string> preferred_layers) const;
 
   /// Function lookup by phrase.
   std::optional<std::string> function(std::string_view phrase) const;

@@ -94,9 +94,14 @@ std::optional<HandlerOutput> is_assign(LfConverter& conv, const LfNode& n) {
     const bool mentions_reply = both.find("reply") != std::string::npos;
     if (mentions_source && mentions_destination && mentions_address &&
         mentions_reply) {
-      return HandlerOutput::of(Stmt::assign(
-          FieldRef{"ip", "dst"},
-          Expr::field_read(FieldRef{"ip", "src"}, PacketSel::kIncoming)));
+      // Resolve through the context so the protocol's own network layer
+      // wins (ip.dst for ICMP, ip6.dst for ICMPv6).
+      const auto dst = conv.context().resolve_field("destination address");
+      const auto src = conv.context().resolve_field("source address");
+      if (dst && src) {
+        return HandlerOutput::of(Stmt::assign(
+            *dst, Expr::field_read(*src, PacketSel::kIncoming)));
+      }
     }
   }
 
@@ -414,17 +419,24 @@ std::optional<HandlerOutput> of_expr(LfConverter& conv, const LfNode& n) {
   };
   render(n);
 
-  if (flat.find("internet header") != std::string::npos &&
+  if ((flat.find("internet header") != std::string::npos ||
+       flat.find("ipv6 header") != std::string::npos) &&
       (flat.find("64 bits") != std::string::npos ||
-       flat.find("original") != std::string::npos)) {
+       flat.find("original") != std::string::npos ||
+       flat.find("invoking packet") != std::string::npos)) {
     return HandlerOutput::of(Expr::call("original_datagram_excerpt"));
   }
-  // "The source network and address from the original datagram's data":
-  // error messages are addressed back to the original sender.
+  // "The source network and address from the original datagram's data" /
+  // "The source address from the invoking packet": error messages are
+  // addressed back to the original sender, in whichever network layer
+  // the protocol runs over.
   if (flat.find("source") != std::string::npos &&
-      flat.find("original datagram") != std::string::npos) {
-    return HandlerOutput::of(
-        Expr::field_read(FieldRef{"ip", "src"}, PacketSel::kIncoming));
+      (flat.find("original datagram") != std::string::npos ||
+       flat.find("invoking packet") != std::string::npos)) {
+    if (const auto src = conv.context().resolve_field("source address")) {
+      return HandlerOutput::of(
+          Expr::field_read(*src, PacketSel::kIncoming));
+    }
   }
 
   const auto head = leaf_phrase(n.args[0]);
@@ -468,9 +480,11 @@ std::optional<HandlerOutput> and_excerpt_expr(LfConverter& conv,
     for (const auto& a : m.args) render(a);
   };
   render(n);
-  if (flat.find("internet header") != std::string::npos &&
+  if ((flat.find("internet header") != std::string::npos ||
+       flat.find("ipv6 header") != std::string::npos) &&
       (flat.find("64 bits") != std::string::npos ||
-       flat.find("original") != std::string::npos)) {
+       flat.find("original") != std::string::npos ||
+       flat.find("invoking packet") != std::string::npos)) {
     return HandlerOutput::of(Expr::call("original_datagram_excerpt"));
   }
   (void)conv;

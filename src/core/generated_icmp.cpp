@@ -1,5 +1,6 @@
 #include "core/generated_icmp.hpp"
 
+#include "corpus/rfc4443.hpp"
 #include "corpus/rfc792.hpp"
 
 namespace sage::core {
@@ -9,6 +10,15 @@ const ProtocolRun& canonical_icmp_run() {
     Sage sage;
     sage.annotate_non_actionable(corpus::icmp_non_actionable_annotations());
     return sage.process(corpus::rfc792_revised(), "ICMP");
+  }();
+  return run;
+}
+
+const ProtocolRun& canonical_icmp6_run() {
+  static const ProtocolRun run = [] {
+    Sage sage;
+    sage.annotate_non_actionable(corpus::icmp6_non_actionable_annotations());
+    return sage.process(corpus::rfc4443_revised(), "ICMP6");
   }();
   return run;
 }

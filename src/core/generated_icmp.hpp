@@ -12,4 +12,7 @@ namespace sage::core {
 /// Processed once per process (thread-safe); immutable afterwards.
 const ProtocolRun& canonical_icmp_run();
 
+/// Same contract for the revised RFC 4443 text (ICMPv6).
+const ProtocolRun& canonical_icmp6_run();
+
 }  // namespace sage::core

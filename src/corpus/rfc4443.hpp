@@ -1,0 +1,38 @@
+// RFC 4443 (ICMPv6) corpus — the IPv6 counterpart of the RFC 792
+// evaluation target.
+//
+// `rfc4443_original()` reconstructs the five message sections of RFC
+// 4443 (Destination Unreachable, Packet Too Big, Time Exceeded,
+// Parameter Problem, Echo/Echo Reply) in the same document shape the
+// RFC 792 corpus uses, including the sentences a spec author had to
+// clarify: the two multi-LF echo sentences RFC 4443 inherits verbatim
+// from RFC 792, the zero-LF "as much of the invoking packet as
+// possible" payload description and the Packet Too Big MTU fragment,
+// and the two imprecise "may be zero" identifier/sequence variants.
+//
+// `rfc4443_rewrites()` holds the clarified replacements (same feedback
+// loop as Table 6); `rfc4443_revised()` applies them, yielding the text
+// the ICMPv6 end-to-end pipeline consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/rfc792.hpp"  // Rewrite / RewriteCategory
+
+namespace sage::corpus {
+
+/// The reconstructed original specification text.
+const std::string& rfc4443_original();
+
+/// The rewrite set (2 multi-LF + 2 zero-LF + 2 imprecise).
+const std::vector<Rewrite>& rfc4443_rewrites();
+
+/// Original text with all rewrites applied.
+std::string rfc4443_revised();
+
+/// Sentences annotated as non-actionable (advisory prose, path-MTU
+/// discovery remarks, pseudo-header notes the schema already encodes).
+const std::vector<std::string>& icmp6_non_actionable_annotations();
+
+}  // namespace sage::corpus

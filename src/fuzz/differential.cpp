@@ -12,12 +12,16 @@
 #include "net/icmp.hpp"
 #include "net/igmp.hpp"
 #include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
 #include "net/ntp.hpp"
 #include "net/udp.hpp"
 #include "runtime/generated_responder.hpp"
+#include "runtime/generated_responder6.hpp"
 #include "runtime/schema_env.hpp"
 #include "sim/network.hpp"
 #include "sim/reference_responder.hpp"
+#include "sim/reference_responder6.hpp"
+#include "util/bytes.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sage::fuzz {
@@ -97,6 +101,18 @@ std::vector<LayerSlice> layer_slices(const std::string& protocol,
   std::vector<LayerSlice> out;
   if (protocol == "bfd") {
     out.push_back({reg.layer("bfd"), 0});
+    return out;
+  }
+  if (protocol == "dhcp") {
+    out.push_back({reg.layer("dhcp"), 0});
+    return out;
+  }
+  if (protocol == "icmp6") {
+    out.push_back({reg.layer("ip6"), 0});
+    const auto ip6 = net::Ipv6Header::parse(bytes);
+    if (ip6 && ip6->next_header == net::kIpProtoIcmp6) {
+      out.push_back({reg.layer("icmp6"), net::Ipv6Header::kHeaderBytes});
+    }
     return out;
   }
   out.push_back({reg.layer("ip"), 0});
@@ -276,6 +292,60 @@ std::string parser_mismatch(const FuzzPacket& pkt, bool* parsed) {
     return compare_env_wire(env, *layer, canonical);
   }
 
+  if (pkt.protocol == "icmp6") {
+    const auto ip6 = net::Ipv6Header::parse(bytes);
+    if (!ip6) return "";
+    *parsed = true;
+    const std::vector<ExpectedField> expected = {
+        {"version", ip6->version},
+        {"traffic_class", ip6->traffic_class},
+        {"flow_label", static_cast<long>(ip6->flow_label)},
+        {"payload_length", ip6->payload_length},
+        {"next_header", ip6->next_header},
+        {"hop_limit", ip6->hop_limit},
+    };
+    return compare_expected(*reg.layer("ip6"),
+                            bytes.first(net::Ipv6Header::kHeaderBytes),
+                            expected);
+  }
+
+  if (pkt.protocol == "dhcp") {
+    const auto* layer = reg.layer("dhcp");
+    if (bytes.size() < layer->header_bytes) return "";
+    if (util::get_be32(bytes.subspan(236, 4)) != 0x63825363u) return "";
+    // TLV round-trip oracle: re-encoding the well-formed prefix of the
+    // options region through OptionsView::append must yield a region the
+    // view walks to the identical option sequence. A violation means the
+    // TLV decoder and encoder disagree about the grammar.
+    const net::schema::OptionsView view(*layer, bytes);
+    std::vector<std::uint8_t> rebuilt(bytes.begin(),
+                                      bytes.begin() + layer->options_offset);
+    for (const auto& opt : view) {
+      net::schema::OptionsView::append(rebuilt, opt.type, opt.value);
+    }
+    net::schema::OptionsView::append_end(rebuilt, layer->option_end);
+    const net::schema::OptionsView reread(*layer, rebuilt);
+    auto a = view.begin();
+    auto b = reread.begin();
+    for (; a != view.end() && b != reread.end(); ++a, ++b) {
+      if (a->type != b->type ||
+          !std::equal(a->value.begin(), a->value.end(), b->value.begin(),
+                      b->value.end())) {
+        return "dhcp TLV round-trip mismatch at option type " +
+               std::to_string(a->type);
+      }
+    }
+    if ((a != view.end()) || (b != reread.end())) {
+      return "dhcp TLV round-trip option count mismatch";
+    }
+    if (!reread.ok()) {
+      return "dhcp TLV re-encoded region malformed: " +
+             net::schema::tlv_status_name(reread.status());
+    }
+    *parsed = view.ok();
+    return "";
+  }
+
   const auto ip = net::Ipv4Header::parse(bytes);
   if (!ip) return "";
   const auto payload = bytes.subspan(ip->header_length());
@@ -431,6 +501,33 @@ std::string describe_capture_diff(
 std::vector<std::uint8_t> donor_bytes(const std::string& protocol) {
   if (protocol == "bfd") return net::BfdControlPacket{}.serialize();
 
+  if (protocol == "icmp6") {
+    // The smallest well-formed echo request.
+    net::Ipv6Header ip6;
+    ip6.next_header = net::kIpProtoIcmp6;
+    ip6.src = net::Ip6Addr::from_groups(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1);
+    ip6.dst = net::Ip6Addr::from_groups(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2);
+    std::vector<std::uint8_t> msg(8, 0);
+    msg[0] = 128;
+    const std::uint16_t ck = net::icmp6_checksum(ip6.src, ip6.dst, msg);
+    util::put_be16({msg.data() + 2, 2}, ck);
+    return net::build_ipv6_packet(ip6, msg);
+  }
+
+  if (protocol == "dhcp") {
+    // The smallest plausible BOOTP message: fixed header, magic cookie,
+    // a message-type option, and the end marker.
+    const auto* layer = SchemaRegistry::instance().layer("dhcp");
+    std::vector<std::uint8_t> bytes(layer->options_offset, 0);
+    bytes[0] = 2;  // op: BOOTREPLY
+    bytes[1] = 1;  // htype: ethernet
+    bytes[2] = 6;  // hlen
+    util::put_be32({bytes.data() + 236, 4}, 0x63825363u);
+    net::schema::OptionsView::append_scalar(bytes, 53, 2, 1);  // DHCPOFFER
+    net::schema::OptionsView::append_end(bytes, layer->option_end);
+    return bytes;
+  }
+
   net::Ipv4Header ip;
   ip.src = net::IpAddr(10, 0, 1, 100);
   ip.dst = net::IpAddr(10, 0, 1, 1);
@@ -484,6 +581,7 @@ DifferentialFuzzer::DifferentialFuzzer(FuzzOptions options)
 CaseResult DifferentialFuzzer::run_case(const FuzzPacket& packet,
                                         Rng fault_rng) const {
   if (packet.protocol == "icmp") return run_icmp_case(packet, fault_rng);
+  if (packet.protocol == "icmp6") return run_icmp6_case(packet);
   return run_layer_case(packet);
 }
 
@@ -566,6 +664,125 @@ CaseResult DifferentialFuzzer::run_icmp_case(const FuzzPacket& packet,
 
   result.verdict = Verdict::kDivergent;
   result.detail = diff;
+  return result;
+}
+
+CaseResult DifferentialFuzzer::run_icmp6_case(const FuzzPacket& packet) const {
+  CaseResult result;
+  result.packet = packet;
+
+  // There is no Appendix-A IPv6 network, so the twin responders are
+  // driven directly: every RFC 4443 event fires at both implementations
+  // with the fuzzed packet as the trigger. Event codes derive from the
+  // packet bytes, keeping the whole case a pure function of the input.
+  const net::Ip6Addr own =
+      net::Ip6Addr::from_groups(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2);
+  const std::uint8_t tail = packet.bytes.empty() ? 0 : packet.bytes.back();
+  const std::uint8_t unreachable_code = tail % 5;
+  const std::uint8_t exceeded_code = tail % 2;
+  const std::uint8_t problem_code = tail % 3;
+  const std::uint8_t pointer = static_cast<std::uint8_t>(tail ^ 0x5a);
+
+  // The echo event only fires for a request a host's dispatch would hand
+  // to the echo path: ICMPv6 next header with at least a full message
+  // header. (A truncated request must draw silence from the reference;
+  // the generated side would start from a partial image — the gate keeps
+  // the comparison on inputs both sides define behavior for.)
+  bool echo_event = false;
+  if (const auto ip6 = net::Ipv6Header::parse(packet.bytes);
+      ip6 && ip6->next_header == net::kIpProtoIcmp6) {
+    echo_event = packet.bytes.size() >= net::Ipv6Header::kHeaderBytes + 8;
+  }
+
+  const sim::Responder6Context ctx{own, packet.bytes};
+  using Reply = std::optional<std::vector<std::uint8_t>>;
+  std::vector<std::pair<const char*, Reply>> gen_replies;
+  std::vector<std::pair<const char*, Reply>> ref_replies;
+  const auto drive = [&](sim::Icmp6Responder& r,
+                         std::vector<std::pair<const char*, Reply>>& out) {
+    if (echo_event) out.emplace_back("echo", r.on_echo_request(ctx));
+    out.emplace_back("dest-unreachable",
+                     r.on_destination_unreachable(ctx, unreachable_code));
+    out.emplace_back("packet-too-big", r.on_packet_too_big(ctx));
+    out.emplace_back("time-exceeded", r.on_time_exceeded(ctx, exceeded_code));
+    out.emplace_back("parameter-problem",
+                     r.on_parameter_problem(ctx, problem_code, pointer));
+  };
+
+  std::string crash_detail;
+  try {
+    runtime::GeneratedIcmp6Responder generated(options_.backend);
+    for (const auto& fn : core::canonical_icmp6_run().functions) {
+      generated.add_function(fn);
+    }
+    drive(generated, gen_replies);
+  } catch (const std::exception& e) {
+    crash_detail = std::string("generated responder threw: ") + e.what();
+  }
+  try {
+    sim::ReferenceIcmp6Responder reference;
+    drive(reference, ref_replies);
+  } catch (const std::exception& e) {
+    if (!crash_detail.empty()) crash_detail += "; ";
+    crash_detail += std::string("reference responder threw: ") + e.what();
+  }
+  if (!crash_detail.empty()) {
+    result.verdict = Verdict::kCrash;
+    result.detail = crash_detail;
+    return result;
+  }
+
+  std::uint64_t h = kFnvOffset;
+  for (const auto* side : {&gen_replies, &ref_replies}) {
+    for (const auto& [name, reply] : *side) {
+      h = fnv_text(h, name);
+      if (reply) h = fnv_bytes(h, *reply);
+      h = fnv_text(h, reply ? "+" : "-");
+    }
+    h = fnv_text(h, "|");
+  }
+  result.capture_hash = h;
+
+  if (auto d = structural_mismatch(packet); !d.empty()) {
+    result.verdict = Verdict::kDivergent;
+    result.detail = d;
+    return result;
+  }
+  bool parsed = false;
+  if (auto d = parser_mismatch(packet, &parsed); !d.empty()) {
+    result.verdict = Verdict::kDivergent;
+    result.detail = d;
+    return result;
+  }
+
+  for (std::size_t i = 0; i < gen_replies.size(); ++i) {
+    const auto& [name, a] = gen_replies[i];
+    const auto& b = ref_replies[i].second;
+    if (a.has_value() != b.has_value()) {
+      result.verdict = Verdict::kDivergent;
+      result.detail = std::string(name) + " generated=" +
+                      (a ? "reply" : "silent") + " reference=" +
+                      (b ? "reply" : "silent");
+      return result;
+    }
+    if (a && *a != *b) {
+      std::size_t pos = 0;
+      while (pos < std::min(a->size(), b->size()) && (*a)[pos] == (*b)[pos]) {
+        ++pos;
+      }
+      result.verdict = Verdict::kDivergent;
+      result.detail = std::string(name) + " bytes differ at offset " +
+                      std::to_string(pos) + " (generated len " +
+                      std::to_string(a->size()) + ", reference len " +
+                      std::to_string(b->size()) + ")";
+      return result;
+    }
+  }
+
+  const bool replied =
+      std::any_of(gen_replies.begin(), gen_replies.end(),
+                  [](const auto& e) { return e.second.has_value(); });
+  result.verdict = replied ? Verdict::kAgreeBytes : Verdict::kAgreeSilent;
   return result;
 }
 
@@ -695,6 +912,7 @@ FuzzReport DifferentialFuzzer::run() const {
     // before the fan-out keeps the expensive pipeline pass out of the
     // measured/parallel region.
     if (options_.protocol == "icmp") core::canonical_icmp_run();
+    if (options_.protocol == "icmp6") core::canonical_icmp6_run();
     util::ThreadPool pool(options_.jobs);
     pool.parallel_for(n, one);
   } else {

@@ -10,10 +10,16 @@
 // field reads against raw schema wire reads, which is what pins the
 // short-read fix (truncated packets must not read as zeros).
 //
-// For the other protocols (igmp/ntp/bfd/udp) there is no second
+// ICMPv6 gets the same twin-responder treatment without the network in
+// between: every event RFC 4443 defines is fired at both the generated
+// and the hand-written responder with the fuzzed packet as trigger, and
+// every reply must agree byte-for-byte.
+//
+// For the other protocols (igmp/ntp/bfd/udp/dhcp) there is no second
 // responder to diff against, so the oracles are structural: the net/
 // struct parsers vs schema wire reads, read→write→read round trips, the
-// exec envs vs the wire, and inspector stability.
+// exec envs vs the wire, inspector stability, and — for layers with an
+// options region — TLV round-trip identity on the well-formed prefix.
 //
 // Everything is deterministic in (seed, protocol, iterations, faults):
 // the verdict log is byte-identical across 1/2/8 worker threads, which
@@ -102,6 +108,7 @@ class DifferentialFuzzer {
 
  private:
   CaseResult run_icmp_case(const FuzzPacket& packet, Rng fault_rng) const;
+  CaseResult run_icmp6_case(const FuzzPacket& packet) const;
   CaseResult run_layer_case(const FuzzPacket& packet) const;
   void minimize_case(CaseResult& result, Rng fault_rng) const;
 

@@ -7,8 +7,10 @@
 #include "net/icmp.hpp"
 #include "net/igmp.hpp"
 #include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
 #include "net/ntp.hpp"
 #include "net/udp.hpp"
+#include "util/bytes.hpp"
 
 namespace sage::fuzz {
 
@@ -29,6 +31,18 @@ std::vector<LayerAt> layout(const FuzzPacket& pkt) {
   std::vector<LayerAt> out;
   if (pkt.protocol == "bfd") {
     out.push_back({reg.layer("bfd"), 0});
+    return out;
+  }
+  if (pkt.protocol == "dhcp") {
+    out.push_back({reg.layer("dhcp"), 0});
+    return out;
+  }
+  if (pkt.protocol == "icmp6") {
+    out.push_back({reg.layer("ip6"), 0});
+    const auto ip6 = net::Ipv6Header::parse(pkt.bytes);
+    if (ip6 && ip6->next_header == net::kIpProtoIcmp6) {
+      out.push_back({reg.layer("icmp6"), net::Ipv6Header::kHeaderBytes});
+    }
     return out;
   }
   out.push_back({reg.layer("ip"), 0});
@@ -79,6 +93,12 @@ std::vector<const schema::FieldSpec*> scalar_fields(
 net::IpAddr client_addr() { return net::IpAddr(10, 0, 1, 100); }
 net::IpAddr router_addr() { return net::IpAddr(10, 0, 1, 1); }
 net::IpAddr server1_addr() { return net::IpAddr(192, 168, 2, 100); }
+net::Ip6Addr client6_addr() {
+  return net::Ip6Addr::from_groups(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1);
+}
+net::Ip6Addr server6_addr() {
+  return net::Ip6Addr::from_groups(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2);
+}
 
 std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t n) {
   std::vector<std::uint8_t> out(n);
@@ -99,6 +119,36 @@ std::vector<std::uint8_t> wrap_ip(std::uint8_t protocol, net::IpAddr src,
   return net::build_ipv4_packet(ip, payload);
 }
 
+/// One TLV option's position inside a packet with an options region:
+/// `pos` is the type byte, `len` the full span including type + length.
+struct TlvAt {
+  std::size_t pos = 0;
+  std::size_t len = 0;
+};
+
+/// Walk the well-formed prefix of the options region (grammar per the
+/// layer: pad skipped, end stops, truncation stops). Mutations splice at
+/// these boundaries so they perturb the TLV *grammar*, not random bytes.
+std::vector<TlvAt> tlv_positions(const std::vector<std::uint8_t>& bytes,
+                                 std::size_t options_offset,
+                                 std::uint8_t pad_code, std::uint8_t end_code) {
+  std::vector<TlvAt> out;
+  std::size_t i = options_offset;
+  while (i < bytes.size()) {
+    const std::uint8_t type = bytes[i];
+    if (type == pad_code) {
+      ++i;
+      continue;
+    }
+    if (type == end_code || i + 1 >= bytes.size()) break;
+    const std::size_t value_len = bytes[i + 1];
+    if (i + 2 + value_len > bytes.size()) break;
+    out.push_back({i, 2 + value_len});
+    i += 2 + value_len;
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* mutation_kind_name(MutationKind kind) {
@@ -111,6 +161,10 @@ const char* mutation_kind_name(MutationKind kind) {
     case MutationKind::kOversizePayload: return "oversize";
     case MutationKind::kBadChecksum: return "bad-checksum";
     case MutationKind::kBadVersion: return "bad-version";
+    case MutationKind::kTlvInsert: return "tlv-insert";
+    case MutationKind::kTlvDelete: return "tlv-delete";
+    case MutationKind::kTlvDuplicate: return "tlv-duplicate";
+    case MutationKind::kTlvLengthLie: return "tlv-length-lie";
     case MutationKind::kHandWritten: return "hand-written";
   }
   return "?";
@@ -120,8 +174,8 @@ PacketGenerator::PacketGenerator(std::string protocol)
     : protocol_(std::move(protocol)) {}
 
 const std::vector<std::string>& PacketGenerator::known_protocols() {
-  static const std::vector<std::string> kProtocols = {"icmp", "igmp", "ntp",
-                                                      "bfd", "udp"};
+  static const std::vector<std::string> kProtocols = {
+      "icmp", "icmp6", "igmp", "ntp", "bfd", "udp", "dhcp"};
   return kProtocols;
 }
 
@@ -204,6 +258,97 @@ FuzzPacket PacketGenerator::base_packet(Rng& rng) const {
     return pkt;
   }
 
+  if (protocol_ == "icmp6") {
+    net::Ipv6Header ip;
+    ip.src = client6_addr();
+    ip.dst = server6_addr();
+    switch (rng.below(8)) {
+      case 0:
+      case 1:
+      case 2: {
+        // A valid echo request: the receiver path (reply-by-mutation).
+        pkt.scenario = "echo";
+        ip.next_header = net::kIpProtoIcmp6;
+        std::vector<std::uint8_t> msg(8, 0);
+        msg[0] = 128;
+        util::put_be16({msg.data() + 4, 2},
+                       static_cast<std::uint16_t>(rng.below(0x10000)));
+        util::put_be16({msg.data() + 6, 2},
+                       static_cast<std::uint16_t>(rng.below(0x10000)));
+        const auto data = random_bytes(rng, rng.below(48));
+        msg.insert(msg.end(), data.begin(), data.end());
+        const std::uint16_t ck = net::icmp6_checksum(ip.src, ip.dst, msg);
+        util::put_be16({msg.data() + 2, 2}, ck);
+        pkt.bytes = net::build_ipv6_packet(ip, msg);
+        return pkt;
+      }
+      case 3:
+        pkt.scenario = "hop-limit";
+        ip.hop_limit = 1;
+        break;
+      case 4:
+        // Oversized datagram: the Packet Too Big trigger, and the case
+        // that exercises the error-excerpt cap at the minimum IPv6 MTU.
+        pkt.scenario = "too-big";
+        break;
+      case 5:
+        pkt.scenario = "param-problem";
+        break;
+      case 6:
+        pkt.scenario = "addr-unreachable";
+        ip.dst = net::Ip6Addr::from_groups(0x2001, 0xdb8, 0xdead, 0, 0, 0, 0,
+                                           static_cast<std::uint16_t>(
+                                               1 + rng.below(250)));
+        break;
+      default:
+        pkt.scenario = "udp-closed-port";
+        break;
+    }
+    // The error-sender triggers are all UDP-in-IPv6 datagrams; only size
+    // and header knobs differ per scenario.
+    ip.next_header = 17;
+    const std::size_t payload_bytes = pkt.scenario == "too-big"
+                                          ? 1400 + rng.below(600)
+                                          : rng.below(64);
+    std::vector<std::uint8_t> udp(8, 0);
+    util::put_be16({udp.data() + 0, 2},
+                   static_cast<std::uint16_t>(33000 + rng.below(1000)));
+    util::put_be16({udp.data() + 2, 2}, 33434);
+    const auto payload = random_bytes(rng, payload_bytes);
+    udp.insert(udp.end(), payload.begin(), payload.end());
+    util::put_be16({udp.data() + 4, 2},
+                   static_cast<std::uint16_t>(udp.size()));
+    pkt.bytes = net::build_ipv6_packet(ip, udp);
+    return pkt;
+  }
+
+  if (protocol_ == "dhcp") {
+    // A DHCPOFFER-shaped message: 240-byte fixed image (incl. the RFC
+    // 2132 magic cookie) followed by a TLV options region.
+    pkt.scenario = "offer";
+    std::vector<std::uint8_t> msg(240, 0);
+    msg[0] = 2;  // op = BOOTREPLY
+    msg[1] = 1;  // htype = ethernet
+    msg[2] = 6;  // hlen
+    util::put_be32({msg.data() + 4, 4}, static_cast<std::uint32_t>(rng.next()));
+    util::put_be32({msg.data() + 16, 4}, 0x0a000164);  // yiaddr
+    util::put_be32({msg.data() + 236, 4}, 0x63825363);
+    using schema::OptionsView;
+    OptionsView::append_scalar(msg, 53, 2, 1);  // message type = offer
+    if (rng.below(2) != 0) OptionsView::append_scalar(msg, 1, 0xffffff00, 4);
+    if (rng.below(2) != 0) {
+      OptionsView::append_scalar(msg, 51,
+                                 static_cast<long>(rng.below(1u << 24)), 4);
+    }
+    if (rng.below(2) != 0) OptionsView::append_scalar(msg, 54, 0x0a000101, 4);
+    if (rng.below(2) != 0) {
+      OptionsView::append(msg, 55, random_bytes(rng, 1 + rng.below(6)));
+    }
+    OptionsView::append_end(msg);
+    pkt.bytes = std::move(msg);
+    return pkt;
+  }
+
   if (protocol_ == "igmp") {
     pkt.scenario = "membership-report";
     net::IgmpMessage igmp;
@@ -272,7 +417,17 @@ void PacketGenerator::mutate(FuzzPacket& pkt, Rng& rng) const {
   const auto layers = layout(pkt);
   // ~35% of inputs stay valid so agreeing-reply coverage never starves.
   if (rng.below(100) < 35) return;
-  pkt.mutation = static_cast<MutationKind>(1 + rng.below(7));
+  // Layers with a TLV options region draw from the widened taxonomy; the
+  // fixed-header protocols keep the original 7-kind stream so their
+  // pinned digests are unchanged.
+  const auto* tlv_layer =
+      pkt.protocol == "dhcp" ? schema::SchemaRegistry::instance().layer("dhcp")
+                             : nullptr;
+  const bool has_tlv_region =
+      tlv_layer != nullptr && tlv_layer->has_options &&
+      pkt.bytes.size() > tlv_layer->options_offset;
+  pkt.mutation =
+      static_cast<MutationKind>(1 + rng.below(has_tlv_region ? 11 : 7));
 
   switch (pkt.mutation) {
     case MutationKind::kBoundary: {
@@ -351,6 +506,58 @@ void PacketGenerator::mutate(FuzzPacket& pkt, Rng& rng) const {
             *f, img, static_cast<long>(rng.below(1ULL << f->bit_width)));
         return;
       }
+      return;
+    }
+    case MutationKind::kTlvInsert:
+    case MutationKind::kTlvDelete:
+    case MutationKind::kTlvDuplicate:
+    case MutationKind::kTlvLengthLie: {
+      if (!has_tlv_region) return;
+      const auto options = tlv_positions(pkt.bytes, tlv_layer->options_offset,
+                                         tlv_layer->option_pad,
+                                         tlv_layer->option_end);
+      if (pkt.mutation == MutationKind::kTlvInsert) {
+        // Splice a fresh option at a random option boundary (including
+        // the region start and the end of the well-formed prefix).
+        std::size_t at = tlv_layer->options_offset;
+        if (!options.empty()) {
+          const std::size_t slot = rng.below(options.size() + 1);
+          at = slot == options.size()
+                   ? options.back().pos + options.back().len
+                   : options[slot].pos;
+        }
+        const auto value = random_bytes(rng, rng.below(9));
+        std::vector<std::uint8_t> option;
+        option.push_back(static_cast<std::uint8_t>(1 + rng.below(254)));
+        option.push_back(static_cast<std::uint8_t>(value.size()));
+        option.insert(option.end(), value.begin(), value.end());
+        pkt.bytes.insert(pkt.bytes.begin() + static_cast<long>(at),
+                         option.begin(), option.end());
+        return;
+      }
+      if (options.empty()) return;
+      const auto& target = options[rng.below(options.size())];
+      if (pkt.mutation == MutationKind::kTlvDelete) {
+        pkt.bytes.erase(
+            pkt.bytes.begin() + static_cast<long>(target.pos),
+            pkt.bytes.begin() + static_cast<long>(target.pos + target.len));
+        return;
+      }
+      if (pkt.mutation == MutationKind::kTlvDuplicate) {
+        const std::vector<std::uint8_t> copy(
+            pkt.bytes.begin() + static_cast<long>(target.pos),
+            pkt.bytes.begin() + static_cast<long>(target.pos + target.len));
+        pkt.bytes.insert(
+            pkt.bytes.begin() + static_cast<long>(target.pos + target.len),
+            copy.begin(), copy.end());
+        return;
+      }
+      // kTlvLengthLie: the length byte claims more bytes than remain
+      // after it — the malformation OptionsView must flag, never read
+      // through.
+      const std::size_t remaining = pkt.bytes.size() - target.pos - 2;
+      pkt.bytes[target.pos + 1] = static_cast<std::uint8_t>(
+          std::min<std::size_t>(255, remaining + 1 + rng.below(100)));
       return;
     }
     default:

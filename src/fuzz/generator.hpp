@@ -35,6 +35,13 @@ enum class MutationKind : std::uint8_t {
   kOversizePayload,  // random bytes appended past the declared end
   kBadChecksum,      // declared checksum field xor-corrupted
   kBadVersion,       // declared version field randomized
+  // TLV-grammar mutations (layers with an options region, i.e. DHCP).
+  // Appended after the fixed-header kinds so the legacy protocols' pinned
+  // mutation streams (1 + below(7)) are unchanged.
+  kTlvInsert,        // a fresh random option spliced at an option boundary
+  kTlvDelete,        // one existing option removed
+  kTlvDuplicate,     // one existing option repeated back-to-back
+  kTlvLengthLie,     // an option's length byte claims bytes past the end
   kHandWritten,      // corpus regression case (not generator-produced)
 };
 
@@ -43,8 +50,9 @@ const char* mutation_kind_name(MutationKind kind);
 /// One generated input: raw bytes plus the injection context the
 /// differential harness must reproduce on both networks.
 struct FuzzPacket {
-  std::string protocol;             // lowercase: icmp igmp ntp bfd udp
-  std::vector<std::uint8_t> bytes;  // IP packet (bfd: raw control frame)
+  std::string protocol;  // lowercase: icmp icmp6 igmp ntp bfd udp dhcp
+  /// IP/IPv6 packet; bfd: raw control frame; dhcp: raw BOOTP message.
+  std::vector<std::uint8_t> bytes;
   MutationKind mutation = MutationKind::kValid;
   std::string scenario = "base";
   bool via_router = false;          // send_from_host_via_router (redirect)

@@ -34,4 +34,35 @@ std::uint16_t incremental_checksum_update(std::uint16_t old_checksum,
   return static_cast<std::uint16_t>(~sum);
 }
 
+std::uint16_t pseudo_header_sum_v4(std::uint32_t src, std::uint32_t dst,
+                                   std::uint8_t protocol,
+                                   std::uint16_t upper_length) {
+  std::uint8_t pseudo[12];
+  for (int i = 0; i < 4; ++i) {
+    pseudo[i] = static_cast<std::uint8_t>(src >> (8 * (3 - i)));
+    pseudo[4 + i] = static_cast<std::uint8_t>(dst >> (8 * (3 - i)));
+  }
+  pseudo[8] = 0;
+  pseudo[9] = protocol;
+  pseudo[10] = static_cast<std::uint8_t>(upper_length >> 8);
+  pseudo[11] = static_cast<std::uint8_t>(upper_length);
+  return ones_complement_sum(pseudo);
+}
+
+std::uint16_t pseudo_header_sum_v6(std::span<const std::uint8_t> src16,
+                                   std::span<const std::uint8_t> dst16,
+                                   std::uint32_t upper_length,
+                                   std::uint8_t next_header) {
+  std::uint16_t sum = ones_complement_sum(src16);
+  sum = ones_complement_sum(dst16, sum);
+  std::uint8_t tail[8];
+  tail[0] = static_cast<std::uint8_t>(upper_length >> 24);
+  tail[1] = static_cast<std::uint8_t>(upper_length >> 16);
+  tail[2] = static_cast<std::uint8_t>(upper_length >> 8);
+  tail[3] = static_cast<std::uint8_t>(upper_length);
+  tail[4] = tail[5] = tail[6] = 0;
+  tail[7] = next_header;
+  return ones_complement_sum(tail, sum);
+}
+
 }  // namespace sage::net

@@ -31,4 +31,22 @@ std::uint16_t incremental_checksum_update(std::uint16_t old_checksum,
                                           std::uint16_t old_value,
                                           std::uint16_t new_value);
 
+/// Partial sum of the RFC 768/793 IPv4 pseudo-header (src, dst, zero,
+/// protocol, upper-layer length), for chaining into internet_checksum as
+/// its `initial`. Addresses are host-order 32-bit values so this header
+/// stays free of net/ipv4.hpp.
+std::uint16_t pseudo_header_sum_v4(std::uint32_t src, std::uint32_t dst,
+                                   std::uint8_t protocol,
+                                   std::uint16_t upper_length);
+
+/// Partial sum of the RFC 8200 §8.1 IPv6 pseudo-header (src, dst,
+/// 32-bit upper-layer length, zeros, next header). `src16`/`dst16` are
+/// the 16-byte network-order addresses. This is the derivation rule a
+/// schema field with FieldLoc::kPseudoDerived and pseudo_proto=58
+/// (ICMPv6) or 17 (UDP) names.
+std::uint16_t pseudo_header_sum_v6(std::span<const std::uint8_t> src16,
+                                   std::span<const std::uint8_t> dst16,
+                                   std::uint32_t upper_length,
+                                   std::uint8_t next_header);
+
 }  // namespace sage::net

@@ -1,0 +1,89 @@
+#include "net/ipv6.hpp"
+
+#include <algorithm>
+
+#include "net/checksum.hpp"
+#include "util/bytes.hpp"
+
+namespace sage::net {
+
+Ip6Addr::Ip6Addr(std::span<const std::uint8_t> bytes16) {
+  const std::size_t n = std::min<std::size_t>(bytes16.size(), 16);
+  std::copy_n(bytes16.begin(), n, bytes_.begin());
+}
+
+Ip6Addr Ip6Addr::from_groups(std::uint16_t a, std::uint16_t b, std::uint16_t c,
+                             std::uint16_t d, std::uint16_t e, std::uint16_t f,
+                             std::uint16_t g, std::uint16_t h) {
+  Ip6Addr addr;
+  const std::uint16_t groups[8] = {a, b, c, d, e, f, g, h};
+  for (int i = 0; i < 8; ++i) {
+    addr.bytes_[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+    addr.bytes_[2 * i + 1] = static_cast<std::uint8_t>(groups[i]);
+  }
+  return addr;
+}
+
+std::string Ip6Addr::to_string() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  for (int i = 0; i < 8; ++i) {
+    if (i > 0) out += ':';
+    out += kHex[bytes_[2 * i] >> 4];
+    out += kHex[bytes_[2 * i] & 0xf];
+    out += kHex[bytes_[2 * i + 1] >> 4];
+    out += kHex[bytes_[2 * i + 1] & 0xf];
+  }
+  return out;
+}
+
+void Ipv6Header::serialize(std::vector<std::uint8_t>& out) const {
+  const std::size_t base = out.size();
+  out.resize(base + kHeaderBytes, 0);
+  const std::uint32_t word =
+      (std::uint32_t{6} << 28) | (std::uint32_t{traffic_class} << 20) |
+      (flow_label & 0xfffff);
+  util::put_be32({out.data() + base, 4}, word);
+  util::put_be16({out.data() + base + 4, 2}, payload_length);
+  out[base + 6] = next_header;
+  out[base + 7] = hop_limit;
+  std::copy(src.bytes().begin(), src.bytes().end(), out.begin() + base + 8);
+  std::copy(dst.bytes().begin(), dst.bytes().end(), out.begin() + base + 24);
+}
+
+std::optional<Ipv6Header> Ipv6Header::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < kHeaderBytes) return std::nullopt;
+  if ((data[0] >> 4) != 6) return std::nullopt;
+  Ipv6Header h;
+  const std::uint32_t word = util::get_be32(data.subspan(0, 4));
+  h.version = 6;
+  h.traffic_class = static_cast<std::uint8_t>((word >> 20) & 0xff);
+  h.flow_label = word & 0xfffff;
+  h.payload_length = util::get_be16(data.subspan(4, 2));
+  h.next_header = data[6];
+  h.hop_limit = data[7];
+  h.src = Ip6Addr(data.subspan(8, 16));
+  h.dst = Ip6Addr(data.subspan(24, 16));
+  return h;
+}
+
+std::vector<std::uint8_t> build_ipv6_packet(
+    Ipv6Header hdr, std::span<const std::uint8_t> payload) {
+  hdr.payload_length = static_cast<std::uint16_t>(payload.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(Ipv6Header::kHeaderBytes + payload.size());
+  hdr.serialize(out);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::uint16_t icmp6_checksum(const Ip6Addr& src, const Ip6Addr& dst,
+                             std::span<const std::uint8_t> message) {
+  return internet_checksum(
+      message,
+      pseudo_header_sum_v6(src.bytes(), dst.bytes(),
+                           static_cast<std::uint32_t>(message.size()),
+                           kIpProtoIcmp6));
+}
+
+}  // namespace sage::net

@@ -1,0 +1,75 @@
+// IPv6 header (RFC 8200) — the layer below ICMPv6 (RFC 4443).
+//
+// Deliberately minimal: the fixed 40-byte header, no extension-header
+// chain (next_header is taken at face value), because the corpus
+// protocols riding it — ICMPv6 today — never emit extension headers.
+// The 128-bit addresses live here as value types; the schema registry
+// declares ip6.src/ip6.dst codegen-only, and generated code touches
+// them through the reverse_addresses effect exactly like IPv4.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sage::net {
+
+/// ICMPv6's IP next-header number.
+inline constexpr std::uint8_t kIpProtoIcmp6 = 58;
+
+/// IPv6 address, stored in network byte order.
+class Ip6Addr {
+ public:
+  constexpr Ip6Addr() = default;
+  explicit Ip6Addr(std::span<const std::uint8_t> bytes16);
+  /// Convenience for tests/topologies: eight 16-bit groups.
+  static Ip6Addr from_groups(std::uint16_t a, std::uint16_t b, std::uint16_t c,
+                             std::uint16_t d, std::uint16_t e, std::uint16_t f,
+                             std::uint16_t g, std::uint16_t h);
+
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+  std::string to_string() const;  // full uncompressed hex groups
+
+  bool operator==(const Ip6Addr&) const = default;
+  auto operator<=>(const Ip6Addr&) const = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+/// Decoded fixed IPv6 header.
+struct Ipv6Header {
+  std::uint8_t version = 6;
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  // 20 bits
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  Ip6Addr src;
+  Ip6Addr dst;
+
+  static constexpr std::size_t kHeaderBytes = 40;
+
+  /// Serialize, filling payload_length from `payload_length_override`
+  /// when nonnegative (callers building packets pass the payload size).
+  void serialize(std::vector<std::uint8_t>& out) const;
+
+  /// Parse from raw bytes. Returns nullopt if truncated or not version 6.
+  static std::optional<Ipv6Header> parse(std::span<const std::uint8_t> data);
+};
+
+/// Build a complete IPv6 packet: header (payload_length set from the
+/// payload) followed by `payload`.
+std::vector<std::uint8_t> build_ipv6_packet(Ipv6Header hdr,
+                                            std::span<const std::uint8_t> payload);
+
+/// ICMPv6 checksum (RFC 4443 §2.3): internet checksum of the ICMPv6
+/// message chained with the IPv6 pseudo-header. `message` must have its
+/// checksum field zeroed (or callers accept the RFC 1071 self-check).
+std::uint16_t icmp6_checksum(const Ip6Addr& src, const Ip6Addr& dst,
+                             std::span<const std::uint8_t> message);
+
+}  // namespace sage::net

@@ -62,6 +62,42 @@ FieldSpec virt(std::string name, bool writable = false,
   return f;
 }
 
+/// A scalar checksum at a fixed offset whose computation covers an IP
+/// pseudo-header chaining `pseudo_proto` (udp.checksum, icmp6.checksum).
+FieldSpec pseudo_checksum(std::string name, std::uint32_t bit_offset,
+                          std::uint8_t pseudo_proto, bool readable = true,
+                          bool writable = true) {
+  FieldSpec f = scalar(std::move(name), bit_offset, 16, readable, writable);
+  f.loc = FieldLoc::kPseudoDerived;
+  f.pseudo_proto = pseudo_proto;
+  return f;
+}
+
+/// A scalar stored inside a TLV option value (DHCP option scalars).
+FieldSpec tlv_scalar(std::string name, std::uint8_t tlv_type,
+                     std::uint32_t bit_width) {
+  FieldSpec f = scalar(std::move(name), 0, bit_width);
+  f.loc = FieldLoc::kTlvOption;
+  f.tlv_type = tlv_type;
+  return f;
+}
+
+/// A whole variable-length TLV option value (DHCP parameter request list).
+FieldSpec tlv_bytes(std::string name, std::uint8_t tlv_type) {
+  FieldSpec f = bytes(std::move(name));
+  f.loc = FieldLoc::kLengthPrefixed;
+  f.tlv_type = tlv_type;
+  return f;
+}
+
+/// A 128-bit address served by the runtime env as an opaque handle
+/// (ip6.src / ip6.dst): readable and writable, but storage-less here.
+FieldSpec addr6(std::string name) {
+  FieldSpec f = virt(std::move(name), /*writable=*/true);
+  f.readable = true;
+  return f;
+}
+
 }  // namespace
 
 std::string field_kind_name(FieldKind kind) {
@@ -76,14 +112,146 @@ std::string field_kind_name(FieldKind kind) {
   return "?";
 }
 
+std::string field_loc_name(FieldLoc loc) {
+  switch (loc) {
+    case FieldLoc::kFixed: return "fixed";
+    case FieldLoc::kLengthPrefixed: return "length-prefixed";
+    case FieldLoc::kTlvOption: return "tlv-option";
+    case FieldLoc::kPseudoDerived: return "pseudo-derived";
+  }
+  return "?";
+}
+
 std::string read_status_name(ReadStatus status) {
   switch (status) {
     case ReadStatus::kOk: return "ok";
     case ReadStatus::kUnknownField: return "unknown-field";
     case ReadStatus::kShortRead: return "short-read";
+    case ReadStatus::kMissingOption: return "missing-option";
   }
   return "?";
 }
+
+std::string tlv_status_name(TlvStatus status) {
+  switch (status) {
+    case TlvStatus::kOk: return "ok";
+    case TlvStatus::kTruncated: return "truncated";
+    case TlvStatus::kLengthLie: return "length-lie";
+  }
+  return "?";
+}
+
+// ---- OptionsView -----------------------------------------------------------
+
+OptionsView::OptionsView(std::span<const std::uint8_t> region,
+                         std::uint8_t pad_code, std::uint8_t end_code)
+    : region_(region), pad_(pad_code), end_(end_code) {
+  // One classification pass. Iteration re-walks lazily (no allocation);
+  // both stop at the same first malformation, so what begin()/end()
+  // yields is exactly the well-formed prefix status() vouches for.
+  std::size_t pos = 0;
+  while (pos < region_.size()) {
+    const std::uint8_t code = region_[pos];
+    if (code == end_) return;
+    if (code == pad_) {
+      ++pos;
+      continue;
+    }
+    if (pos + 1 >= region_.size()) {
+      status_ = TlvStatus::kTruncated;
+      return;
+    }
+    const std::size_t len = region_[pos + 1];
+    if (pos + 2 + len > region_.size()) {
+      status_ = TlvStatus::kLengthLie;
+      return;
+    }
+    pos += 2 + len;
+  }
+}
+
+OptionsView::OptionsView(const LayerSpec& layer,
+                         std::span<const std::uint8_t> image)
+    : OptionsView(layer.has_options && image.size() > layer.options_offset
+                      ? image.subspan(layer.options_offset)
+                      : std::span<const std::uint8_t>{},
+                  layer.option_pad, layer.option_end) {}
+
+void OptionsView::iterator::advance_to(std::size_t pos) {
+  if (view_ == nullptr) {
+    pos_ = std::size_t(-1);
+    return;
+  }
+  const auto region = view_->region_;
+  while (pos < region.size()) {
+    const std::uint8_t code = region[pos];
+    if (code == view_->end_) break;
+    if (code == view_->pad_) {
+      ++pos;
+      continue;
+    }
+    if (pos + 1 >= region.size()) break;  // truncated: stop cleanly
+    const std::size_t len = region[pos + 1];
+    if (pos + 2 + len > region.size()) break;  // length lie: stop cleanly
+    pos_ = pos;
+    next_ = pos + 2 + len;
+    current_ = {code, region.subspan(pos + 2, len)};
+    return;
+  }
+  pos_ = std::size_t(-1);
+}
+
+std::optional<TlvOption> OptionsView::find(std::uint8_t type) const {
+  for (const auto& opt : *this) {
+    if (opt.type == type) return opt;
+  }
+  return std::nullopt;
+}
+
+std::size_t OptionsView::count() const {
+  std::size_t n = 0;
+  for (const auto& opt : *this) {
+    (void)opt;
+    ++n;
+  }
+  return n;
+}
+
+void OptionsView::append(std::vector<std::uint8_t>& out, std::uint8_t type,
+                         std::span<const std::uint8_t> value) {
+  out.push_back(type);
+  out.push_back(static_cast<std::uint8_t>(value.size()));
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+void OptionsView::append_scalar(std::vector<std::uint8_t>& out,
+                                std::uint8_t type, long value,
+                                std::size_t length) {
+  out.push_back(type);
+  out.push_back(static_cast<std::uint8_t>(length));
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(value) >> (8 * (length - 1 - i))));
+  }
+}
+
+void OptionsView::append_end(std::vector<std::uint8_t>& out,
+                             std::uint8_t end_code) {
+  out.push_back(end_code);
+}
+
+// ---- LayoutCursor ----------------------------------------------------------
+
+LayoutCursor::LayoutCursor(const LayerSpec& layer,
+                           std::span<const std::uint8_t> image)
+    : layer_(&layer),
+      image_(image),
+      options_(layer.has_options && image.size() > layer.options_offset
+                   ? image.subspan(layer.options_offset)
+                   : std::span<const std::uint8_t>{}),
+      view_(options_, layer.option_pad, layer.option_end) {}
+
+// ---- registry catalog ------------------------------------------------------
 
 SchemaRegistry::SchemaRegistry() {
   // ---- ip (RFC 791, 20-byte base header) ---------------------------------
@@ -111,6 +279,33 @@ SchemaRegistry::SchemaRegistry() {
         virt("header"),
     };
     add_layer(std::move(ip));
+  }
+
+  // ---- ip6 (RFC 8200, 40-byte header) ------------------------------------
+  // The 128-bit addresses are not 32-bit schema scalars; generated code
+  // touches them only through effects (reverse_addresses) and the env's
+  // own Ip6Addr storage, so they are declared codegen-only.
+  {
+    LayerSpec ip6;
+    ip6.name = "ip6";
+    ip6.header_bytes = 40;
+    ip6.fields = {
+        scalar("version", 0, 4, true, false),
+        scalar("traffic_class", 4, 8),
+        scalar("flow_label", 12, 20, true, false),
+        scalar("payload_length", 32, 16, true, false),
+        scalar("next_header", 48, 8, true, false),
+        scalar("hop_limit", 56, 8),
+        // 128-bit addresses are not 32-bit wire scalars: the runtime env
+        // serves them as opaque address handles (generated code only ever
+        // moves them, e.g. "out->ip6.dst = in->ip6.src"), so they are
+        // readable/writable virtuals with no bit placement.
+        addr6("src"),
+        addr6("dst"),
+        virt("addresses"),
+        virt("header"),
+    };
+    add_layer(std::move(ip6));
   }
 
   // ---- icmp (RFC 792, 8-byte header + payload) ---------------------------
@@ -143,6 +338,32 @@ SchemaRegistry::SchemaRegistry() {
     add_layer(std::move(icmp));
   }
 
+  // ---- icmp6 (RFC 4443, 8-byte header + payload) -------------------------
+  // Mirrors the icmp layer; the checksum is pseudo-header-derived
+  // (next header 58), and the parameter-problem pointer is a full
+  // 32-bit field instead of RFC 792's high octet.
+  {
+    LayerSpec icmp6;
+    icmp6.name = "icmp6";
+    icmp6.header_bytes = 8;
+    icmp6.has_payload = true;
+    icmp6.payload_patterns = {"invoking_packet", "original_packet",
+                              "datagram"};
+    icmp6.fields = {
+        scalar("type", 0, 8),
+        scalar("code", 8, 8),
+        pseudo_checksum("checksum", 16, /*pseudo_proto=*/58),
+        scalar("identifier", 32, 16),
+        scalar("sequence_number", 48, 16),
+        scalar("pointer", 32, 32),
+        scalar("mtu", 32, 32),
+        virt("unused", /*writable=*/true, /*write_is_noop=*/true),
+        token("message"),
+        bytes("data"),
+    };
+    add_layer(std::move(icmp6));
+  }
+
   // ---- igmp (RFC 1112 Appendix I, 8 bytes) -------------------------------
   {
     LayerSpec igmp;
@@ -171,7 +392,10 @@ SchemaRegistry::SchemaRegistry() {
         scalar("dst_port", 16, 16),
         scalar("length", 32, 16, true, false),
         // "filled at serialization": writes accepted, value discarded.
-        scalar("checksum", 48, 16, /*readable=*/false, /*writable=*/true),
+        // The value covers the IPv4 pseudo-header (protocol 17) — the
+        // same derivation rule icmp6.checksum declares for IPv6.
+        pseudo_checksum("checksum", 48, /*pseudo_proto=*/17,
+                        /*readable=*/false, /*writable=*/true),
     };
     udp.fields.back().write_is_noop = true;
     add_layer(std::move(udp));
@@ -248,6 +472,48 @@ SchemaRegistry::SchemaRegistry() {
     add_layer(std::move(bfd));
   }
 
+  // ---- dhcp (RFC 2131 fixed header + RFC 2132 options TLVs) --------------
+  // 236 BOOTP bytes + the 4-byte magic cookie = a 240-byte fixed image;
+  // everything after is the options region (pad 0, end 255). The option
+  // fields below are the first schema entries addressed by option code
+  // instead of a fixed offset — the layout-program half of schema v2.
+  {
+    LayerSpec dhcp;
+    dhcp.name = "dhcp";
+    dhcp.header_bytes = 240;
+    dhcp.has_options = true;
+    dhcp.options_offset = 240;
+    dhcp.option_pad = 0;
+    dhcp.option_end = 255;
+    dhcp.fields = {
+        scalar("op", 0, 8),
+        scalar("htype", 8, 8),
+        scalar("hlen", 16, 8),
+        scalar("hops", 24, 8),
+        scalar("xid", 32, 32),
+        scalar("secs", 64, 16),
+        scalar("flags", 80, 16),
+        scalar("ciaddr", 96, 32),
+        scalar("yiaddr", 128, 32),
+        scalar("siaddr", 160, 32),
+        scalar("giaddr", 192, 32),
+        // chaddr/sname/file are opaque blocks; the cookie pins RFC 2132.
+        scalar("magic_cookie", 1888, 32, true, false),
+        // Options (RFC 2132 codes). Scalars live inside their option
+        // value; the two bytes fields are whole variable-length values.
+        tlv_scalar("subnet_mask", 1, 32),
+        tlv_scalar("requested_ip", 50, 32),
+        tlv_scalar("lease_time", 51, 32),
+        tlv_scalar("message_type", 53, 8),
+        tlv_scalar("server_identifier", 54, 32),
+        tlv_scalar("renewal_time", 58, 32),
+        tlv_bytes("parameter_request_list", 55),
+        tlv_bytes("client_identifier", 61),
+        token("message"),
+    };
+    add_layer(std::move(dhcp));
+  }
+
   // ---- tcp / bgp probe state (§7 reach experiment) -----------------------
   {
     LayerSpec tcp;
@@ -297,6 +563,13 @@ SchemaRegistry::SchemaRegistry() {
        {{"ip", "protocol", 1}, {"ip", "ttl", 64}},
        {},
        /*scenario_symbol=*/true},
+      {"ICMP6",
+       {"ip6", "icmp6"},
+       {{"ip6", "version", 6},
+        {"ip6", "next_header", 58},
+        {"ip6", "hop_limit", 64}},
+       {},
+       /*scenario_symbol=*/true},
       {"IGMP",
        {"igmp"},
        {{"igmp", "version", 1},
@@ -319,6 +592,22 @@ SchemaRegistry::SchemaRegistry() {
        {"bfd"},
        {},
        {{"up", 3}, {"down", 1}, {"init", 2}, {"admindown", 0}},
+       /*scenario_symbol=*/false},
+      {"DHCP",
+       {"dhcp"},
+       {{"dhcp", "op", 2},
+        {"dhcp", "htype", 1},
+        {"dhcp", "hlen", 6},
+        {"ip", "protocol", 17},
+        {"ip", "ttl", 64}},
+       {{"discover", 1},
+        {"offer", 2},
+        {"request", 3},
+        {"decline", 4},
+        {"ack", 5},
+        {"nak", 6},
+        {"release", 7},
+        {"inform", 8}},
        /*scenario_symbol=*/false},
       {"TCP", {"tcp"}, {}, {}, /*scenario_symbol=*/false},
       {"BGP", {"bgp"}, {}, {}, /*scenario_symbol=*/false},
@@ -403,9 +692,13 @@ const LayerSpec* SchemaRegistry::layer_by_id(int id) const {
   return by_id_[static_cast<std::size_t>(id)].layer;
 }
 
-std::optional<long> SchemaRegistry::read_scalar(
-    const FieldSpec& spec, std::span<const std::uint8_t> image) {
-  if (spec.kind != FieldKind::kScalar) return std::nullopt;
+namespace {
+
+/// The shared bit-extraction core: read `bit_offset`/`bit_width` out of
+/// any byte image (a header image for kFixed, an option value for
+/// kTlvOption).
+std::optional<long> read_bits(const FieldSpec& spec,
+                              std::span<const std::uint8_t> image) {
   const std::uint32_t end_bit = spec.bit_offset + spec.bit_width;
   if (image.size() * 8 < end_bit) return std::nullopt;
 
@@ -436,9 +729,8 @@ std::optional<long> SchemaRegistry::read_scalar(
   return static_cast<long>(value);
 }
 
-bool SchemaRegistry::write_scalar(const FieldSpec& spec,
-                                  std::span<std::uint8_t> image, long value) {
-  if (spec.kind != FieldKind::kScalar) return false;
+bool write_bits(const FieldSpec& spec, std::span<std::uint8_t> image,
+                long value) {
   const std::uint32_t end_bit = spec.bit_offset + spec.bit_width;
   if (image.size() * 8 < end_bit) return false;
 
@@ -473,6 +765,50 @@ bool SchemaRegistry::write_scalar(const FieldSpec& spec,
   return true;
 }
 
+bool loc_is_fixed(const FieldSpec& spec) {
+  // kPseudoDerived changes how the value is *computed*, not where it
+  // lives — reads and writes take the fixed-offset path unchanged.
+  return spec.loc == FieldLoc::kFixed || spec.loc == FieldLoc::kPseudoDerived;
+}
+
+}  // namespace
+
+std::optional<long> SchemaRegistry::read_scalar(
+    const FieldSpec& spec, std::span<const std::uint8_t> image) {
+  if (spec.kind != FieldKind::kScalar || !loc_is_fixed(spec)) {
+    return std::nullopt;
+  }
+  return read_bits(spec, image);
+}
+
+bool SchemaRegistry::write_scalar(const FieldSpec& spec,
+                                  std::span<std::uint8_t> image, long value) {
+  if (spec.kind != FieldKind::kScalar || !loc_is_fixed(spec)) return false;
+  return write_bits(spec, image, value);
+}
+
+WireRead SchemaRegistry::read_wire(const LayoutCursor& cursor,
+                                   const FieldSpec& spec) {
+  if (spec.kind != FieldKind::kScalar) return {ReadStatus::kUnknownField, 0};
+  if (loc_is_fixed(spec)) {
+    const auto value = read_bits(spec, cursor.image());
+    if (!value) return {ReadStatus::kShortRead, 0};
+    return {ReadStatus::kOk, *value};
+  }
+  if (spec.loc != FieldLoc::kTlvOption) return {ReadStatus::kUnknownField, 0};
+  const auto& view = cursor.options();
+  const auto opt = view.find(spec.tlv_type);
+  if (!opt) {
+    // A malformed region cannot prove absence: report it as short, the
+    // same pinned status truncated fixed fields get.
+    if (!view.ok()) return {ReadStatus::kShortRead, 0};
+    return {ReadStatus::kMissingOption, 0};
+  }
+  const auto value = read_bits(spec, opt->value);
+  if (!value) return {ReadStatus::kShortRead, 0};
+  return {ReadStatus::kOk, *value};
+}
+
 WireRead SchemaRegistry::read_wire(std::string_view layer_name,
                                    std::string_view field_name,
                                    std::span<const std::uint8_t> image) const {
@@ -480,9 +816,42 @@ WireRead SchemaRegistry::read_wire(std::string_view layer_name,
   if (spec == nullptr || spec->kind != FieldKind::kScalar) {
     return {ReadStatus::kUnknownField, 0};
   }
-  const auto value = read_scalar(*spec, image);
-  if (!value) return {ReadStatus::kShortRead, 0};
-  return {ReadStatus::kOk, *value};
+  if (loc_is_fixed(*spec)) {
+    // Fixed-offset fast path: no cursor, no options scan.
+    const auto value = read_bits(*spec, image);
+    if (!value) return {ReadStatus::kShortRead, 0};
+    return {ReadStatus::kOk, *value};
+  }
+  const LayoutCursor cursor(*layer(layer_name), image);
+  return read_wire(cursor, *spec);
+}
+
+bool SchemaRegistry::write_wire(const LayerSpec& layer, const FieldSpec& spec,
+                                std::span<std::uint8_t> image, long value) {
+  if (spec.kind != FieldKind::kScalar) return false;
+  if (loc_is_fixed(spec)) return write_bits(spec, image, value);
+  if (spec.loc != FieldLoc::kTlvOption) return false;
+  if (!layer.has_options || image.size() <= layer.options_offset) return false;
+  // Walk the mutable region with the same grammar the OptionsView scans;
+  // update the first matching option's value in place.
+  auto region = image.subspan(layer.options_offset);
+  std::size_t pos = 0;
+  while (pos < region.size()) {
+    const std::uint8_t code = region[pos];
+    if (code == layer.option_end) return false;
+    if (code == layer.option_pad) {
+      ++pos;
+      continue;
+    }
+    if (pos + 1 >= region.size()) return false;
+    const std::size_t len = region[pos + 1];
+    if (pos + 2 + len > region.size()) return false;
+    if (code == spec.tlv_type) {
+      return write_bits(spec, region.subspan(pos + 2, len), value);
+    }
+    pos += 2 + len;
+  }
+  return false;
 }
 
 std::string SchemaRegistry::dump() const {
@@ -492,6 +861,11 @@ std::string SchemaRegistry::dump() const {
     if (l.header_bytes > 0) {
       out += " (" + std::to_string(l.header_bytes) + " bytes";
       if (l.has_payload) out += " + payload";
+      if (l.has_options) {
+        out += " + options@" + std::to_string(l.options_offset) + " pad=" +
+               std::to_string(l.option_pad) + " end=" +
+               std::to_string(l.option_end);
+      }
       out += ")";
     } else {
       out += " (state-only)";
@@ -500,11 +874,23 @@ std::string SchemaRegistry::dump() const {
     for (const auto& f : l.fields) {
       out += "  " + l.name + "." + f.name + "  " + field_kind_name(f.kind);
       if (f.kind == FieldKind::kScalar) {
-        out += " @" + std::to_string(f.bit_offset) + "+" +
-               std::to_string(f.bit_width);
-        if (f.is_signed) out += " signed";
+        if (f.loc == FieldLoc::kTlvOption) {
+          out += " tlv=" + std::to_string(f.tlv_type) + " +" +
+                 std::to_string(f.bit_offset) + "+" +
+                 std::to_string(f.bit_width);
+        } else {
+          out += " @" + std::to_string(f.bit_offset) + "+" +
+                 std::to_string(f.bit_width);
+          if (f.loc == FieldLoc::kPseudoDerived) {
+            out += " pseudo(" + std::to_string(f.pseudo_proto) + ")";
+          }
+          if (f.is_signed) out += " signed";
+        }
       } else if (f.kind == FieldKind::kPayloadScalar) {
         out += " payload+" + std::to_string(f.payload_offset);
+      } else if (f.kind == FieldKind::kBytes &&
+                 f.loc == FieldLoc::kLengthPrefixed) {
+        out += " tlv=" + std::to_string(f.tlv_type) + " length-prefixed";
       }
       out += std::string(" ") + (f.readable ? "r" : "-") +
              (f.writable ? (f.write_is_noop ? "n" : "w") : "-");
@@ -547,10 +933,39 @@ std::vector<std::string> SchemaRegistry::decode_layer(
   const LayerSpec* l = layer(layer_name);
   if (l == nullptr) return out;
   for (const auto& f : l->fields) {
-    if (f.kind != FieldKind::kScalar) continue;
+    if (f.kind != FieldKind::kScalar || !loc_is_fixed(f)) continue;
     const auto v = read_scalar(f, image);
     out.push_back(l->name + "." + f.name + " = " +
                   (v ? std::to_string(*v) : std::string("<short read>")));
+  }
+  if (!l->has_options) return out;
+  // One cursor for the whole options pass: the region bounds and the
+  // well-formedness scan are resolved exactly once.
+  const LayoutCursor cursor(*l, image);
+  for (const auto& opt : cursor.options()) {
+    const FieldSpec* known = nullptr;
+    for (const auto& f : l->fields) {
+      if (f.loc != FieldLoc::kFixed && f.tlv_type == opt.type &&
+          f.kind == FieldKind::kScalar) {
+        known = &f;
+        break;
+      }
+    }
+    if (known != nullptr) {
+      const auto v = read_bits(*known, opt.value);
+      out.push_back(l->name + "." + known->name + " = " +
+                    (v ? std::to_string(*v) : std::string("<short read>")));
+    } else {
+      out.push_back(l->name + ".option_" + std::to_string(opt.type) + " = <" +
+                    std::to_string(opt.value.size()) + " bytes>");
+    }
+  }
+  if (!cursor.options().ok()) {
+    out.push_back(l->name + ".options = <" +
+                  (cursor.options().status() == TlvStatus::kTruncated
+                       ? std::string("truncated option")
+                       : std::string("option length lie")) +
+                  ">");
   }
   return out;
 }

@@ -26,6 +26,17 @@
 // probe state); kToken reads as constant 0 ("the ICMP message");
 // kVirtual is declared for code generation only and has no runtime
 // storage (e.g. "internet header" as an IP-layer phrase).
+//
+// Orthogonal to the kind, every field carries a *location* (FieldLoc):
+// where its bytes live. kFixed is the classic bit_offset/bit_width
+// placement and pays nothing for the v2 machinery. kTlvOption and
+// kLengthPrefixed place the field inside the layer's TLV options region
+// (DHCP options), addressed by option code instead of a fixed offset;
+// kPseudoDerived marks a fixed-offset checksum whose value covers an
+// IP pseudo-header (udp.checksum, icmp6.checksum) so serializers know
+// which pseudo-header sum to chain in. LayoutCursor resolves a layer's
+// region bounds once per image, and OptionsView iterates the TLVs as
+// spans without copying (lifetime contract: docs/MEMORY.md).
 #pragma once
 
 #include <cstdint>
@@ -48,36 +59,53 @@ enum class FieldKind : std::uint8_t {
 
 std::string field_kind_name(FieldKind kind);
 
+/// Where a field's bytes live (orthogonal to FieldKind, which says how
+/// they are typed). Everything before schema v2 is kFixed.
+enum class FieldLoc : std::uint8_t {
+  kFixed,           // bit_offset/bit_width inside the fixed header image
+  kLengthPrefixed,  // a whole TLV option value (variable-length region)
+  kTlvOption,       // scalar at bit_offset/bit_width INSIDE an option value
+  kPseudoDerived,   // fixed-offset checksum computed over an IP pseudo-header
+};
+
+std::string field_loc_name(FieldLoc loc);
+
 /// Outcome of a wire read. kShortRead replaces the old silent behaviors
 /// (zero-fill in the exec envs, silently missing decode lines) for
 /// truncated packets: a field whose bit range extends past the image is
-/// reported as short, never fabricated.
+/// reported as short, never fabricated. kMissingOption is the TLV
+/// analogue: the options region is well-formed but does not carry the
+/// field's option code.
 enum class ReadStatus : std::uint8_t {
   kOk,
-  kUnknownField,  // no such layer/field, or not a wire scalar
-  kShortRead,     // image ends before the field's last bit
+  kUnknownField,   // no such layer/field, or not a wire scalar
+  kShortRead,      // image ends before the field's last bit
+  kMissingOption,  // TLV field: option code absent from the region
 };
 
 std::string read_status_name(ReadStatus status);
 
-/// read_wire result: an explicit status plus the value when kOk. The
-/// pointer-ish accessors keep existing `*reg.read_wire(...)` call sites
-/// working while making truncation observable.
+/// read_wire result: an explicit status plus the value when kOk.
 struct WireRead {
   ReadStatus status = ReadStatus::kUnknownField;
   long value = 0;
 
   bool ok() const { return status == ReadStatus::kOk; }
-  explicit operator bool() const { return ok(); }
-  long operator*() const { return value; }
 };
 
 struct FieldSpec {
   std::string name;
   FieldKind kind = FieldKind::kScalar;
-  std::uint32_t bit_offset = 0;      // kScalar: from bit 0 = MSB of byte 0
+  FieldLoc loc = FieldLoc::kFixed;
+  std::uint32_t bit_offset = 0;      // kFixed: from bit 0 = MSB of byte 0;
+                                     // kTlvOption: from bit 0 of the value
   std::uint32_t bit_width = 0;       // kScalar
   std::uint32_t payload_offset = 0;  // kPayloadScalar: byte offset
+  /// kTlvOption / kLengthPrefixed: the option code addressing the field.
+  std::uint8_t tlv_type = 0;
+  /// kPseudoDerived: IP protocol / next-header number summed into the
+  /// pseudo-header (17 for UDP, 58 for ICMPv6).
+  std::uint8_t pseudo_proto = 0;
   bool is_signed = false;            // sign-extend on read (ntp.poll)
   bool readable = true;
   bool writable = true;
@@ -88,11 +116,20 @@ struct FieldSpec {
   int id = -1;
 };
 
-/// One header layer: fixed-size image plus (optionally) a payload.
+/// One header layer: fixed-size image plus (optionally) a payload
+/// and/or a TLV options region that starts at options_offset.
 struct LayerSpec {
   std::string name;               // "icmp", "udp", "bfd", ...
   std::size_t header_bytes = 0;   // fixed header image size (0 for state-only)
   bool has_payload = false;       // a kBytes field / payload buffer exists
+  /// TLV options grammar (DHCP): when true, bytes from options_offset to
+  /// the end of the image are a run of {code, length, value[length]}
+  /// options, with option_pad as a 1-byte no-length padding code and
+  /// option_end terminating the run.
+  bool has_options = false;
+  std::size_t options_offset = 0;
+  std::uint8_t option_pad = 0;
+  std::uint8_t option_end = 255;
   std::vector<FieldSpec> fields;
   /// Substrings that mark a dynamically-named field as payload-backed
   /// bytes ("internet_header...", "...datagram..."): such names resolve
@@ -125,6 +162,110 @@ struct ProtocolSchema {
   bool scenario_symbol = false;
 };
 
+/// One TLV option as a view into the underlying image. The value span
+/// aliases the image the view was built over — same lifetime contract as
+/// every other decode span (docs/MEMORY.md): valid while the image is.
+struct TlvOption {
+  std::uint8_t type = 0;
+  std::span<const std::uint8_t> value;
+};
+
+/// Well-formedness of a TLV options region after a full scan.
+enum class TlvStatus : std::uint8_t {
+  kOk,         // clean run (possibly empty), terminated or exhausted
+  kTruncated,  // region ends mid-TLV: a code byte without its length byte
+  kLengthLie,  // a length byte claims more bytes than the region holds
+};
+
+std::string tlv_status_name(TlvStatus status);
+
+/// Zero-copy iteration over a TLV options region. Construction scans the
+/// region once to classify it (status()); iteration yields the options
+/// up to the first malformation or the end code. Works directly on
+/// arena-backed capture spans — nothing is copied.
+class OptionsView {
+ public:
+  OptionsView(std::span<const std::uint8_t> region, std::uint8_t pad_code,
+              std::uint8_t end_code);
+  /// Convenience: the options region of `image` per the layer's grammar.
+  /// A layer without options (or an image shorter than options_offset)
+  /// yields an empty, kOk view.
+  OptionsView(const LayerSpec& layer, std::span<const std::uint8_t> image);
+
+  TlvStatus status() const { return status_; }
+  bool ok() const { return status_ == TlvStatus::kOk; }
+
+  class iterator {
+   public:
+    iterator() = default;
+    iterator(const OptionsView* view, std::size_t pos) : view_(view) {
+      advance_to(pos);
+    }
+    const TlvOption& operator*() const { return current_; }
+    const TlvOption* operator->() const { return &current_; }
+    iterator& operator++() {
+      advance_to(next_);
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return pos_ == o.pos_; }
+    bool operator!=(const iterator& o) const { return pos_ != o.pos_; }
+
+   private:
+    void advance_to(std::size_t pos);
+
+    const OptionsView* view_ = nullptr;
+    std::size_t pos_ = std::size_t(-1);  // -1 = end
+    std::size_t next_ = std::size_t(-1);
+    TlvOption current_;
+  };
+
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(); }
+
+  /// First option with the given code; nullopt when absent or when the
+  /// scan hits a malformation first.
+  std::optional<TlvOption> find(std::uint8_t type) const;
+
+  std::size_t count() const;  // well-formed options before any malformation
+
+  // ---- encode helpers (the other half of the round-trip codec) ----------
+  static void append(std::vector<std::uint8_t>& out, std::uint8_t type,
+                     std::span<const std::uint8_t> value);
+  /// Append a big-endian scalar option of `length` bytes (1, 2, or 4).
+  static void append_scalar(std::vector<std::uint8_t>& out, std::uint8_t type,
+                            long value, std::size_t length);
+  static void append_end(std::vector<std::uint8_t>& out,
+                         std::uint8_t end_code = 255);
+
+ private:
+  std::span<const std::uint8_t> region_;
+  std::uint8_t pad_ = 0;
+  std::uint8_t end_ = 255;
+  TlvStatus status_ = TlvStatus::kOk;
+};
+
+/// Resolved layout of one layer image: the fixed-header prefix and the
+/// TLV options region, computed once so repeated field reads (decode
+/// loops, option-heavy handlers) don't re-derive bounds. Fixed-offset
+/// reads never need a cursor — the plain read_wire path is unchanged.
+class LayoutCursor {
+ public:
+  LayoutCursor(const LayerSpec& layer, std::span<const std::uint8_t> image);
+
+  const LayerSpec& layer() const { return *layer_; }
+  std::span<const std::uint8_t> image() const { return image_; }
+  /// The options region (empty for layers without one or images that end
+  /// before options_offset).
+  std::span<const std::uint8_t> options_region() const { return options_; }
+  const OptionsView& options() const { return view_; }
+
+ private:
+  const LayerSpec* layer_;
+  std::span<const std::uint8_t> image_;
+  std::span<const std::uint8_t> options_;
+  OptionsView view_;
+};
+
 class SchemaRegistry {
  public:
   /// The process-wide registry of all known protocols. Immutable after
@@ -150,8 +291,9 @@ class SchemaRegistry {
 
   /// Generic bit-level scalar access over a serialized header image.
   /// Reads sign-extend when the spec says so; writes mask to bit_width.
-  /// nullopt / false when the image is too short or the field is not
-  /// kScalar.
+  /// nullopt / false when the image is too short or the field is not a
+  /// fixed-offset kScalar — TLV-located fields go through read_wire /
+  /// write_wire, which resolve the options region.
   static std::optional<long> read_scalar(const FieldSpec& spec,
                                          std::span<const std::uint8_t> image);
   static bool write_scalar(const FieldSpec& spec, std::span<std::uint8_t> image,
@@ -159,9 +301,21 @@ class SchemaRegistry {
 
   /// Read a named wire field straight out of a serialized header image
   /// (schema-driven packet decode for the inspector and tools). A
-  /// truncated image yields ReadStatus::kShortRead, not a zero.
+  /// truncated image yields ReadStatus::kShortRead, not a zero; a TLV
+  /// field whose option code is absent yields kMissingOption.
   WireRead read_wire(std::string_view layer, std::string_view field,
                      std::span<const std::uint8_t> image) const;
+
+  /// Same read against a pre-resolved layout — option-region bounds and
+  /// the TLV scan are paid once per cursor, not once per field.
+  static WireRead read_wire(const LayoutCursor& cursor, const FieldSpec& spec);
+
+  /// Layout-aware write into a full layer image: fixed fields delegate
+  /// to write_scalar; kTlvOption fields update the option value in place
+  /// when the option exists with enough room (a span cannot grow —
+  /// appending goes through OptionsView::append on the owning vector).
+  static bool write_wire(const LayerSpec& layer, const FieldSpec& spec,
+                         std::span<std::uint8_t> image, long value);
 
   /// Human-readable table of every layer/field/protocol
   /// (sage_debug --dump-schema).
@@ -170,7 +324,10 @@ class SchemaRegistry {
   /// Render "layer.field = value" lines for one layer of a captured
   /// packet (wire scalars only). Fields the image is too short to hold
   /// render as "layer.field = <short read>" so truncation is visible in
-  /// decodes instead of silently dropping lines.
+  /// decodes instead of silently dropping lines. For layers with a TLV
+  /// options region the declared option fields follow the fixed fields
+  /// (missing options are omitted, malformed regions render a trailing
+  /// "<truncated option>" / "<option length lie>" marker line).
   std::vector<std::string> decode_layer(std::string_view layer,
                                         std::span<const std::uint8_t> image) const;
 

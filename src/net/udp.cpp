@@ -9,13 +9,9 @@ namespace {
 
 std::uint16_t pseudo_header_sum(IpAddr src_ip, IpAddr dst_ip,
                                 std::size_t udp_length) {
-  std::uint8_t pseudo[12];
-  util::put_be32({pseudo, 4}, src_ip.value());
-  util::put_be32({pseudo + 4, 4}, dst_ip.value());
-  pseudo[8] = 0;
-  pseudo[9] = static_cast<std::uint8_t>(IpProto::kUdp);
-  util::put_be16({pseudo + 10, 2}, static_cast<std::uint16_t>(udp_length));
-  return ones_complement_sum(pseudo);
+  return pseudo_header_sum_v4(src_ip.value(), dst_ip.value(),
+                              static_cast<std::uint8_t>(IpProto::kUdp),
+                              static_cast<std::uint16_t>(udp_length));
 }
 
 }  // namespace

@@ -58,6 +58,23 @@ constexpr const char* kBfdStateOrder[] = {
 constexpr const char* kIpSlotOrder[] = {"src", "dst", "ttl", "tos",
                                         "total_length"};
 
+/// Struct-backed IPv6 pseudo-layer in slot order; must match
+/// read_ip6/write_ip6 below. The writable fields sit in slots 0..3 —
+/// the VM's kStoreIp specialization serves exactly that range.
+constexpr const char* kIp6SlotOrder[] = {
+    "src",     "dst",        "hop_limit",      "traffic_class",
+    "version", "flow_label", "payload_length", "next_header"};
+
+/// Opaque ip6 address handles (see read_ip6). Values sit far outside any
+/// wire field's masked range, so a handle accidentally stored into a
+/// scalar is visibly wrong instead of silently plausible.
+constexpr long kAddr6HandleBase = 0x6B600000000L;
+constexpr long kH6InSrc = kAddr6HandleBase + 0;
+constexpr long kH6InDst = kAddr6HandleBase + 1;
+constexpr long kH6OutSrc = kAddr6HandleBase + 2;
+constexpr long kH6OutDst = kAddr6HandleBase + 3;
+constexpr long kH6Own = kAddr6HandleBase + 4;
+
 int index_in(const char* const* names, std::size_t n, const std::string& name) {
   for (std::size_t i = 0; i < n; ++i) {
     if (name == names[i]) return static_cast<int>(i);
@@ -75,21 +92,29 @@ const SchemaExecEnv::ProtocolBinding& SchemaExecEnv::binding_for(
     for (const auto& p : registry.protocols()) {
       ProtocolBinding pb;
       pb.schema = &p;
-      pb.profile = p.protocol == "ICMP"   ? Profile::kIcmp
-                   : p.protocol == "IGMP" ? Profile::kIgmp
-                   : p.protocol == "NTP"  ? Profile::kNtp
-                   : p.protocol == "BFD"  ? Profile::kBfd
-                                          : Profile::kStateMachine;
+      pb.profile = p.protocol == "ICMP"    ? Profile::kIcmp
+                   : p.protocol == "ICMP6" ? Profile::kIcmp6
+                   : p.protocol == "IGMP"  ? Profile::kIgmp
+                   : p.protocol == "NTP"   ? Profile::kNtp
+                   : p.protocol == "BFD"   ? Profile::kBfd
+                   : p.protocol == "DHCP"  ? Profile::kDhcp
+                                           : Profile::kStateMachine;
       pb.by_id.resize(registry.field_count());
       for (const auto& layer_name : p.layers) {
         const auto* layer = registry.layer(layer_name);
         if (layer == nullptr) continue;
-        if (layer->name == "ip") {
-          // Struct-backed pseudo-layer: only the fields the framework
+        if (layer->name == "ip" || layer->name == "ip6") {
+          // Struct-backed pseudo-layers: only the fields the framework
           // serves are bound; the rest stay kNone (unknown at runtime).
+          // Both versions share Binding::Kind::kIp — read_ip/write_ip
+          // dispatch on the env's profile, and a protocol only ever
+          // binds one of the two layers.
+          const bool v6 = layer->name == "ip6";
+          const char* const* order = v6 ? kIp6SlotOrder : kIpSlotOrder;
+          const std::size_t order_n =
+              v6 ? std::size(kIp6SlotOrder) : std::size(kIpSlotOrder);
           for (const auto& f : layer->fields) {
-            const int slot = index_in(kIpSlotOrder, std::size(kIpSlotOrder),
-                                      f.name);
+            const int slot = index_in(order, order_n, f.name);
             if (slot < 0) continue;
             auto& b = pb.by_id[static_cast<std::size_t>(f.id)];
             b.kind = Binding::Kind::kIp;
@@ -108,6 +133,14 @@ const SchemaExecEnv::ProtocolBinding& SchemaExecEnv::binding_for(
           auto& b = pb.by_id[static_cast<std::size_t>(f.id)];
           b.spec = &f;
           b.layer_slot = layer_slot;
+          // Location trumps kind for storage: TLV-located fields (DHCP
+          // option scalars and whole option values) live in the layer's
+          // options region, whatever they are typed as.
+          if (f.loc == schema::FieldLoc::kTlvOption ||
+              f.loc == schema::FieldLoc::kLengthPrefixed) {
+            b.kind = Binding::Kind::kWireOption;
+            continue;
+          }
           switch (f.kind) {
             case schema::FieldKind::kScalar:
               b.kind = Binding::Kind::kWire;
@@ -201,13 +234,18 @@ void SchemaExecEnv::apply_image_defaults() {
   }
 }
 
-const schema::DefaultSpec* SchemaExecEnv::ip_default(
-    const std::string& field) const {
+const schema::DefaultSpec* SchemaExecEnv::layer_default(
+    const std::string& layer, const std::string& field) const {
   if (pb_->schema == nullptr) return nullptr;
   for (const auto& d : pb_->schema->defaults) {
-    if (d.layer == "ip" && d.field == field) return &d;
+    if (d.layer == layer && d.field == field) return &d;
   }
   return nullptr;
+}
+
+const schema::DefaultSpec* SchemaExecEnv::ip_default(
+    const std::string& field) const {
+  return layer_default("ip", field);
 }
 
 // -- factories --------------------------------------------------------------
@@ -273,6 +311,78 @@ SchemaExecEnv SchemaExecEnv::icmp(std::span<const std::uint8_t> raw_incoming,
     // purpose.
     icmp_layer.out_image = icmp_layer.in_image;
     icmp_layer.out_payload = icmp_layer.in_payload;
+  }
+  return env;
+}
+
+SchemaExecEnv SchemaExecEnv::icmp6(std::span<const std::uint8_t> raw_incoming,
+                                   net::Ip6Addr own_address,
+                                   bool start_from_incoming) {
+  SchemaExecEnv env(binding_for("ICMP6"));
+  env.raw_incoming_ = raw_incoming;
+  env.own6_ = own_address;
+  env.clock_ = 36000000;  // deterministic OS clock (ms since midnight UT)
+
+  auto& layer = env.wire_[0];
+  layer.has_in = true;
+
+  const auto ip6 = net::Ipv6Header::parse(raw_incoming);
+  if (!ip6) {
+    env.valid_ = false;
+    layer.in_image.assign(layer.spec->header_bytes, 0);
+    return env;
+  }
+  env.in_ip6_ = *ip6;
+  bool in_has_icmp6 = false;
+  const bool trigger_is_icmp6 = ip6->next_header == net::kIpProtoIcmp6;
+  const auto icmp6_bytes = raw_incoming.subspan(net::Ipv6Header::kHeaderBytes);
+  if (start_from_incoming && trigger_is_icmp6) {
+    if (icmp6_bytes.size() >= 8) {
+      layer.in_image.assign(icmp6_bytes.begin(), icmp6_bytes.begin() + 8);
+      layer.in_payload.assign(icmp6_bytes.begin() + 8, icmp6_bytes.end());
+      in_has_icmp6 = true;
+    } else {
+      // Truncated ICMPv6 message on a receiver path: keep only the bytes
+      // that exist, so short reads surface instead of invented zeros
+      // (same contract as the v4 factory).
+      layer.in_image.assign(icmp6_bytes.begin(), icmp6_bytes.end());
+      env.input_truncated_ = true;
+    }
+  } else {
+    // Error-sender flows and non-ICMPv6 triggers: the message view is
+    // the error message under construction, so it starts blank; the
+    // offending packet stays reachable through the ip6 layer and the
+    // invoking-packet excerpt (raw_incoming_).
+    layer.in_image.assign(layer.spec->header_bytes, 0);
+    if (trigger_is_icmp6 && icmp6_bytes.size() < 8) {
+      env.input_truncated_ = true;
+    }
+  }
+  // ip6 serialization defaults land on the struct-backed header — the
+  // analogue of apply_image_defaults for image layers.
+  if (const auto* d = env.layer_default("ip6", "next_header")) {
+    env.out_ip6_.next_header = static_cast<std::uint8_t>(d->value);
+  }
+  if (const auto* d = env.layer_default("ip6", "hop_limit")) {
+    env.out_ip6_.hop_limit = static_cast<std::uint8_t>(d->value);
+  }
+  env.out_ip6_.src = own_address;
+  if (start_from_incoming && in_has_icmp6) {
+    // Reply-by-mutation: the outgoing message starts as a byte copy of
+    // the request, stale checksum included (RFC 792 idiom carried over).
+    layer.out_image = layer.in_image;
+    layer.out_payload = layer.in_payload;
+  }
+  return env;
+}
+
+SchemaExecEnv SchemaExecEnv::dhcp(std::span<const std::uint8_t> message) {
+  SchemaExecEnv env(binding_for("DHCP"));
+  if (!message.empty()) {
+    auto& L = env.wire_[0];
+    L.has_in = true;
+    L.in_image.assign(message.begin(), message.end());
+    if (message.size() < L.spec->header_bytes) env.input_truncated_ = true;
   }
   return env;
 }
@@ -384,6 +494,8 @@ std::optional<long> SchemaExecEnv::read_field(const codegen::FieldRef& ref,
       return static_cast<long>(host_group_.value());
     case Binding::Kind::kToken:
       return 0;
+    case Binding::Kind::kWireOption:
+      return read_wire_option(b->layer_slot, spec, sel);
     case Binding::Kind::kBytes:
     case Binding::Kind::kNone:
       return std::nullopt;
@@ -435,6 +547,8 @@ bool SchemaExecEnv::write_field(const codegen::FieldRef& ref, long value) {
       return true;
     case Binding::Kind::kBfdState:
       return write_bfd_state(b->slot, value);
+    case Binding::Kind::kWireOption:
+      return write_wire_option(b->layer_slot, spec, value);
     case Binding::Kind::kHostGroup:
     case Binding::Kind::kToken:
     case Binding::Kind::kBytes:
@@ -446,6 +560,9 @@ bool SchemaExecEnv::write_field(const codegen::FieldRef& ref, long value) {
 
 std::optional<long> SchemaExecEnv::read_ip(std::uint8_t slot,
                                            codegen::PacketSel sel) const {
+  // Kind::kIp covers both struct-backed pseudo-layers; the profile says
+  // which one this env actually carries (a protocol binds only one).
+  if (profile_ == Profile::kIcmp6) return read_ip6(slot, sel);
   const net::Ipv4Header& ip =
       sel == codegen::PacketSel::kIncoming ? in_ip_ : out_ip_;
   switch (slot) {
@@ -459,6 +576,7 @@ std::optional<long> SchemaExecEnv::read_ip(std::uint8_t slot,
 }
 
 bool SchemaExecEnv::write_ip(std::uint8_t slot, long value) {
+  if (profile_ == Profile::kIcmp6) return write_ip6(slot, value);
   switch (slot) {
     case 0: out_ip_.src = net::IpAddr(static_cast<std::uint32_t>(value)); return true;
     case 1: out_ip_.dst = net::IpAddr(static_cast<std::uint32_t>(value)); return true;
@@ -466,6 +584,61 @@ bool SchemaExecEnv::write_ip(std::uint8_t slot, long value) {
     case 3: out_ip_.tos = static_cast<std::uint8_t>(value); return true;
     default: return false;
   }
+}
+
+std::optional<long> SchemaExecEnv::read_ip6(std::uint8_t slot,
+                                            codegen::PacketSel sel) const {
+  const bool incoming = sel == codegen::PacketSel::kIncoming;
+  const net::Ipv6Header& ip = incoming ? in_ip6_ : out_ip6_;
+  switch (slot) {
+    // The 128-bit addresses read as opaque handles; write_ip6 resolves
+    // them back to the stored Ip6Addr. Generated code only ever moves
+    // these values between address fields, so the round trip is lossless.
+    case 0: return incoming ? kH6InSrc : kH6OutSrc;
+    case 1: return incoming ? kH6InDst : kH6OutDst;
+    case 2: return ip.hop_limit;
+    case 3: return ip.traffic_class;
+    case 4: return ip.version;
+    case 5: return static_cast<long>(ip.flow_label);
+    case 6: return ip.payload_length;
+    case 7: return ip.next_header;
+    default: return std::nullopt;
+  }
+}
+
+const net::Ip6Addr* SchemaExecEnv::resolve_addr6(long handle) const {
+  if (handle == kH6InSrc) return &in_ip6_.src;
+  if (handle == kH6InDst) return &in_ip6_.dst;
+  if (handle == kH6OutSrc) return &out_ip6_.src;
+  if (handle == kH6OutDst) return &out_ip6_.dst;
+  if (handle == kH6Own) return &own6_;
+  return nullptr;
+}
+
+bool SchemaExecEnv::write_ip6(std::uint8_t slot, long value) {
+  switch (slot) {
+    case 0:
+    case 1: {
+      const net::Ip6Addr* addr = resolve_addr6(value);
+      if (addr == nullptr) return false;  // not an address handle
+      const net::Ip6Addr resolved = *addr;  // copy: target may alias
+      (slot == 0 ? out_ip6_.src : out_ip6_.dst) = resolved;
+      return true;
+    }
+    case 2: out_ip6_.hop_limit = static_cast<std::uint8_t>(value); return true;
+    case 3: out_ip6_.traffic_class = static_cast<std::uint8_t>(value); return true;
+    default: return false;
+  }
+}
+
+void SchemaExecEnv::reverse_addresses_effect() {
+  if (profile_ == Profile::kIcmp6) {
+    out_ip6_.src = in_ip6_.dst;
+    out_ip6_.dst = in_ip6_.src;
+    return;
+  }
+  out_ip_.src = in_ip_.dst;
+  out_ip_.dst = in_ip_.src;
 }
 
 std::optional<long> SchemaExecEnv::read_bfd_state(std::uint8_t slot) const {
@@ -506,17 +679,152 @@ bool SchemaExecEnv::write_bfd_state(std::uint8_t slot, long value) {
   }
 }
 
+// -- TLV option storage (Binding::Kind::kWireOption) ------------------------
+
+namespace {
+
+/// Selects the image a read should see: the selector is honored when
+/// both packets exist, single-sided envs serve their one image for
+/// either selector (same rule as the kWire path). Templated so the
+/// env's private LayerImages type is deduced, never named.
+template <typename Layer>
+const std::pmr::vector<std::uint8_t>* select_image(const Layer& L,
+                                                   codegen::PacketSel sel) {
+  return sel == codegen::PacketSel::kIncoming
+             ? (L.has_in ? &L.in_image : (L.has_out ? &L.out_image : nullptr))
+             : (L.has_out ? &L.out_image : (L.has_in ? &L.in_image : nullptr));
+}
+
+/// Insert position for a fresh TLV in an out image: just before the end
+/// code when the region already carries one, else the image end. Out
+/// images only ever hold well-formed runs (the env wrote them), so a
+/// malformed tail just appends at the end.
+std::size_t option_insert_pos(const schema::LayerSpec& layer,
+                              std::span<const std::uint8_t> img) {
+  std::size_t pos = layer.options_offset;
+  if (img.size() < pos) return img.size();
+  while (pos < img.size()) {
+    const std::uint8_t code = img[pos];
+    if (code == layer.option_pad) {
+      ++pos;
+      continue;
+    }
+    if (code == layer.option_end) return pos;
+    if (pos + 1 >= img.size()) return img.size();
+    pos += 2 + img[pos + 1];
+  }
+  return img.size();
+}
+
+/// Remove every well-formed occurrence of option `type` from the image.
+void erase_option(const schema::LayerSpec& layer,
+                  std::pmr::vector<std::uint8_t>& img, std::uint8_t type) {
+  std::size_t pos = layer.options_offset;
+  while (pos < img.size()) {
+    const std::uint8_t code = img[pos];
+    if (code == layer.option_pad) {
+      ++pos;
+      continue;
+    }
+    if (code == layer.option_end) return;
+    if (pos + 1 >= img.size()) return;
+    const std::size_t len = 2 + img[pos + 1];
+    if (pos + len > img.size()) return;
+    if (code == type) {
+      img.erase(img.begin() + static_cast<std::ptrdiff_t>(pos),
+                img.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      continue;
+    }
+    pos += len;
+  }
+}
+
+}  // namespace
+
+std::optional<long> SchemaExecEnv::read_wire_option(
+    std::uint8_t layer_slot, const schema::FieldSpec& spec,
+    codegen::PacketSel sel) const {
+  if (spec.kind != schema::FieldKind::kScalar) return std::nullopt;
+  const LayerImages& L = wire_[layer_slot];
+  const auto* img = select_image(L, sel);
+  if (img == nullptr) return std::nullopt;
+  const schema::LayoutCursor cursor(*L.spec, {img->data(), img->size()});
+  const auto r = schema::SchemaRegistry::read_wire(cursor, spec);
+  if (!r.ok()) return std::nullopt;
+  return r.value;
+}
+
+bool SchemaExecEnv::write_wire_option(std::uint8_t layer_slot,
+                                      const schema::FieldSpec& spec,
+                                      long value) {
+  if (spec.kind != schema::FieldKind::kScalar) return false;
+  LayerImages& L = wire_[layer_slot];
+  if (!L.has_out) return false;
+  // In-place update when the option is already present with enough room
+  // (write_wire's contract: a span cannot grow)...
+  if (schema::SchemaRegistry::write_wire(
+          *L.spec, spec, {L.out_image.data(), L.out_image.size()}, value)) {
+    return true;
+  }
+  // ...else append a fresh {code, length, value} before the end code.
+  const std::size_t len = (spec.bit_width + 7) / 8;
+  std::vector<std::uint8_t> tlv;
+  schema::OptionsView::append_scalar(tlv, spec.tlv_type, value, len);
+  const std::size_t pos =
+      option_insert_pos(*L.spec, {L.out_image.data(), L.out_image.size()});
+  L.out_image.insert(L.out_image.begin() + static_cast<std::ptrdiff_t>(pos),
+                     tlv.begin(), tlv.end());
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> SchemaExecEnv::read_option_bytes(
+    std::uint8_t layer_slot, const schema::FieldSpec& spec,
+    codegen::PacketSel sel) const {
+  const LayerImages& L = wire_[layer_slot];
+  const auto* img = select_image(L, sel);
+  if (img == nullptr) return std::nullopt;
+  const schema::OptionsView view(*L.spec, {img->data(), img->size()});
+  const auto opt = view.find(spec.tlv_type);
+  if (!opt) return std::nullopt;
+  return std::vector<std::uint8_t>(opt->value.begin(), opt->value.end());
+}
+
+bool SchemaExecEnv::write_option_bytes(std::uint8_t layer_slot,
+                                       const schema::FieldSpec& spec,
+                                       std::span<const std::uint8_t> value) {
+  LayerImages& L = wire_[layer_slot];
+  if (!L.has_out) return false;
+  erase_option(*L.spec, L.out_image, spec.tlv_type);
+  std::vector<std::uint8_t> tlv;
+  schema::OptionsView::append(tlv, spec.tlv_type, value);
+  const std::size_t pos =
+      option_insert_pos(*L.spec, {L.out_image.data(), L.out_image.size()});
+  L.out_image.insert(L.out_image.begin() + static_cast<std::ptrdiff_t>(pos),
+                     tlv.begin(), tlv.end());
+  return true;
+}
+
 // -- bytes ------------------------------------------------------------------
 
 bool SchemaExecEnv::is_bytes_field(const codegen::FieldRef& ref) const {
   const Binding* b = binding(ref);
-  return b != nullptr && b->kind == Binding::Kind::kBytes;
+  if (b == nullptr) return false;
+  if (b->kind == Binding::Kind::kBytes) return true;
+  // Whole-option-value fields (dhcp.parameter_request_list) are bytes
+  // typed but option located.
+  return b->kind == Binding::Kind::kWireOption && b->spec != nullptr &&
+         b->spec->kind == schema::FieldKind::kBytes;
 }
 
 std::optional<std::vector<std::uint8_t>> SchemaExecEnv::read_bytes(
     const codegen::FieldRef& ref, codegen::PacketSel sel) {
   const Binding* b = binding(ref);
-  if (b == nullptr || b->kind != Binding::Kind::kBytes) return std::nullopt;
+  if (b == nullptr) return std::nullopt;
+  if (b->kind == Binding::Kind::kWireOption &&
+      b->spec->kind == schema::FieldKind::kBytes) {
+    return read_option_bytes(b->layer_slot, *b->spec, sel);
+  }
+  if (b->kind != Binding::Kind::kBytes) return std::nullopt;
   const LayerImages& L = wire_[b->layer_slot];
   const auto& payload =
       sel == codegen::PacketSel::kIncoming ? L.in_payload : L.out_payload;
@@ -526,7 +834,12 @@ std::optional<std::vector<std::uint8_t>> SchemaExecEnv::read_bytes(
 bool SchemaExecEnv::write_bytes(const codegen::FieldRef& ref,
                                 std::vector<std::uint8_t> value) {
   const Binding* b = binding(ref);
-  if (b == nullptr || b->kind != Binding::Kind::kBytes) return false;
+  if (b == nullptr) return false;
+  if (b->kind == Binding::Kind::kWireOption &&
+      b->spec->kind == schema::FieldKind::kBytes) {
+    return write_option_bytes(b->layer_slot, *b->spec, value);
+  }
+  if (b->kind != Binding::Kind::kBytes) return false;
   wire_[b->layer_slot].out_payload.assign(value.begin(), value.end());
   return true;
 }
@@ -542,7 +855,7 @@ std::vector<std::uint8_t> SchemaExecEnv::out_message_bytes(
 }
 
 bool SchemaExecEnv::is_bytes_function(const std::string& fn) const {
-  return profile_ == Profile::kIcmp &&
+  return (profile_ == Profile::kIcmp || profile_ == Profile::kIcmp6) &&
          (fn == "original_datagram_excerpt" || fn == "copy_field");
 }
 
@@ -567,11 +880,48 @@ std::optional<long> SchemaExecEnv::icmp_call_scalar(
   return std::nullopt;
 }
 
+std::optional<long> SchemaExecEnv::icmp6_call_scalar(
+    const std::string& fn, const std::vector<long>& args) {
+  if (fn == "ones_complement_sum") {
+    // RFC 4443 §2.3: the sum covers the ICMPv6 message chained with the
+    // IPv6 pseudo-header. Same stale-value semantics as v4 — whatever
+    // sits in the checksum field is summed in.
+    const auto bytes = out_message_bytes(0);
+    return net::ones_complement_sum(
+        bytes, net::pseudo_header_sum_v6(
+                   out_ip6_.src.bytes(), out_ip6_.dst.bytes(),
+                   static_cast<std::uint32_t>(bytes.size()),
+                   net::kIpProtoIcmp6));
+  }
+  if (fn == "ones_complement") {
+    if (args.size() == 1) return (~args[0]) & 0xffff;
+    const auto bytes = out_message_bytes(0);
+    return net::internet_checksum(
+        bytes, net::pseudo_header_sum_v6(
+                   out_ip6_.src.bytes(), out_ip6_.dst.bytes(),
+                   static_cast<std::uint32_t>(bytes.size()),
+                   net::kIpProtoIcmp6));
+  }
+  if (fn == "current_time") return static_cast<long>(clock_);
+  if (fn == "receive_time") return static_cast<long>(clock_);
+  if (fn == "transmit_time") return static_cast<long>(clock_) + 1;
+  if (fn == "error_octet") return error_pointer_;
+  // Packet Too Big: the MTU of the next-hop link. The framework serves
+  // the IPv6 minimum so both responders agree deterministically.
+  if (fn == "link_mtu") return 1280;
+  // The node's own address, served as an opaque handle like every other
+  // 128-bit address (write_ip6 resolves it).
+  if (fn == "own_address") return kH6Own;
+  return std::nullopt;
+}
+
 std::optional<long> SchemaExecEnv::call_scalar(const std::string& fn,
                                                const std::vector<long>& args) {
   switch (profile_) {
     case Profile::kIcmp:
       return icmp_call_scalar(fn, args);
+    case Profile::kIcmp6:
+      return icmp6_call_scalar(fn, args);
     case Profile::kIgmp:
       if (fn == "ones_complement_sum" || fn == "ones_complement") {
         return 0;  // deferred: finish() computes the real checksum
@@ -587,6 +937,7 @@ std::optional<long> SchemaExecEnv::call_scalar(const std::string& fn,
         return session_lookup_fails_ ? 0 : 1;
       }
       return std::nullopt;
+    case Profile::kDhcp:
     case Profile::kStateMachine:
       return std::nullopt;
   }
@@ -595,8 +946,19 @@ std::optional<long> SchemaExecEnv::call_scalar(const std::string& fn,
 
 std::optional<std::vector<std::uint8_t>> SchemaExecEnv::call_bytes(
     const std::string& fn) {
-  if (profile_ != Profile::kIcmp) return std::nullopt;
+  if (profile_ != Profile::kIcmp && profile_ != Profile::kIcmp6) {
+    return std::nullopt;
+  }
   if (fn == "original_datagram_excerpt") {
+    if (profile_ == Profile::kIcmp6) {
+      // RFC 4443 §3.1: as much of the invoking packet as possible
+      // without the ICMPv6 packet exceeding the minimum IPv6 MTU.
+      constexpr std::size_t kMaxExcerpt =
+          1280 - net::Ipv6Header::kHeaderBytes - 8;
+      const std::size_t n = std::min(raw_incoming_.size(), kMaxExcerpt);
+      return std::vector<std::uint8_t>(raw_incoming_.begin(),
+                                       raw_incoming_.begin() + n);
+    }
     return net::original_datagram_excerpt(raw_incoming_);
   }
   if (fn == "copy_field") {
@@ -612,9 +974,9 @@ bool SchemaExecEnv::call_effect(const std::string& fn,
   (void)args;
   switch (profile_) {
     case Profile::kIcmp:
+    case Profile::kIcmp6:
       if (fn == "reverse_addresses") {
-        out_ip_.src = in_ip_.dst;
-        out_ip_.dst = in_ip_.src;
+        reverse_addresses_effect();
         return true;
       }
       if (fn == "recompute_checksum" || fn == "compute_checksum") {
@@ -627,6 +989,12 @@ bool SchemaExecEnv::call_effect(const std::string& fn,
       if (fn == "send_message" || fn == "discard_packet") {
         return true;  // transmission is the simulator's job
       }
+      return false;
+    case Profile::kDhcp:
+      if (fn == "compute_checksum" || fn == "recompute_checksum") {
+        return true;  // UDP checksum is filled at serialization
+      }
+      if (fn == "send_message" || fn == "discard_packet") return true;
       return false;
     case Profile::kIgmp:
       if (fn == "compute_checksum" || fn == "recompute_checksum") {
@@ -700,6 +1068,20 @@ long SchemaExecEnv::resolve_symbol(const std::string& name) {
 // -- finalization and typed views -------------------------------------------
 
 std::vector<std::uint8_t> SchemaExecEnv::finish_reply() {
+  if (profile_ == Profile::kIcmp6) {
+    auto bytes = out_message_bytes(0);
+    if (out_ip6_.src == net::Ip6Addr()) out_ip6_.src = own6_;
+    if (checksum_explicitly_computed_) {
+      // Same stale-value contract as v4, with the RFC 4443 §2.3
+      // pseudo-header chained in: the sum covers the message including
+      // whatever the checksum field currently holds, so code that
+      // skipped the zero-before-compute advice bakes in a stale value.
+      const std::uint16_t ck =
+          net::icmp6_checksum(out_ip6_.src, out_ip6_.dst, bytes);
+      util::put_be16({bytes.data() + 2, 2}, ck);
+    }
+    return net::build_ipv6_packet(out_ip6_, bytes);
+  }
   // Serialize the ICMP message with the checksum field exactly as the
   // generated code left it in the image...
   auto icmp_bytes = out_message_bytes(0);

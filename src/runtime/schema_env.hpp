@@ -33,6 +33,7 @@
 #include "net/icmp.hpp"
 #include "net/igmp.hpp"
 #include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
 #include "net/ntp.hpp"
 #include "net/schema.hpp"
 #include "net/udp.hpp"
@@ -56,6 +57,22 @@ class SchemaExecEnv : public ExecEnv {
   static SchemaExecEnv icmp(std::span<const std::uint8_t> raw_incoming,
                             net::IpAddr own_address,
                             bool start_from_incoming = false);
+
+  /// ICMPv6 responder environment. `raw_incoming` must start at the IPv6
+  /// header. The 128-bit addresses are served to generated code as opaque
+  /// long handles (reads of ip6.src/ip6.dst return a handle constant;
+  /// writes resolve the handle back to the stored Ip6Addr), which is
+  /// lossless because generated code only ever *moves* addresses
+  /// ("out->ip6.dst = in->ip6.src"), never computes on them.
+  static SchemaExecEnv icmp6(std::span<const std::uint8_t> raw_incoming,
+                             net::Ip6Addr own_address,
+                             bool start_from_incoming = false);
+
+  /// DHCP environment: `message` (may be empty) is the incoming DHCP
+  /// message starting at the fixed BOOTP header; bytes past offset 240
+  /// are the TLV options region. The outgoing image starts as the
+  /// 240-byte fixed header with schema defaults; option writes grow it.
+  static SchemaExecEnv dhcp(std::span<const std::uint8_t> message = {});
 
   /// IGMP sender environment. `host_group` is the group a report
   /// announces (the framework's "which group am I joining" service).
@@ -118,7 +135,10 @@ class SchemaExecEnv : public ExecEnv {
   // -- typed views for tests and the simulator -----------------------------
 
   const net::Ipv4Header& out_ip() const { return out_ip_; }
-  net::IcmpMessage out_icmp() const;   // ICMP: reply under construction
+  const net::Ipv6Header& out_ip6() const { return out_ip6_; }
+  net::IcmpMessage out_icmp() const;   // ICMP/ICMPv6: reply under construction
+  /// DHCP: the message under construction (fixed header + options).
+  std::vector<std::uint8_t> out_dhcp() const { return out_message_bytes(0); }
   net::IgmpMessage message() const;    // IGMP: message under construction
   net::NtpPacket packet() const;       // NTP: packet under construction
   net::UdpHeader udp() const;          // NTP: UDP header as written
@@ -149,7 +169,15 @@ class SchemaExecEnv : public ExecEnv {
 
   /// The handful of genuinely protocol-specific behaviors (framework
   /// functions, finalization); field access never consults this.
-  enum class Profile : std::uint8_t { kIcmp, kIgmp, kNtp, kBfd, kStateMachine };
+  enum class Profile : std::uint8_t {
+    kIcmp,
+    kIcmp6,
+    kIgmp,
+    kNtp,
+    kBfd,
+    kDhcp,
+    kStateMachine,
+  };
 
   /// How one registry field maps onto this env's storage.
   struct Binding {
@@ -163,6 +191,7 @@ class SchemaExecEnv : public ExecEnv {
       kBfdState,       // RFC 5880 §6.8.1 variable in *bfd_state_
       kHostGroup,      // IGMP host-group service (read-only)
       kToken,          // reads as 0 ("the ICMP message")
+      kWireOption,     // TLV-located field inside a layer's options region
     };
     Kind kind = Kind::kNone;
     const net::schema::FieldSpec* spec = nullptr;
@@ -225,16 +254,43 @@ class SchemaExecEnv : public ExecEnv {
 
   const Binding* binding(const codegen::FieldRef& ref) const;
   void apply_image_defaults();
+  const net::schema::DefaultSpec* layer_default(const std::string& layer,
+                                                const std::string& field) const;
   const net::schema::DefaultSpec* ip_default(const std::string& field) const;
   std::vector<std::uint8_t> out_message_bytes(std::size_t layer_slot) const;
 
   std::optional<long> read_ip(std::uint8_t slot, codegen::PacketSel sel) const;
   bool write_ip(std::uint8_t slot, long value);
+  std::optional<long> read_ip6(std::uint8_t slot, codegen::PacketSel sel) const;
+  bool write_ip6(std::uint8_t slot, long value);
+  const net::Ip6Addr* resolve_addr6(long handle) const;
   std::optional<long> read_bfd_state(std::uint8_t slot) const;
   bool write_bfd_state(std::uint8_t slot, long value);
 
+  /// Profile-aware reverse_addresses effect body (shared by call_effect
+  /// and the VM's specialized kEffectReverse op).
+  void reverse_addresses_effect();
+
+  // TLV-located field access (Binding::Kind::kWireOption). Scalar reads
+  // resolve the layer's options region through a LayoutCursor; writes
+  // update the option value in place when present and append a fresh
+  // {code, length, value} before the end code otherwise.
+  std::optional<long> read_wire_option(std::uint8_t layer_slot,
+                                       const net::schema::FieldSpec& spec,
+                                       codegen::PacketSel sel) const;
+  bool write_wire_option(std::uint8_t layer_slot,
+                         const net::schema::FieldSpec& spec, long value);
+  std::optional<std::vector<std::uint8_t>> read_option_bytes(
+      std::uint8_t layer_slot, const net::schema::FieldSpec& spec,
+      codegen::PacketSel sel) const;
+  bool write_option_bytes(std::uint8_t layer_slot,
+                          const net::schema::FieldSpec& spec,
+                          std::span<const std::uint8_t> value);
+
   std::optional<long> icmp_call_scalar(const std::string& fn,
                                        const std::vector<long>& args);
+  std::optional<long> icmp6_call_scalar(const std::string& fn,
+                                        const std::vector<long>& args);
 
   /// The thread-local arena backing every env's layer images on this
   /// thread (defined in schema_env.cpp).
@@ -262,6 +318,11 @@ class SchemaExecEnv : public ExecEnv {
   // ICMP: the IP layer is struct-backed (finish_reply builds the header).
   net::Ipv4Header in_ip_;
   net::Ipv4Header out_ip_;
+  // ICMPv6: same idea, one version up. Generated code sees the 128-bit
+  // addresses only as opaque handles (see read_ip6/write_ip6).
+  net::Ipv6Header in_ip6_;
+  net::Ipv6Header out_ip6_;
+  net::Ip6Addr own6_;
   std::span<const std::uint8_t> raw_incoming_;
   bool valid_ = true;
   bool input_truncated_ = false;

@@ -73,11 +73,24 @@ struct EnvAccess {
     env.checksum_explicitly_computed_ = true;
   }
   static void reverse_addresses(SchemaExecEnv& env) {
-    env.out_ip_.src = env.in_ip_.dst;
-    env.out_ip_.dst = env.in_ip_.src;
+    env.reverse_addresses_effect();
   }
   static void set_timeout_called(SchemaExecEnv& env) {
     env.timeout_called_ = true;
+  }
+
+  // TLV-located fields (Binding::Kind::kWireOption): kPushOption /
+  // kStoreOption route through the env's option machinery — the region
+  // scan is not worth inlining into the executor.
+  static std::optional<long> read_option(const SchemaExecEnv& env,
+                                         std::uint8_t layer_slot,
+                                         const net::schema::FieldSpec& spec,
+                                         codegen::PacketSel sel) {
+    return env.read_wire_option(layer_slot, spec, sel);
+  }
+  static bool write_option(SchemaExecEnv& env, std::uint8_t layer_slot,
+                           const net::schema::FieldSpec& spec, long value) {
+    return env.write_wire_option(layer_slot, spec, value);
   }
 };
 

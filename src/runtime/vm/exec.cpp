@@ -355,6 +355,28 @@ inline void op_kCopyPayload(Frame& f) {
   ++f.ip;
 }
 
+inline void op_kPushOption(Frame& f) {
+  ++f.slow;
+  const Insn& in = f.code[f.ip];
+  push_opt(f, EnvAccess::read_option(f.env, static_cast<std::uint8_t>(in.b),
+                                     *spec_of(in),
+                                     static_cast<codegen::PacketSel>(in.a)));
+  ++f.ip;
+}
+
+inline void op_kStoreOption(Frame& f) {
+  ++f.slow;
+  const Insn& in = f.code[f.ip];
+  long value;
+  if (store_value(f, value)) {
+    if (!EnvAccess::write_option(f.env, static_cast<std::uint8_t>(in.b),
+                                 *spec_of(in), value)) {
+      store_rejected(f);
+    }
+  }
+  ++f.ip;
+}
+
 // -- fused superinstructions (peephole pass in program.cpp) -----------------
 // Each is observably identical to the sequence it replaces, including
 // poison consumption and error strings, under ANY entry poison state.

@@ -44,6 +44,14 @@ Insn specialize_read(const EnvAccess::Binding* b, const codegen::LinInsn& in) {
       return {Op::kPushHostGroup};
     case Kind::kToken:
       return {Op::kPushZero};
+    case Kind::kWireOption:
+      // Scalar TLV options read through the env's layout machinery;
+      // whole-option-value (bytes-typed) fields have no scalar read.
+      if (b->spec->kind == schema::FieldKind::kScalar) {
+        return {Op::kPushOption, in.a, b->layer_slot, in.b,
+                bake_spec(b->spec)};
+      }
+      return {Op::kPushNull};
     case Kind::kBytes:  // scalar read of the payload -> unknown
     case Kind::kNone:
       return {Op::kPushNull};
@@ -88,6 +96,11 @@ Insn specialize_store(const EnvAccess::ProtocolBinding& pb,
       return {Op::kStoreState, 0, b->slot, in.b};
     case Kind::kBfdState:
       return {Op::kStoreBfdState, 0, b->slot, in.b};
+    case Kind::kWireOption:
+      if (b->spec->kind == schema::FieldKind::kScalar) {
+        return {Op::kStoreOption, 0, b->layer_slot, in.b, bake_spec(b->spec)};
+      }
+      return {Op::kStoreFail, 0, 0, in.b};
     case Kind::kHostGroup:
     case Kind::kToken:
     case Kind::kBytes:
@@ -115,8 +128,8 @@ Insn specialize_bytes(const EnvAccess::ProtocolBinding& pb,
       return {Op::kCopyPayload, 0, value->layer_slot, target->layer_slot};
     }
   }
-  if (target_is_bytes && src == BytesSrc::kCall &&
-      pb.schema != nullptr && pb.schema->protocol == "ICMP" &&
+  if (target_is_bytes && src == BytesSrc::kCall && pb.schema != nullptr &&
+      (pb.schema->protocol == "ICMP" || pb.schema->protocol == "ICMP6") &&
       linear.names[in.b] == "copy_field") {
     // copy_field reads wire_[0].in_payload (see SchemaExecEnv::call_bytes).
     return {Op::kCopyPayload, 0, 0, target->layer_slot};
@@ -139,9 +152,17 @@ Insn specialize_effect(const EnvAccess::ProtocolBinding& pb,
   const bool checksum = fn == "compute_checksum" || fn == "recompute_checksum";
   switch (pb.profile) {
     case Profile::kIcmp:
+    case Profile::kIcmp6:
+      // kEffectReverse delegates to the env's profile-aware swap, so the
+      // same specialization serves both IP versions.
       if (checksum) return {Op::kEffectChecksum, 0, in.b};
       if (fn == "reverse_addresses") return {Op::kEffectReverse, 0, in.b};
       if (fn == "send_message" || fn == "discard_packet") {
+        return {Op::kEffectNop, 0, in.b};
+      }
+      return generic;
+    case Profile::kDhcp:
+      if (checksum || fn == "send_message" || fn == "discard_packet") {
         return {Op::kEffectNop, 0, in.b};
       }
       return generic;
@@ -298,8 +319,10 @@ std::string Program::disassemble() const {
         break;
       case Op::kPushWire:
       case Op::kPushPayload:
+      case Op::kPushOption:
       case Op::kStoreWire:
-      case Op::kStorePayload: {
+      case Op::kStorePayload:
+      case Op::kStoreOption: {
         const auto* spec = reinterpret_cast<const schema::FieldSpec*>(
             static_cast<std::uintptr_t>(in.imm));
         out += " " + spec->name;

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
 #include "net/bfd.hpp"
 #include "net/checksum.hpp"
 #include "net/icmp.hpp"
 #include "net/igmp.hpp"
 #include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
 #include "net/ntp.hpp"
 #include "net/schema.hpp"
 #include "net/udp.hpp"
@@ -174,11 +176,88 @@ void check_igmp(std::span<const std::uint8_t> payload, InspectionResult& r) {
   }
 }
 
+void check_icmp6(const net::Ipv6Header& ip,
+                 std::span<const std::uint8_t> payload, InspectionResult& r) {
+  if (payload.size() < 8) {
+    r.errors.push_back("ICMPv6 message truncated (" +
+                       std::to_string(payload.size()) + " bytes)");
+    return;
+  }
+  static const std::map<std::uint8_t, const char*> kTypeNames = {
+      {1, "destination unreachable"}, {2, "packet too big"},
+      {3, "time exceeded"},           {4, "parameter problem"},
+      {128, "echo request"},          {129, "echo reply"},
+  };
+  const auto it = kTypeNames.find(payload[0]);
+  r.summary += std::string("ICMPv6 ") +
+               (it == kTypeNames.end() ? "type " + std::to_string(payload[0])
+                                       : it->second);
+  // RFC 4443 §2.3: the checksum covers the message chained with the
+  // pseudo-header; a correct packet re-sums to its own checksum field.
+  std::vector<std::uint8_t> zeroed(payload.begin(), payload.end());
+  const std::uint16_t stored = util::get_be16({zeroed.data() + 2, 2});
+  util::put_be16({zeroed.data() + 2, 2}, 0);
+  if (net::icmp6_checksum(ip.src, ip.dst, zeroed) != stored) {
+    r.warnings.push_back("ICMPv6 checksum incorrect");
+  }
+  if (payload[0] >= 1 && payload[0] <= 4) {
+    // Error messages quote the invoking packet; too short to contain an
+    // IPv6 header means the excerpt rule was violated.
+    if (payload.size() < 8 + net::Ipv6Header::kHeaderBytes) {
+      r.warnings.push_back(
+          "ICMPv6 error payload too short to contain the invoking packet's "
+          "IPv6 header (" + std::to_string(payload.size() - 8) + " bytes)");
+    } else if (!net::Ipv6Header::parse(payload.subspan(8))) {
+      r.warnings.push_back("quoted invoking packet is not valid IPv6");
+    }
+    // RFC 4443 §2.4(c): header + message must not exceed 1280 bytes.
+    if (payload.size() > 1280 - net::Ipv6Header::kHeaderBytes) {
+      r.warnings.push_back("ICMPv6 error message exceeds the minimum IPv6 MTU");
+    }
+  }
+  if (payload[0] == 4) {
+    r.summary += ", pointer " + std::to_string(util::get_be32({payload.data() + 4, 4}));
+  }
+}
+
+InspectionResult inspect_ipv6(std::span<const std::uint8_t> packet) {
+  InspectionResult r;
+  const auto ip = net::Ipv6Header::parse(packet);
+  if (!ip) {
+    r.errors.push_back("not a decodable IPv6 packet (" +
+                       std::to_string(packet.size()) + " bytes)");
+    r.summary = "[malformed]";
+    return r;
+  }
+  r.summary = "IP6 " + ip->src.to_string() + " > " + ip->dst.to_string() + ": ";
+  const auto payload = packet.subspan(net::Ipv6Header::kHeaderBytes);
+  if (ip->payload_length != payload.size()) {
+    if (ip->payload_length > payload.size()) {
+      r.errors.push_back("packet truncated: payload length " +
+                         std::to_string(ip->payload_length) + " but only " +
+                         std::to_string(payload.size()) + " bytes captured");
+    } else {
+      r.warnings.push_back("IPv6 payload length " +
+                           std::to_string(ip->payload_length) + " < captured " +
+                           std::to_string(payload.size()) + " bytes");
+    }
+  }
+  if (ip->hop_limit == 0) r.warnings.push_back("hop limit is zero");
+  if (ip->next_header == net::kIpProtoIcmp6) {
+    check_icmp6(*ip, payload, r);
+  } else {
+    r.summary += "next header " + std::to_string(ip->next_header) +
+                 ", length " + std::to_string(payload.size());
+  }
+  return r;
+}
+
 }  // namespace
 
 InspectionResult PacketInspector::inspect(
     std::span<const std::uint8_t> packet) const {
   InspectionResult r;
+  if (!packet.empty() && (packet[0] >> 4) == 6) return inspect_ipv6(packet);
   const auto ip = net::Ipv4Header::parse(packet);
   if (!ip) {
     r.errors.push_back("not a decodable IPv4 packet (" +
@@ -262,6 +341,34 @@ std::vector<std::string> PacketInspector::decode(
     std::span<const std::uint8_t> packet) const {
   const auto& registry = net::schema::SchemaRegistry::instance();
   std::vector<std::string> lines;
+  if (!packet.empty() && (packet[0] >> 4) == 6) {
+    // Version nibble 6: decode through the ip6 schema layer, and the
+    // icmp6 layer when the next header says so.
+    const auto ip6 = net::Ipv6Header::parse(packet);
+    if (!ip6) {
+      lines.push_back("[not IPv6]");
+      return lines;
+    }
+    for (auto& line : registry.decode_layer(
+             "ip6", packet.subspan(0, net::Ipv6Header::kHeaderBytes))) {
+      lines.push_back(std::move(line));
+    }
+    if (ip6->next_header == net::kIpProtoIcmp6) {
+      for (auto& line : registry.decode_layer(
+               "icmp6", packet.subspan(net::Ipv6Header::kHeaderBytes))) {
+        lines.push_back(std::move(line));
+      }
+    }
+    return lines;
+  }
+  // A standalone DHCP message (fixed BOOTP header + magic cookie at
+  // offset 236) is not IP; recognize it by the cookie so TLV decode —
+  // including the <truncated option>/<option length lie> markers — shows
+  // up in differential captures.
+  if (packet.size() >= 240 && packet[236] == 0x63 && packet[237] == 0x82 &&
+      packet[238] == 0x53 && packet[239] == 0x63) {
+    return registry.decode_layer("dhcp", packet);
+  }
   const auto ip = net::Ipv4Header::parse(packet);
   if (!ip) {
     lines.push_back("[not IPv4]");

@@ -1,0 +1,119 @@
+#include "sim/reference_responder6.hpp"
+
+#include <algorithm>
+
+#include "net/schema.hpp"
+#include "util/bytes.hpp"
+
+namespace sage::sim {
+
+namespace {
+
+/// Parse the triggering packet's IPv6 header; nullopt if it isn't one.
+std::optional<net::Ipv6Header> decode(const Responder6Context& ctx) {
+  return net::Ipv6Header::parse(ctx.triggering_packet);
+}
+
+/// Wrap an ICMPv6 message in a fresh IPv6 header: compute the RFC 4443
+/// §2.3 checksum (over the message chained with the pseudo-header) into
+/// bytes 2–3, then prepend the header. Outgoing-header defaults come
+/// from the ICMP6 schema entry — the same table SchemaExecEnv applies,
+/// so reference and generated responders cannot drift.
+std::vector<std::uint8_t> wrap(std::vector<std::uint8_t> message,
+                               net::Ip6Addr src, net::Ip6Addr dst) {
+  net::Ipv6Header ip;
+  ip.next_header = net::kIpProtoIcmp6;
+  ip.hop_limit = 64;
+  if (const auto* schema =
+          net::schema::SchemaRegistry::instance().protocol("ICMP6")) {
+    for (const auto& d : schema->defaults) {
+      if (d.layer != "ip6") continue;
+      if (d.field == "next_header") {
+        ip.next_header = static_cast<std::uint8_t>(d.value);
+      }
+      if (d.field == "hop_limit") ip.hop_limit = static_cast<std::uint8_t>(d.value);
+    }
+  }
+  ip.src = src;
+  ip.dst = dst;
+  util::put_be16({message.data() + 2, 2}, 0);
+  const std::uint16_t ck = net::icmp6_checksum(src, dst, message);
+  util::put_be16({message.data() + 2, 2}, ck);
+  return net::build_ipv6_packet(ip, message);
+}
+
+/// Build the common error-message shape: type/code, a 32-bit rest word,
+/// and as much of the invoking packet as fits without the ICMPv6 packet
+/// exceeding the minimum IPv6 MTU (RFC 4443 §2.4(c)).
+std::vector<std::uint8_t> make_error(std::uint8_t type, std::uint8_t code,
+                                     std::uint32_t rest,
+                                     const Responder6Context& ctx) {
+  constexpr std::size_t kMaxExcerpt =
+      ReferenceIcmp6Responder::kLinkMtu - net::Ipv6Header::kHeaderBytes - 8;
+  const std::size_t n = std::min(ctx.triggering_packet.size(), kMaxExcerpt);
+  std::vector<std::uint8_t> msg(8 + n, 0);
+  msg[0] = type;
+  msg[1] = code;
+  util::put_be32({msg.data() + 4, 4}, rest);
+  std::copy_n(ctx.triggering_packet.begin(), n, msg.begin() + 8);
+  return msg;
+}
+
+/// RFC 4443 §2.2: the unspecified address must never be a reply source;
+/// fall back to the interface's own address.
+net::Ip6Addr reply_source(net::Ip6Addr preferred, net::Ip6Addr own) {
+  return preferred == net::Ip6Addr() ? own : preferred;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> ReferenceIcmp6Responder::on_echo_request(
+    const Responder6Context& ctx) {
+  const auto ip = decode(ctx);
+  if (!ip || ip->next_header != net::kIpProtoIcmp6) return std::nullopt;
+  const auto icmp6 =
+      ctx.triggering_packet.subspan(net::Ipv6Header::kHeaderBytes);
+  if (icmp6.size() < 8) return std::nullopt;  // truncated request: no reply
+  // RFC 4443 §4.2 echo reply: type 129, code 0; identifier, sequence
+  // number, and data are returned unchanged; addresses reversed;
+  // checksum recomputed.
+  std::vector<std::uint8_t> reply(icmp6.begin(), icmp6.end());
+  reply[0] = 129;
+  reply[1] = 0;
+  return wrap(std::move(reply), reply_source(ip->dst, ctx.own_address),
+              ip->src);
+}
+
+std::optional<std::vector<std::uint8_t>>
+ReferenceIcmp6Responder::on_destination_unreachable(const Responder6Context& ctx,
+                                                    std::uint8_t code) {
+  const auto ip = decode(ctx);
+  if (!ip) return std::nullopt;
+  return wrap(make_error(1, code, 0, ctx), ctx.own_address, ip->src);
+}
+
+std::optional<std::vector<std::uint8_t>>
+ReferenceIcmp6Responder::on_packet_too_big(const Responder6Context& ctx) {
+  const auto ip = decode(ctx);
+  if (!ip) return std::nullopt;
+  return wrap(make_error(2, 0, kLinkMtu, ctx), ctx.own_address, ip->src);
+}
+
+std::optional<std::vector<std::uint8_t>>
+ReferenceIcmp6Responder::on_time_exceeded(const Responder6Context& ctx,
+                                          std::uint8_t code) {
+  const auto ip = decode(ctx);
+  if (!ip) return std::nullopt;
+  return wrap(make_error(3, code, 0, ctx), ctx.own_address, ip->src);
+}
+
+std::optional<std::vector<std::uint8_t>>
+ReferenceIcmp6Responder::on_parameter_problem(const Responder6Context& ctx,
+                                              std::uint8_t code,
+                                              std::uint8_t pointer) {
+  const auto ip = decode(ctx);
+  if (!ip) return std::nullopt;
+  return wrap(make_error(4, code, pointer, ctx), ctx.own_address, ip->src);
+}
+
+}  // namespace sage::sim

@@ -1,0 +1,37 @@
+// ReferenceIcmp6Responder: a hand-written, RFC 4443-faithful ICMPv6
+// implementation.
+//
+// The v6 counterpart of ReferenceIcmpResponder: the baseline the
+// differential fuzzer diffs the generated RFC 4443 code against. Where
+// RFC 4443 leaves a value to the implementation (the advertised MTU, the
+// reply source when the trigger's destination is unspecified), this
+// class uses the same deterministic framework services SchemaExecEnv
+// serves to generated code, so agreement is byte-exact by construction
+// only when the *generated logic* is right — not because anything here
+// peeks at generated output.
+#pragma once
+
+#include "sim/responder6.hpp"
+
+namespace sage::sim {
+
+class ReferenceIcmp6Responder : public Icmp6Responder {
+ public:
+  std::optional<std::vector<std::uint8_t>> on_echo_request(
+      const Responder6Context& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_destination_unreachable(
+      const Responder6Context& ctx, std::uint8_t code) override;
+  std::optional<std::vector<std::uint8_t>> on_packet_too_big(
+      const Responder6Context& ctx) override;
+  std::optional<std::vector<std::uint8_t>> on_time_exceeded(
+      const Responder6Context& ctx, std::uint8_t code) override;
+  std::optional<std::vector<std::uint8_t>> on_parameter_problem(
+      const Responder6Context& ctx, std::uint8_t code,
+      std::uint8_t pointer) override;
+
+  /// The deterministic next-hop link MTU advertised in Packet Too Big —
+  /// the IPv6 minimum, matching the framework's link_mtu() service.
+  static constexpr std::uint32_t kLinkMtu = 1280;
+};
+
+}  // namespace sage::sim

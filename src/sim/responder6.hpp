@@ -1,0 +1,63 @@
+// The pluggable ICMPv6 implementation boundary — the RFC 4443 analogue
+// of sim::IcmpResponder.
+//
+// A v6 node calls a responder whenever the spec says an ICMPv6 message
+// must be produced. Two families implement it:
+//   * runtime::GeneratedIcmp6Responder — executes SAGE-generated code
+//     from the revised RFC 4443 corpus,
+//   * sim::ReferenceIcmp6Responder    — hand-written RFC-faithful
+//     baseline the differential fuzzer diffs against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv6.hpp"
+
+namespace sage::sim {
+
+/// Context supplied with every event: who we are and the raw packet that
+/// triggered the event (starting at its IPv6 header).
+struct Responder6Context {
+  net::Ip6Addr own_address;  // address of the interface that took the packet
+  std::span<const std::uint8_t> triggering_packet;
+};
+
+/// Produces complete IPv6 packets (starting at the IPv6 header) in
+/// response to protocol events. Returning nullopt means "send nothing".
+class Icmp6Responder {
+ public:
+  virtual ~Icmp6Responder() = default;
+
+  /// An echo request (type 128) addressed to us arrived; produce the
+  /// echo reply (type 129).
+  virtual std::optional<std::vector<std::uint8_t>> on_echo_request(
+      const Responder6Context& ctx) = 0;
+
+  /// The packet cannot be delivered: RFC 4443 §3.1 codes 0–4 (no route,
+  /// administratively prohibited, beyond scope, address unreachable,
+  /// port unreachable).
+  virtual std::optional<std::vector<std::uint8_t>> on_destination_unreachable(
+      const Responder6Context& ctx, std::uint8_t code) = 0;
+
+  /// The packet exceeds the outgoing link's MTU (§3.2, code 0). The
+  /// advertised MTU is the framework's deterministic next-hop MTU.
+  virtual std::optional<std::vector<std::uint8_t>> on_packet_too_big(
+      const Responder6Context& ctx) = 0;
+
+  /// Hop limit exceeded in transit (code 0) or fragment reassembly time
+  /// exceeded (code 1) — §3.3.
+  virtual std::optional<std::vector<std::uint8_t>> on_time_exceeded(
+      const Responder6Context& ctx, std::uint8_t code) = 0;
+
+  /// A header problem was detected at octet `pointer` (§3.4, codes 0–2:
+  /// erroneous header field, unrecognized next header, unrecognized
+  /// option).
+  virtual std::optional<std::vector<std::uint8_t>> on_parameter_problem(
+      const Responder6Context& ctx, std::uint8_t code,
+      std::uint8_t pointer) = 0;
+};
+
+}  // namespace sage::sim

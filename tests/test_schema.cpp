@@ -26,6 +26,7 @@ namespace sage {
 namespace {
 
 using net::schema::FieldKind;
+using net::schema::FieldLoc;
 using net::schema::SchemaRegistry;
 
 // ---- symbol_value (util/symbols.hpp) ---------------------------------------
@@ -84,6 +85,12 @@ TEST(SchemaRegistry, WireFieldsFitTheirHeader) {
       if (field.kind != FieldKind::kScalar) continue;
       EXPECT_GT(field.bit_width, 0u) << layer.name << "." << field.name;
       EXPECT_LE(field.bit_width, 32u) << layer.name << "." << field.name;
+      if (field.loc == FieldLoc::kTlvOption) {
+        // TLV scalars live in the options region, not the fixed header;
+        // their offset is relative to the option value.
+        EXPECT_TRUE(layer.has_options) << layer.name << "." << field.name;
+        continue;
+      }
       EXPECT_LE(field.bit_offset + field.bit_width, layer.header_bytes * 8)
           << layer.name << "." << field.name;
     }
@@ -100,7 +107,8 @@ TEST(SchemaRegistry, PayloadScalarsRequireAPayload) {
       if (field.kind == FieldKind::kPayloadScalar) {
         EXPECT_TRUE(layer.has_payload) << layer.name << "." << field.name;
       }
-      if (field.kind == FieldKind::kBytes) {
+      if (field.kind == FieldKind::kBytes &&
+          field.loc != FieldLoc::kLengthPrefixed) {
         EXPECT_TRUE(layer.has_payload) << layer.name << "." << field.name;
       }
     }
@@ -154,6 +162,16 @@ TEST(SchemaRegistry, EveryWireScalarRoundTripsThroughItsImage) {
     if (layer.header_bytes == 0) continue;
     for (const auto& field : layer.fields) {
       if (field.kind != FieldKind::kScalar) continue;
+      if (field.loc == FieldLoc::kTlvOption) {
+        // Option-resident scalars have no fixed offset; the direct
+        // scalar accessors must refuse them rather than misread bits.
+        std::vector<std::uint8_t> image(layer.header_bytes, 0);
+        EXPECT_FALSE(SchemaRegistry::read_scalar(field, image).has_value())
+            << layer.name << "." << field.name;
+        EXPECT_FALSE(SchemaRegistry::write_scalar(field, image, 1))
+            << layer.name << "." << field.name;
+        continue;
+      }
       std::vector<std::uint8_t> image(layer.header_bytes, 0);
       // An alternating pattern that exercises every bit position.
       for (const long pattern : {0x5555555555L, 0x2aaaaaaaaaL, 1L, 0L}) {
@@ -191,23 +209,23 @@ TEST(SchemaRegistry, IcmpOffsetsMatchSerializer) {
   msg.set_sequence_number(7);
   const auto bytes = msg.serialize();
   const auto& reg = SchemaRegistry::instance();
-  EXPECT_EQ(*reg.read_wire("icmp", "type", bytes), 8);
-  EXPECT_EQ(*reg.read_wire("icmp", "code", bytes), 0);
-  EXPECT_EQ(*reg.read_wire("icmp", "identifier", bytes), 0x2a17);
-  EXPECT_EQ(*reg.read_wire("icmp", "sequence_number", bytes), 7);
+  EXPECT_EQ(reg.read_wire("icmp", "type", bytes).value, 8);
+  EXPECT_EQ(reg.read_wire("icmp", "code", bytes).value, 0);
+  EXPECT_EQ(reg.read_wire("icmp", "identifier", bytes).value, 0x2a17);
+  EXPECT_EQ(reg.read_wire("icmp", "sequence_number", bytes).value, 7);
 
   net::IcmpMessage redirect;
   redirect.type = net::IcmpType::kRedirect;
   redirect.set_gateway_address(net::IpAddr(10, 0, 1, 50));
   const auto rbytes = redirect.serialize();
-  EXPECT_EQ(*reg.read_wire("icmp", "gateway_internet_address", rbytes),
+  EXPECT_EQ(reg.read_wire("icmp", "gateway_internet_address", rbytes).value,
             static_cast<long>(net::IpAddr(10, 0, 1, 50).value()));
 
   net::IcmpMessage param;
   param.type = net::IcmpType::kParameterProblem;
   param.set_pointer(20);
   const auto pbytes = param.serialize();
-  EXPECT_EQ(*reg.read_wire("icmp", "pointer", pbytes), 20);
+  EXPECT_EQ(reg.read_wire("icmp", "pointer", pbytes).value, 20);
 }
 
 TEST(SchemaRegistry, IgmpOffsetsMatchSerializer) {
@@ -217,15 +235,15 @@ TEST(SchemaRegistry, IgmpOffsetsMatchSerializer) {
   msg.group_address = net::IpAddr(224, 1, 2, 3);
   const auto bytes = msg.serialize();
   const auto& reg = SchemaRegistry::instance();
-  EXPECT_EQ(*reg.read_wire("igmp", "version", bytes), 1);
-  EXPECT_EQ(*reg.read_wire("igmp", "type", bytes),
+  EXPECT_EQ(reg.read_wire("igmp", "version", bytes).value, 1);
+  EXPECT_EQ(reg.read_wire("igmp", "type", bytes).value,
             static_cast<long>(net::IgmpType::kHostMembershipReport));
-  EXPECT_EQ(*reg.read_wire("igmp", "group_address", bytes),
+  EXPECT_EQ(reg.read_wire("igmp", "group_address", bytes).value,
             static_cast<long>(net::IpAddr(224, 1, 2, 3).value()));
   // Checksum read must match the serializer's computed value.
   const auto parsed = net::IgmpMessage::parse(bytes);
   ASSERT_TRUE(parsed.has_value());
-  EXPECT_EQ(*reg.read_wire("igmp", "checksum", bytes), parsed->checksum);
+  EXPECT_EQ(reg.read_wire("igmp", "checksum", bytes).value, parsed->checksum);
 }
 
 TEST(SchemaRegistry, NtpOffsetsMatchSerializer) {
@@ -239,15 +257,15 @@ TEST(SchemaRegistry, NtpOffsetsMatchSerializer) {
   pkt.transmit_timestamp.seconds = 0x83aa7e80;
   const auto bytes = pkt.serialize();
   const auto& reg = SchemaRegistry::instance();
-  EXPECT_EQ(*reg.read_wire("ntp", "leap_indicator", bytes), 1);
-  EXPECT_EQ(*reg.read_wire("ntp", "version", bytes), 3);
-  EXPECT_EQ(*reg.read_wire("ntp", "mode", bytes),
+  EXPECT_EQ(reg.read_wire("ntp", "leap_indicator", bytes).value, 1);
+  EXPECT_EQ(reg.read_wire("ntp", "version", bytes).value, 3);
+  EXPECT_EQ(reg.read_wire("ntp", "mode", bytes).value,
             static_cast<long>(net::NtpMode::kServer));
-  EXPECT_EQ(*reg.read_wire("ntp", "stratum", bytes), 2);
-  EXPECT_EQ(*reg.read_wire("ntp", "poll", bytes), 6);
+  EXPECT_EQ(reg.read_wire("ntp", "stratum", bytes).value, 2);
+  EXPECT_EQ(reg.read_wire("ntp", "poll", bytes).value, 6);
   // precision is sign-extended on read (schema is_signed).
-  EXPECT_EQ(*reg.read_wire("ntp", "precision", bytes), -6);
-  EXPECT_EQ(*reg.read_wire("ntp", "transmit_timestamp", bytes),
+  EXPECT_EQ(reg.read_wire("ntp", "precision", bytes).value, -6);
+  EXPECT_EQ(reg.read_wire("ntp", "transmit_timestamp", bytes).value,
             0x83aa7e80L);
 }
 
@@ -263,15 +281,15 @@ TEST(SchemaRegistry, BfdOffsetsMatchSerializer) {
   pkt.required_min_rx_interval = 300000;
   const auto bytes = pkt.serialize();
   const auto& reg = SchemaRegistry::instance();
-  EXPECT_EQ(*reg.read_wire("bfd", "state", bytes),
+  EXPECT_EQ(reg.read_wire("bfd", "state", bytes).value,
             static_cast<long>(net::BfdState::kInit));
-  EXPECT_EQ(*reg.read_wire("bfd", "poll_bit", bytes), 1);
-  EXPECT_EQ(*reg.read_wire("bfd", "demand_bit", bytes), 1);
-  EXPECT_EQ(*reg.read_wire("bfd", "multipoint_bit", bytes), 0);
-  EXPECT_EQ(*reg.read_wire("bfd", "detect_mult_field", bytes), 5);
-  EXPECT_EQ(*reg.read_wire("bfd", "my_discriminator", bytes), 42);
-  EXPECT_EQ(*reg.read_wire("bfd", "your_discriminator", bytes), 99);
-  EXPECT_EQ(*reg.read_wire("bfd", "required_min_rx_interval_field", bytes),
+  EXPECT_EQ(reg.read_wire("bfd", "poll_bit", bytes).value, 1);
+  EXPECT_EQ(reg.read_wire("bfd", "demand_bit", bytes).value, 1);
+  EXPECT_EQ(reg.read_wire("bfd", "multipoint_bit", bytes).value, 0);
+  EXPECT_EQ(reg.read_wire("bfd", "detect_mult_field", bytes).value, 5);
+  EXPECT_EQ(reg.read_wire("bfd", "my_discriminator", bytes).value, 42);
+  EXPECT_EQ(reg.read_wire("bfd", "your_discriminator", bytes).value, 99);
+  EXPECT_EQ(reg.read_wire("bfd", "required_min_rx_interval_field", bytes).value,
             300000);
 }
 
@@ -283,9 +301,9 @@ TEST(SchemaRegistry, UdpOffsetsMatchSerializer) {
   const auto bytes = udp.serialize(net::IpAddr(10, 0, 1, 100),
                                    net::IpAddr(10, 0, 1, 1), payload);
   const auto& reg = SchemaRegistry::instance();
-  EXPECT_EQ(*reg.read_wire("udp", "src_port", bytes), 49152);
-  EXPECT_EQ(*reg.read_wire("udp", "dst_port", bytes), net::kNtpPort);
-  EXPECT_EQ(*reg.read_wire("udp", "length", bytes),
+  EXPECT_EQ(reg.read_wire("udp", "src_port", bytes).value, 49152);
+  EXPECT_EQ(reg.read_wire("udp", "dst_port", bytes).value, net::kNtpPort);
+  EXPECT_EQ(reg.read_wire("udp", "length", bytes).value,
             static_cast<long>(8 + payload.size()));
 }
 
@@ -362,7 +380,7 @@ TEST(SchemaShortRead, TruncatedImageReportsShortNotZero) {
   const std::vector<std::uint8_t> one_byte{8};
   const auto type = reg.read_wire("icmp", "type", one_byte);
   ASSERT_TRUE(type.ok());
-  EXPECT_EQ(*type, 8);
+  EXPECT_EQ(type.value, 8);
   for (const auto* field : {"code", "checksum", "identifier", "sequence_number"}) {
     const auto r = reg.read_wire("icmp", field, one_byte);
     EXPECT_EQ(r.status, net::schema::ReadStatus::kShortRead) << field;

@@ -89,21 +89,21 @@ TEST(ServeFrameCodec, HeaderFieldsReadBackThroughTheRegistry) {
     const Frame frame = random_frame(rng, FrameKind::kResult);
     const std::vector<std::uint8_t> image = encode_frame(frame);
     const std::span<const std::uint8_t> header(image.data(), kHeaderBytes);
-    EXPECT_EQ(*reg.read_wire("serve", "magic", header), kMagic);
-    EXPECT_EQ(*reg.read_wire("serve", "version", header), kWireVersion);
-    EXPECT_EQ(*reg.read_wire("serve", "kind", header),
+    EXPECT_EQ(reg.read_wire("serve", "magic", header).value, kMagic);
+    EXPECT_EQ(reg.read_wire("serve", "version", header).value, kWireVersion);
+    EXPECT_EQ(reg.read_wire("serve", "kind", header).value,
               static_cast<long>(frame.kind));
-    EXPECT_EQ(*reg.read_wire("serve", "job_id", header),
+    EXPECT_EQ(reg.read_wire("serve", "job_id", header).value,
               static_cast<long>(frame.job_id));
-    EXPECT_EQ(*reg.read_wire("serve", "status", header),
+    EXPECT_EQ(reg.read_wire("serve", "status", header).value,
               static_cast<long>(frame.status));
-    EXPECT_EQ(*reg.read_wire("serve", "flags", header),
+    EXPECT_EQ(reg.read_wire("serve", "flags", header).value,
               static_cast<long>(frame.flags));
-    EXPECT_EQ(*reg.read_wire("serve", "time_micros", header),
+    EXPECT_EQ(reg.read_wire("serve", "time_micros", header).value,
               static_cast<long>(frame.time_micros));
-    EXPECT_EQ(*reg.read_wire("serve", "payload_length", header),
+    EXPECT_EQ(reg.read_wire("serve", "payload_length", header).value,
               static_cast<long>(frame.payload.size()));
-    EXPECT_EQ(*reg.read_wire("serve", "reserved", header), 0);
+    EXPECT_EQ(reg.read_wire("serve", "reserved", header).value, 0);
   }
 }
 

@@ -12,6 +12,7 @@
 #include "core/sage.hpp"
 #include "net/schema.hpp"
 #include "corpus/rfc792.hpp"
+#include "corpus/rfc4443.hpp"
 #include "sim/soak.hpp"
 #include "corpus/rfc1112.hpp"
 #include "corpus/rfc1059.hpp"
@@ -355,13 +356,13 @@ int run_serve_soak(int argc, char** argv, int i) {
 int run_fuzz(int argc, char** argv, int i) {
   fuzz::FuzzOptions options;
   if (i >= argc) {
-    fprintf(stderr, "error: --fuzz requires a protocol (icmp|igmp|ntp|bfd|udp)\n");
+    fprintf(stderr, "error: --fuzz requires a protocol (icmp|icmp6|igmp|ntp|bfd|udp|dhcp)\n");
     return 2;
   }
   options.protocol = argv[i++];
   const auto& known = fuzz::PacketGenerator::known_protocols();
   if (std::find(known.begin(), known.end(), options.protocol) == known.end()) {
-    fprintf(stderr, "error: unknown fuzz protocol '%s' (expected icmp|igmp|ntp|bfd|udp)\n",
+    fprintf(stderr, "error: unknown fuzz protocol '%s' (expected icmp|icmp6|igmp|ntp|bfd|udp|dhcp)\n",
             options.protocol.c_str());
     return 2;
   }
@@ -581,6 +582,10 @@ int main(int argc, char** argv) {
     run("ICMP original", corpus::rfc792_original(), "ICMP", corpus::icmp_non_actionable_annotations(), verbose);
   else if (which == "icmp-rev")
     run("ICMP revised", corpus::rfc792_revised(), "ICMP", corpus::icmp_non_actionable_annotations(), verbose);
+  else if (which == "icmp6")
+    run("ICMPv6 original", corpus::rfc4443_original(), "ICMP6", corpus::icmp6_non_actionable_annotations(), verbose);
+  else if (which == "icmp6-rev")
+    run("ICMPv6 revised", corpus::rfc4443_revised(), "ICMP6", corpus::icmp6_non_actionable_annotations(), verbose);
   else if (which == "igmp")
     run("IGMP", corpus::rfc1112_appendix_i(), "IGMP", corpus::igmp_non_actionable_annotations(), verbose);
   else if (which == "ntp")
